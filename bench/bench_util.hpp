@@ -1,0 +1,33 @@
+// Shared plumbing for the experiment binaries: section banners and a tiny
+// wall-clock repeat-timer. The binaries print the regenerated paper
+// artefacts as aligned tables (captured into bench_output.txt /
+// EXPERIMENTS.md); google-benchmark is used where statement-level timing is
+// the point (the scaling experiments).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/stopwatch.hpp"
+
+namespace treesat::bench {
+
+inline void banner(const std::string& experiment, const std::string& title) {
+  std::cout << "\n=== " << experiment << ": " << title << " ===\n";
+}
+
+inline void note(const std::string& text) { std::cout << "  " << text << "\n"; }
+
+/// Median-ish wall time of `fn` over `reps` runs (returns seconds).
+template <typename Fn>
+double time_run(Fn&& fn, int reps = 5) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const Stopwatch watch;
+    fn();
+    best = std::min(best, watch.seconds());
+  }
+  return best;
+}
+
+}  // namespace treesat::bench

@@ -1,0 +1,54 @@
+// Adaptive redeployment under context change -- the scenario the paper's
+// introduction motivates (context-aware applications adapt to communication
+// and computation context).
+//
+//   $ ./example_adaptive_reassignment
+//
+// The patient walks out of good Bluetooth coverage: the uplink bandwidth of
+// the sensor boxes degrades step by step. At each step the application
+// re-runs the optimizer; the example shows how the optimal cut migrates
+// (shipping raw signals becomes unaffordable, so more reasoning moves onto
+// the boxes) and what sticking to the initial deployment would have cost.
+#include <iostream>
+
+#include "core/coloured_ssb.hpp"
+#include "io/table.hpp"
+#include "workload/scenarios.hpp"
+
+int main() {
+  using namespace treesat;
+
+  const Scenario base = epilepsy_scenario();
+
+  Table t({"uplink bandwidth [kB/s]", "optimal [ms]", "CRUs on boxes",
+           "initial deployment now [ms]", "penalty for not adapting"});
+
+  // The deployment chosen under full bandwidth.
+  std::vector<CruId> initial_cut;
+  for (const double bandwidth : {90e3, 60e3, 40e3, 25e3, 15e3, 8e3}) {
+    // Re-derive the platform at the degraded bandwidth.
+    HostSatelliteSystem platform("pda", 200e6);
+    for (std::size_t sat = 0; sat < base.platform.satellite_count(); ++sat) {
+      SatelliteSpec spec = base.platform.satellite(SatelliteId{sat});
+      spec.uplink.bandwidth_bytes_per_s = bandwidth;
+      platform.add_satellite(spec);
+    }
+    const CruTree tree = base.workload.lower(platform);
+    const Colouring colouring(tree);
+    const AssignmentGraph graph(colouring);
+    const ColouredSsbResult optimal = coloured_ssb_solve(graph);
+
+    if (initial_cut.empty()) initial_cut = optimal.assignment.cut_nodes();
+    const Assignment frozen(colouring, initial_cut);
+    const double frozen_delay = frozen.delay().end_to_end();
+
+    t.add(bandwidth / 1e3, optimal.delay.end_to_end() * 1e3,
+          optimal.assignment.satellite_node_count(), frozen_delay * 1e3,
+          frozen_delay / optimal.delay.end_to_end());
+  }
+  t.print(std::cout);
+  std::cout << "\nas links degrade, the optimizer pushes feature extraction onto the\n"
+               "sensor boxes; a frozen deployment pays an increasing delay penalty --\n"
+               "the adaptation loop the paper's context-aware middleware performs.\n";
+  return 0;
+}

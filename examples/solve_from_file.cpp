@@ -1,0 +1,74 @@
+// File-driven solver -- the "middleware integration" entry point: a
+// deployment service serializes its reasoning tree, calls this tool, and
+// consumes the JSON result.
+//
+//   $ ./example_solve_from_file <tree.txt> [method] [lambda]
+//   $ ./example_solve_from_file --demo          # writes & solves a sample
+//
+// Accepts the text format of tree/serialize.hpp; methods: coloured-ssb
+// (default), pareto-dp, exhaustive, branch-bound, genetic, local-search,
+// greedy, annealing.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/solver.hpp"
+#include "io/json.hpp"
+#include "tree/serialize.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+treesat::SolveMethod parse_method(const std::string& name) {
+  using treesat::SolveMethod;
+  for (const SolveMethod m :
+       {SolveMethod::kColouredSsb, SolveMethod::kParetoDp, SolveMethod::kExhaustive,
+        SolveMethod::kBranchBound, SolveMethod::kGenetic, SolveMethod::kLocalSearch,
+        SolveMethod::kGreedy, SolveMethod::kAnnealing}) {
+    if (name == treesat::method_name(m)) return m;
+  }
+  throw treesat::InvalidArgument("unknown method '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace treesat;
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " <tree.txt>|--demo [method] [lambda]\n";
+    return 2;
+  }
+
+  try {
+    std::string text;
+    if (std::string(argv[1]) == "--demo") {
+      const CruTree demo = paper_running_example();
+      text = to_text(demo);
+      std::ofstream("demo_tree.txt") << text;
+      std::cout << "# wrote demo_tree.txt (the paper's Figs 2/5-8 example)\n";
+    } else {
+      std::ifstream in(argv[1]);
+      if (!in) {
+        std::cerr << "cannot open " << argv[1] << "\n";
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+
+    const CruTree tree = tree_from_text(text);
+    const Colouring colouring(tree);
+
+    SolveOptions options;
+    if (argc > 2) options.method = parse_method(argv[2]);
+    if (argc > 3) options.objective = SsbObjective::from_lambda(std::stod(argv[3]));
+
+    const SolveSummary summary = solve(colouring, options);
+    std::cout << summary_to_json(summary) << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,69 @@
+#include "baselines/bokhari_tree.hpp"
+
+#include <algorithm>
+
+#include "core/assignment_graph.hpp"
+#include "core/sb_search.hpp"
+
+namespace treesat {
+
+namespace {
+
+/// Uncoloured dual graph with *every* non-root edge present (no pinning).
+struct UnpinnedGraph {
+  Dwg graph;
+  std::vector<CruId> cut_node;  // per edge
+
+  explicit UnpinnedGraph(const CruTree& tree) : graph(tree.sensor_count() + 1) {
+    const std::vector<double> sigma = bokhari_sigma_labels(tree);
+    for (const CruId v : tree.preorder()) {
+      if (v == tree.root()) continue;
+      const LeafSpan span = tree.leaf_span(v);
+      const double beta = tree.subtree_sat_time(v) + tree.node(v).comm_up;
+      graph.add_edge(VertexId{span.first}, VertexId{span.last + 1}, sigma[v.index()], beta);
+      cut_node.push_back(v);
+    }
+  }
+};
+
+}  // namespace
+
+BokhariTreeResult bokhari_tree_solve(const CruTree& tree) {
+  const UnpinnedGraph ug(tree);
+  const VertexId s{0u};
+  const VertexId t{tree.sensor_count()};
+  const SbSearchResult sb = sb_search(ug.graph, s, t);
+  TS_CHECK(sb.best.has_value(), "bokhari_tree_solve: dual graph must be connected");
+
+  BokhariTreeResult result;
+  result.sb_weight = sb.sb_weight;
+  result.host_time = sb.best->s_weight;
+  result.max_fragment = sb.best->b_weight;
+  result.iterations = sb.iterations;
+  for (const EdgeId e : sb.best->edges) {
+    result.fragment_roots.push_back(ug.cut_node.at(e.index()));
+  }
+  return result;
+}
+
+Assignment repair_to_pinned(const Colouring& colouring,
+                            const BokhariTreeResult& unconstrained) {
+  const CruTree& tree = colouring.tree();
+  std::vector<CruId> cut;
+  // Descend from each fragment root until the fragment is monochromatic;
+  // the nodes crossed on the way move (back) to the host.
+  std::vector<CruId> stack(unconstrained.fragment_roots.begin(),
+                           unconstrained.fragment_roots.end());
+  while (!stack.empty()) {
+    const CruId v = stack.back();
+    stack.pop_back();
+    if (colouring.is_assignable(v)) {
+      cut.push_back(v);
+      continue;
+    }
+    for (const CruId c : tree.node(v).children) stack.push_back(c);
+  }
+  return Assignment(colouring, std::move(cut));
+}
+
+}  // namespace treesat

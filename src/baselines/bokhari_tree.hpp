@@ -1,0 +1,50 @@
+// Bokhari's original tree -> host-satellites assignment (Bokhari 1988),
+// reproduced as the baseline the paper differentiates itself from (§2).
+//
+// Bokhari's model differs from the paper's in exactly the two constraints
+// the colouring scheme relaxes:
+//   1. there are as many satellites as leaves and any lower fragment may be
+//      placed on any satellite (one fragment per satellite), so the
+//      bottleneck is the *maximum over cut edges* of β -- no per-colour
+//      sums;
+//   2. the objective is the bottleneck time max(S, B), not the end-to-end
+//      sum.
+// Under those rules the dual graph is the same construction as ours but
+// uncoloured and with conflict edges *included* (without pinning any subtree
+// may leave the host), and the SB search solves it exactly.
+//
+// For experiment E8 the Bokhari assignment must then be *executed* on the
+// pinned reality, where a fragment containing sensors of several satellites
+// cannot exist. `repair_to_pinned` splits every such fragment downward into
+// maximal monochromatic sub-fragments -- the minimal change that makes the
+// cut feasible -- and the delay of the repaired assignment (under the true
+// per-colour model) is what gets compared against the paper's optimum.
+#pragma once
+
+#include <optional>
+
+#include "core/assignment.hpp"
+#include "core/colouring.hpp"
+#include "graph/dwg.hpp"
+
+namespace treesat {
+
+struct BokhariTreeResult {
+  /// The unconstrained optimum: one cut node per fragment (fragments may be
+  /// polychromatic, so this is NOT a valid `Assignment` in general).
+  std::vector<CruId> fragment_roots;
+  double sb_weight = 0.0;        ///< max(S, B) achieved in Bokhari's model
+  double host_time = 0.0;        ///< S of the unconstrained cut
+  double max_fragment = 0.0;     ///< B: largest fragment time incl. uplink
+  std::size_t iterations = 0;
+};
+
+/// Solves the unconstrained problem exactly with the SB search.
+[[nodiscard]] BokhariTreeResult bokhari_tree_solve(const CruTree& tree);
+
+/// Splits polychromatic fragments into monochromatic ones and returns the
+/// resulting valid assignment under `colouring`.
+[[nodiscard]] Assignment repair_to_pinned(const Colouring& colouring,
+                                          const BokhariTreeResult& unconstrained);
+
+}  // namespace treesat

@@ -1,0 +1,180 @@
+#include "baselines/chain.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/dwg.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace treesat {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void validate(const ChainProblem& p) {
+  TS_REQUIRE(!p.task_work.empty(), "chain: no tasks");
+  TS_REQUIRE(!p.processor_speed.empty(), "chain: no processors");
+  TS_REQUIRE(p.task_work.size() >= p.processor_speed.size(),
+             "chain: fewer tasks (" << p.task_work.size() << ") than processors ("
+                                    << p.processor_speed.size() << "); blocks are non-empty");
+  TS_REQUIRE(p.comm_after.size() == p.task_work.size() - 1,
+             "chain: comm_after must have tasks-1 entries");
+  for (const double w : p.task_work) TS_REQUIRE(w >= 0.0, "chain: negative work");
+  for (const double c : p.comm_after) TS_REQUIRE(c >= 0.0, "chain: negative comm");
+  for (const double s : p.processor_speed) TS_REQUIRE(s > 0.0, "chain: non-positive speed");
+}
+
+}  // namespace
+
+double chain_block_cost(const ChainProblem& p, std::size_t k, std::size_t from,
+                        std::size_t to) {
+  TS_REQUIRE(from < to && to <= p.task_work.size(), "chain_block_cost: bad block");
+  TS_REQUIRE(k < p.processor_speed.size(), "chain_block_cost: bad processor");
+  double work = 0.0;
+  for (std::size_t i = from; i < to; ++i) work += p.task_work[i];
+  double cost = work / p.processor_speed[k];
+  if (from > 0) cost += p.comm_after[from - 1];
+  if (to < p.task_work.size()) cost += p.comm_after[to - 1];
+  return cost;
+}
+
+ChainPartition chain_layered_solve(const ChainProblem& problem) {
+  validate(problem);
+  const std::size_t m = problem.task_work.size();
+  const std::size_t p = problem.processor_speed.size();
+
+  // Layered graph: vertex id = k * (m + 1) + i  <=> "first i tasks on the
+  // first k processors". Edges (i,k) -> (j,k+1) carry the cost of processor
+  // k's block [i, j) as β (σ unused: the objective is pure bottleneck).
+  const auto vid = [&](std::size_t i, std::size_t k) { return VertexId{k * (m + 1) + i}; };
+  Dwg g((m + 1) * (p + 1));
+  struct EdgeInfo {
+    std::size_t i, j, k;
+  };
+  std::vector<EdgeInfo> info;
+  for (std::size_t k = 0; k < p; ++k) {
+    // Feasibility window: after k processors, between k and m-(p-k) tasks
+    // are placed (later processors need one task each).
+    for (std::size_t i = k; i + (p - k) <= m; ++i) {
+      for (std::size_t j = i + 1; j + (p - k - 1) <= m; ++j) {
+        g.add_edge(vid(i, k), vid(j, k + 1), 0.0, chain_block_cost(problem, k, i, j));
+        info.push_back({i, j, k});
+      }
+    }
+  }
+  const VertexId s = vid(0, 0);
+  const VertexId t = vid(m, p);
+
+  // Minimax path via threshold search over the sorted distinct β values:
+  // the optimum is the smallest threshold that keeps T reachable.
+  std::vector<double> thresholds;
+  thresholds.reserve(g.edge_count());
+  for (const DwgEdge& e : g.edges()) thresholds.push_back(e.beta);
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()), thresholds.end());
+
+  std::size_t lo = 0, hi = thresholds.size() - 1;
+  const auto feasible = [&](double thr) {
+    EdgeMask mask = g.full_mask();
+    for (std::size_t e = 0; e < g.edge_count(); ++e) {
+      if (g.edge(EdgeId{e}).beta > thr) mask.kill(EdgeId{e});
+    }
+    return reachable(g, s, t, mask);
+  };
+  TS_CHECK(feasible(thresholds.back()), "chain_layered_solve: full graph must connect S-T");
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (feasible(thresholds[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const double bottleneck = thresholds[lo];
+
+  // Reconstruct one optimal partition greedily under the threshold.
+  EdgeMask mask = g.full_mask();
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    if (g.edge(EdgeId{e}).beta > bottleneck) mask.kill(EdgeId{e});
+  }
+  const auto path = min_sum_path(g, s, t, mask);
+  TS_CHECK(path.has_value(), "chain_layered_solve: threshold graph lost connectivity");
+
+  ChainPartition out;
+  out.bottleneck = bottleneck;
+  for (const EdgeId e : path->edges) {
+    out.boundaries.push_back(info[e.index()].j);
+  }
+  return out;
+}
+
+ChainPartition chain_dp_solve(const ChainProblem& problem) {
+  validate(problem);
+  const std::size_t m = problem.task_work.size();
+  const std::size_t p = problem.processor_speed.size();
+
+  // best[k][i]: minimal bottleneck placing the first i tasks on the first k
+  // processors. choice[k][i]: the i' the optimum extends.
+  std::vector<std::vector<double>> best(p + 1, std::vector<double>(m + 1, kInf));
+  std::vector<std::vector<std::size_t>> choice(p + 1, std::vector<std::size_t>(m + 1, 0));
+  best[0][0] = 0.0;
+  for (std::size_t k = 1; k <= p; ++k) {
+    for (std::size_t j = k; j + (p - k) <= m; ++j) {
+      for (std::size_t i = k - 1; i < j; ++i) {
+        if (best[k - 1][i] == kInf) continue;
+        const double value =
+            std::max(best[k - 1][i], chain_block_cost(problem, k - 1, i, j));
+        if (value < best[k][j]) {
+          best[k][j] = value;
+          choice[k][j] = i;
+        }
+      }
+    }
+  }
+  TS_CHECK(best[p][m] < kInf, "chain_dp_solve: no feasible partition (impossible)");
+
+  ChainPartition out;
+  out.bottleneck = best[p][m];
+  out.boundaries.assign(p, 0);
+  std::size_t at = m;
+  for (std::size_t k = p; k-- > 0;) {
+    out.boundaries[k] = at;
+    at = choice[k + 1][at];
+  }
+  return out;
+}
+
+ChainPartition chain_bruteforce_solve(const ChainProblem& problem, std::size_t cap) {
+  validate(problem);
+  const std::size_t m = problem.task_work.size();
+  const std::size_t p = problem.processor_speed.size();
+
+  ChainPartition best;
+  best.bottleneck = kInf;
+  std::vector<std::size_t> bounds(p, 0);
+  std::size_t visited = 0;
+
+  // Enumerate all monotone boundary vectors via DFS.
+  const auto rec = [&](auto&& self, std::size_t k, std::size_t from,
+                       double bottleneck) -> void {
+    if (++visited > cap) throw ResourceLimit("chain_bruteforce: cap exceeded");
+    if (k == p) {
+      if (from == m && bottleneck < best.bottleneck) {
+        best.bottleneck = bottleneck;
+        best.boundaries = bounds;
+      }
+      return;
+    }
+    for (std::size_t to = from + 1; to + (p - k - 1) <= m; ++to) {
+      bounds[k] = to;
+      self(self, k + 1, to,
+           std::max(bottleneck, chain_block_cost(problem, k, from, to)));
+    }
+  };
+  rec(rec, 0, 0, 0.0);
+  TS_CHECK(best.bottleneck < kInf, "chain_bruteforce: no partition found");
+  return best;
+}
+
+}  // namespace treesat

@@ -1,0 +1,56 @@
+// Chain-to-chain partitioning (Bokhari 1988) -- the *other* exact mapping
+// from the paper's related-work lineage (§2 cites [13]-[17] as successive
+// improvements of it). A chain of m tasks is mapped onto a chain of p
+// processors: each processor receives a contiguous block of tasks, blocks
+// appear in order, and the goal is to minimize the bottleneck: the maximum
+// over processors of (block work / processor speed + boundary communication
+// over the link to the next processor).
+//
+// Two implementations, cross-validated in the tests:
+//   * chain_layered_solve -- Bokhari's layered assignment graph: vertex
+//     (i, k) = "tasks 1..i on processors 1..k"; edges carry block costs and
+//     the minimax path gives the optimal partition (a faithful miniature of
+//     the doubly-weighted-graph method the whole paper builds on);
+//   * chain_dp_solve -- the direct interval DP, O(m²·p).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace treesat {
+
+struct ChainProblem {
+  std::vector<double> task_work;         ///< work of each task, in order
+  std::vector<double> comm_after;        ///< comm cost if a split occurs after task i
+                                         ///< (size = tasks - 1; ignored at block ends only)
+  std::vector<double> processor_speed;   ///< speed of each processor, in chain order
+};
+
+struct ChainPartition {
+  /// boundaries[k] = number of tasks on processors 0..k (monotone,
+  /// boundaries.back() == tasks). Processor k runs tasks
+  /// [boundaries[k-1], boundaries[k]).
+  std::vector<std::size_t> boundaries;
+  double bottleneck = 0.0;
+};
+
+/// Cost of processor k's block [from, to) including the boundary comm paid
+/// on both sides of the block (Bokhari's model charges the link cost to the
+/// processor that sends across it; we charge each cut to both adjacent
+/// blocks' books symmetrically -- both solvers use the same convention).
+[[nodiscard]] double chain_block_cost(const ChainProblem& p, std::size_t k, std::size_t from,
+                                      std::size_t to);
+
+/// Exact minimax partition via the layered assignment graph.
+[[nodiscard]] ChainPartition chain_layered_solve(const ChainProblem& problem);
+
+/// Exact minimax partition via direct dynamic programming.
+[[nodiscard]] ChainPartition chain_dp_solve(const ChainProblem& problem);
+
+/// Brute-force over all partitions (testing oracle; exponential).
+[[nodiscard]] ChainPartition chain_bruteforce_solve(const ChainProblem& problem,
+                                                    std::size_t cap = 1u << 22);
+
+}  // namespace treesat

@@ -1,0 +1,29 @@
+#include "common/check.hpp"
+
+namespace treesat::detail {
+
+namespace {
+
+std::string compose(const char* kind, const char* file, int line, const char* expr,
+                    const std::string& message) {
+  std::ostringstream oss;
+  oss << kind << " failed at " << file << ':' << line << ": (" << expr << ")";
+  if (!message.empty()) {
+    oss << " -- " << message;
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+void throw_invalid_argument(const char* file, int line, const char* expr,
+                            const std::string& message) {
+  throw InvalidArgument(compose("precondition", file, line, expr, message));
+}
+
+void throw_logic_error(const char* file, int line, const char* expr,
+                       const std::string& message) {
+  throw LogicError(compose("invariant", file, line, expr, message));
+}
+
+}  // namespace treesat::detail

@@ -1,0 +1,67 @@
+// Lightweight contract checking for treesat.
+//
+// Two families:
+//   TS_REQUIRE(cond, msg)  -- precondition on public API input; throws
+//                             treesat::InvalidArgument. Always on.
+//   TS_CHECK(cond, msg)    -- internal invariant; throws treesat::LogicError.
+//                             Always on (the solvers are cheap relative to
+//                             the cost of a silently wrong assignment).
+//
+// Both stream-compose the message:  TS_REQUIRE(n > 0, "n must be positive, got " << n);
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace treesat {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when an internal invariant of the library is violated (a bug in
+/// treesat itself, or memory corruption by the embedding application).
+class LogicError : public std::logic_error {
+ public:
+  explicit LogicError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a solver hits a configured resource cap (e.g. the expansion
+/// cap of the coloured SSB search) and no fallback is permitted.
+class ResourceLimit : public std::runtime_error {
+ public:
+  explicit ResourceLimit(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_invalid_argument(const char* file, int line, const char* expr,
+                                         const std::string& message);
+[[noreturn]] void throw_logic_error(const char* file, int line, const char* expr,
+                                    const std::string& message);
+
+}  // namespace detail
+}  // namespace treesat
+
+#define TS_REQUIRE(cond, msg)                                                       \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::ostringstream ts_require_oss_;                                           \
+      ts_require_oss_ << msg; /* NOLINT */                                          \
+      ::treesat::detail::throw_invalid_argument(__FILE__, __LINE__, #cond,          \
+                                                ts_require_oss_.str());             \
+    }                                                                               \
+  } while (false)
+
+#define TS_CHECK(cond, msg)                                                         \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::ostringstream ts_check_oss_;                                             \
+      ts_check_oss_ << msg; /* NOLINT */                                            \
+      ::treesat::detail::throw_logic_error(__FILE__, __LINE__, #cond,               \
+                                           ts_check_oss_.str());                    \
+    }                                                                               \
+  } while (false)

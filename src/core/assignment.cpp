@@ -1,0 +1,144 @@
+#include "core/assignment.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace treesat {
+
+Assignment::Assignment(const Colouring& colouring, std::vector<CruId> cut_nodes)
+    : colouring_(&colouring) {
+  const CruTree& tree = colouring.tree();
+  // Sort by leaf span so coverage can be checked as an exact interval tiling:
+  // a cut set is valid iff it is an antichain of assignable nodes whose leaf
+  // spans tile [0, sensor_count).
+  std::sort(cut_nodes.begin(), cut_nodes.end(), [&](CruId a, CruId b) {
+    return tree.leaf_span(a).first < tree.leaf_span(b).first;
+  });
+  std::size_t expect = 0;
+  for (const CruId v : cut_nodes) {
+    TS_REQUIRE(v.valid() && v.index() < tree.size(), "Assignment: bad cut node " << v);
+    TS_REQUIRE(colouring.is_assignable(v),
+               "Assignment: node '" << tree.node(v).name
+                                    << "' is not assignable (conflict node or root)");
+    const LeafSpan span = tree.leaf_span(v);
+    TS_REQUIRE(span.first == expect,
+               "Assignment: cut nodes do not tile the sensor sequence (gap or overlap at "
+               "sensor position "
+                   << expect << ", node '" << tree.node(v).name << "')");
+    expect = span.last + 1;
+  }
+  TS_REQUIRE(expect == tree.sensor_count(),
+             "Assignment: cut covers sensors [0," << expect << ") but the tree has "
+                                                  << tree.sensor_count() << " sensors");
+
+  on_satellite_.assign(tree.size(), false);
+  for (const CruId v : cut_nodes) {
+    // Mark the whole subtree; subtrees of distinct cut nodes are disjoint.
+    std::vector<CruId> stack{v};
+    while (!stack.empty()) {
+      const CruId u = stack.back();
+      stack.pop_back();
+      on_satellite_[u.index()] = true;
+      ++satellite_node_count_;
+      for (const CruId c : tree.node(u).children) stack.push_back(c);
+    }
+  }
+  cut_nodes_ = std::move(cut_nodes);
+}
+
+Assignment Assignment::from_placements(const Colouring& colouring,
+                                       const std::vector<Placement>& placement) {
+  const CruTree& tree = colouring.tree();
+  TS_REQUIRE(placement.size() == tree.size(),
+             "from_placements: got " << placement.size() << " placements for " << tree.size()
+                                     << " nodes");
+  std::vector<CruId> cut;
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    const CruId v{i};
+    if (placement[i] != Placement::kSatellite) continue;
+    const CruId p = tree.node(v).parent;
+    const bool parent_on_host = !p.valid() || placement[p.index()] == Placement::kHost;
+    if (parent_on_host) cut.push_back(v);
+    // Monotonicity (children of satellite nodes also on satellite) is
+    // verified implicitly: the constructor requires the cut spans to tile the
+    // sensor sequence, which fails exactly when a satellite node has a
+    // host-resident descendant.
+  }
+  Assignment a(colouring, std::move(cut));
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    TS_REQUIRE((placement[i] == Placement::kSatellite) == a.on_satellite_[i],
+               "from_placements: placement vector is not a monotone cut (node '"
+                   << tree.node(CruId{i}).name << "')");
+  }
+  return a;
+}
+
+SatelliteId Assignment::satellite_of(CruId v) const {
+  if (!on_satellite_.at(v.index())) return SatelliteId{};
+  return colouring_->colour(v);
+}
+
+DelayBreakdown Assignment::delay() const {
+  const CruTree& tree = colouring_->tree();
+  DelayBreakdown d;
+  d.satellite_time.assign(tree.satellite_count(), 0.0);
+
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const CruId v{i};
+    if (!on_satellite_[i]) {
+      d.host_time += tree.node(v).host_time;
+    }
+  }
+  for (const CruId v : cut_nodes_) {
+    const SatelliteId c = colouring_->colour(v);
+    TS_CHECK(c.valid(), "delay: cut node without colour");
+    // The whole subtree below the cut executes on satellite c, then ships its
+    // (single) output frame across the uplink.
+    d.satellite_time[c.index()] += tree.subtree_sat_time(v) + tree.node(v).comm_up;
+  }
+  for (std::size_t c = 0; c < d.satellite_time.size(); ++c) {
+    if (d.satellite_time[c] > d.bottleneck) {
+      d.bottleneck = d.satellite_time[c];
+      d.bottleneck_satellite = SatelliteId{c};
+    }
+  }
+  return d;
+}
+
+Assignment Assignment::all_on_host(const Colouring& colouring) {
+  const CruTree& tree = colouring.tree();
+  std::vector<CruId> cut(tree.sensors_left_to_right().begin(),
+                         tree.sensors_left_to_right().end());
+  return Assignment(colouring, std::move(cut));
+}
+
+Assignment Assignment::topmost(const Colouring& colouring) {
+  return Assignment(colouring, colouring.region_roots());
+}
+
+std::ostream& operator<<(std::ostream& os, const Assignment& a) {
+  const CruTree& tree = a.tree();
+  os << "host={";
+  bool first = true;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (a.placement(CruId{i}) == Placement::kHost) {
+      os << (first ? "" : ",") << tree.node(CruId{i}).name;
+      first = false;
+    }
+  }
+  os << "}";
+  for (std::size_t c = 0; c < tree.satellite_count(); ++c) {
+    os << " sat" << c << "={";
+    first = true;
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      if (a.satellite_of(CruId{i}) == SatelliteId{c}) {
+        os << (first ? "" : ",") << tree.node(CruId{i}).name;
+        first = false;
+      }
+    }
+    os << "}";
+  }
+  return os;
+}
+
+}  // namespace treesat

@@ -1,0 +1,102 @@
+// Assignments of a CRU tree onto a host-satellites system, and the
+// end-to-end delay model of paper §3.
+//
+// A valid assignment is a *monotone cut*: the satellite side is a
+// downward-closed set of assignable nodes (if v runs on its satellite, so
+// does everything below v), sensors always sit on their pinned satellite,
+// the root and every conflict node sit on the host. An assignment is
+// represented canonically by its *cut set*: the set of highest
+// satellite-resident nodes (equivalently, the tree edges the paper's
+// S-T path crosses). Everything below a cut node shares its placement.
+//
+// The delay model (paper §3, "minimize the summation of maximum processing
+// time spent at the satellite (including transmission) and the processing
+// time required at host"):
+//
+//   S  = Σ h_i over host-resident CRUs
+//   T_c = Σ s_i over satellite-c CRUs + Σ comm_up(v) over cut nodes v of colour c
+//   B  = max_c T_c
+//   end_to_end = S + B          (generally  λ·S + (1−λ)·B)
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/colouring.hpp"
+#include "core/objective.hpp"
+#include "tree/cru_tree.hpp"
+
+namespace treesat {
+
+/// Where a single CRU executes.
+enum class Placement : std::uint8_t { kHost, kSatellite };
+
+/// Delay decomposition of an assignment.
+struct DelayBreakdown {
+  double host_time = 0.0;                ///< S: total processing on the host
+  std::vector<double> satellite_time;    ///< T_c per satellite (work + uplink)
+  double bottleneck = 0.0;               ///< B = max_c T_c
+  SatelliteId bottleneck_satellite;      ///< argmax (invalid if no satellite busy)
+
+  [[nodiscard]] double end_to_end() const { return host_time + bottleneck; }
+  [[nodiscard]] double objective(const SsbObjective& o) const {
+    return o.value(host_time, bottleneck);
+  }
+};
+
+/// An assignment, stored canonically as the cut set. Immutable once built.
+class Assignment {
+ public:
+  /// Builds from the cut set: the maximal satellite-resident nodes. Each must
+  /// be assignable under `colouring`, and no cut node may be an ancestor of
+  /// another. (An empty cut set = everything on the host.)
+  Assignment(const Colouring& colouring, std::vector<CruId> cut_nodes);
+
+  /// Builds from an explicit per-node placement vector; verifies monotonicity
+  /// and derives the cut set. Sensors must be kSatellite; the root kHost.
+  static Assignment from_placements(const Colouring& colouring,
+                                    const std::vector<Placement>& placement);
+
+  /// Maximal satellite-resident nodes, sorted by preorder position.
+  [[nodiscard]] const std::vector<CruId>& cut_nodes() const { return cut_nodes_; }
+
+  /// Placement of node v.
+  [[nodiscard]] Placement placement(CruId v) const {
+    return on_satellite_.at(v.index()) ? Placement::kSatellite : Placement::kHost;
+  }
+
+  /// Satellite executing v; invalid when v runs on the host.
+  [[nodiscard]] SatelliteId satellite_of(CruId v) const;
+
+  /// Number of CRUs (sensors included) on the satellite side.
+  [[nodiscard]] std::size_t satellite_node_count() const { return satellite_node_count_; }
+
+  [[nodiscard]] const Colouring& colouring() const { return *colouring_; }
+  [[nodiscard]] const CruTree& tree() const { return colouring_->tree(); }
+
+  /// Evaluates the §3 delay model.
+  [[nodiscard]] DelayBreakdown delay() const;
+
+  /// The all-on-host assignment (cuts directly above every sensor).
+  static Assignment all_on_host(const Colouring& colouring);
+
+  /// The "topmost cut": every maximal monochromatic subtree entirely on its
+  /// satellite -- the assignment with minimum possible host time (paper
+  /// §5.4's "path on the top of the assignment graph").
+  static Assignment topmost(const Colouring& colouring);
+
+  friend bool operator==(const Assignment& a, const Assignment& b) {
+    return a.cut_nodes_ == b.cut_nodes_;
+  }
+
+ private:
+  const Colouring* colouring_;
+  std::vector<CruId> cut_nodes_;
+  std::vector<bool> on_satellite_;
+  std::size_t satellite_node_count_ = 0;
+};
+
+/// Human-readable one-line summary ("host={...} sat0={...} ...").
+std::ostream& operator<<(std::ostream& os, const Assignment& a);
+
+}  // namespace treesat

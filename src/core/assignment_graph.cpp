@@ -1,0 +1,80 @@
+#include "core/assignment_graph.hpp"
+
+#include <algorithm>
+
+#include "graph/shortest_path.hpp"
+
+namespace treesat {
+
+std::vector<double> bokhari_sigma_labels(const CruTree& tree) {
+  // σ(edge above root) ≡ 0, so the leftmost edge leaving the root carries
+  // exactly h_root. Pre-order guarantees parents are labelled first.
+  std::vector<double> sigma(tree.size(), 0.0);
+  for (const CruId v : tree.preorder()) {
+    if (v == tree.root()) continue;
+    const CruId p = tree.node(v).parent;
+    const CruNode& pn = tree.node(p);
+    const bool leftmost = pn.children.front() == v;
+    sigma[v.index()] = leftmost ? sigma[p.index()] + pn.host_time : 0.0;
+  }
+  return sigma;
+}
+
+AssignmentGraph::AssignmentGraph(const Colouring& colouring) : colouring_(&colouring) {
+  const CruTree& tree = colouring.tree();
+  const std::size_t leaves = tree.sensor_count();
+  TS_REQUIRE(leaves > 0, "AssignmentGraph: tree has no sensors");
+
+  graph_ = Dwg(leaves + 1);  // gaps 0..L; 0 = S, L = T
+  edge_above_.assign(tree.size(), EdgeId{});
+  sigma_above_ = bokhari_sigma_labels(tree);
+
+  // One dual edge per assignable node v: gap(span.first) -> gap(span.last+1).
+  // Conflict edges are omitted; the root has no edge above it.
+  for (const CruId v : tree.preorder()) {
+    if (!colouring.is_assignable(v)) continue;
+    const LeafSpan span = tree.leaf_span(v);
+    const double beta = tree.subtree_sat_time(v) + tree.node(v).comm_up;
+    const Colour col = static_cast<Colour>(colouring.colour(v).value());
+    const EdgeId e = graph_.add_edge(VertexId{span.first}, VertexId{span.last + 1},
+                                     sigma_above_[v.index()], beta, col);
+    cut_node_.push_back(v);
+    TS_CHECK(cut_node_.size() == e.index() + 1, "cut_node_ out of sync with edge ids");
+    edge_above_[v.index()] = e;
+  }
+
+  TS_CHECK(is_forward_dag(graph_), "assignment graph must be a forward DAG");
+}
+
+Assignment AssignmentGraph::path_to_assignment(std::span<const EdgeId> path) const {
+  VertexId at = source();
+  std::vector<CruId> cut;
+  cut.reserve(path.size());
+  for (const EdgeId eid : path) {
+    const DwgEdge& e = graph_.edge(eid);
+    TS_REQUIRE(e.from == at, "path_to_assignment: edges do not chain at vertex " << at);
+    cut.push_back(cut_node(eid));
+    at = e.to;
+  }
+  TS_REQUIRE(at == target(), "path_to_assignment: path stops at " << at << " instead of T");
+  return Assignment(*colouring_, std::move(cut));
+}
+
+std::vector<EdgeId> AssignmentGraph::assignment_to_path(const Assignment& a) const {
+  std::vector<CruId> cut = a.cut_nodes();
+  const CruTree& tree = colouring_->tree();
+  std::sort(cut.begin(), cut.end(), [&](CruId x, CruId y) {
+    return tree.leaf_span(x).first < tree.leaf_span(y).first;
+  });
+  std::vector<EdgeId> path;
+  path.reserve(cut.size());
+  for (const CruId v : cut) {
+    const EdgeId e = edge_above_[v.index()];
+    TS_CHECK(e.valid(), "assignment_to_path: cut node '" << tree.node(v).name
+                                                         << "' has no dual edge");
+    path.push_back(e);
+  }
+  return path;
+}
+
+}  // namespace treesat

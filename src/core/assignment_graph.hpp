@@ -1,0 +1,92 @@
+// The coloured doubly weighted assignment graph (paper §5.2-§5.3, Fig 6-8).
+//
+// Bokhari's construction, reproduced combinatorially instead of
+// geometrically: close the CRU tree by merging all sensors into a dummy
+// node, insert an assignment-graph node into every face of the resulting
+// planar graph plus one on each side ("S" and "T"), and connect nodes whose
+// faces share a tree edge. Because a subtree always spans a contiguous
+// interval of the left-to-right sensor order, the faces are exactly the
+// *gaps* of that order:
+//
+//   vertex k, k = 0..L   (L = sensor count): the gap before sensor k
+//   S = vertex 0 (left outer face),  T = vertex L (right outer face)
+//
+// and the tree edge above node v, whose subtree spans sensors [a, b], is
+// crossed by the dual edge  a -> b+1. Every S-T path therefore crosses each
+// root-to-sensor branch exactly once: paths == monotone cuts == assignments.
+// Edges always point left to right, so the graph is a forward DAG, and
+// unary chains produce parallel edges (hence the multigraph).
+//
+// Labels (paper §5.3):
+//   σ(edge above v) -- Bokhari's pre-order host-cost propagation: h of the
+//     maximal all-leftmost-child ancestor chain ending at v, so that the σ
+//     sum of any S-T path equals Σ h over the host side of its cut;
+//   β(edge above v) = subtree_sat_time(v) + comm_up(v): the satellite work
+//     below the cut plus the frame transfer the cut induces (the paper's
+//     "s6+s13+c63" example);
+//   colour(edge above v) = the correspondent satellite of v.
+//
+// Edges above conflict nodes are *omitted*: their propagated colours clash
+// (paper Fig 5), the subtree cannot execute on any single satellite, and the
+// corresponding CRUs are thereby forced onto the host.
+#pragma once
+
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "core/colouring.hpp"
+#include "graph/dwg.hpp"
+
+namespace treesat {
+
+/// Bokhari's pre-order σ propagation (paper Fig 8), for every non-root tree
+/// edge, indexed by the node below the edge: σ(v) = σ(parent) + h_parent when
+/// v is the leftmost child, else 0. The σ sum over any monotone cut equals
+/// the host time above the cut. Shared by the coloured assignment graph and
+/// the unconstrained Bokhari baseline.
+[[nodiscard]] std::vector<double> bokhari_sigma_labels(const CruTree& tree);
+
+class AssignmentGraph {
+ public:
+  /// Builds the coloured assignment graph of `colouring`'s tree. The graph
+  /// holds a reference: the colouring must outlive it (temporaries are
+  /// rejected).
+  explicit AssignmentGraph(const Colouring& colouring);
+  explicit AssignmentGraph(Colouring&&) = delete;
+
+  [[nodiscard]] const Dwg& graph() const { return graph_; }
+  [[nodiscard]] VertexId source() const { return VertexId{0u}; }
+  [[nodiscard]] VertexId target() const {
+    return VertexId{colouring_->tree().sensor_count()};
+  }
+
+  /// The tree node v whose "edge above" the dual edge crosses.
+  [[nodiscard]] CruId cut_node(EdgeId e) const { return cut_node_.at(e.index()); }
+
+  /// The dual edge crossing the tree edge above v; invalid for the root and
+  /// for conflict nodes (their edges are not in the graph).
+  [[nodiscard]] EdgeId edge_above(CruId v) const { return edge_above_.at(v.index()); }
+
+  /// σ label of the tree edge above v (defined for every non-root node,
+  /// including conflict nodes, per Fig 8 -- even though conflict edges do not
+  /// enter the graph).
+  [[nodiscard]] double sigma_above(CruId v) const { return sigma_above_.at(v.index()); }
+
+  /// Converts an S-T path (edge ids of graph()) into the assignment it
+  /// represents. Throws if the edges do not form an S-T path.
+  [[nodiscard]] Assignment path_to_assignment(std::span<const EdgeId> path) const;
+
+  /// Converts an assignment into its S-T path, left to right.
+  [[nodiscard]] std::vector<EdgeId> assignment_to_path(const Assignment& a) const;
+
+  [[nodiscard]] const Colouring& colouring() const { return *colouring_; }
+
+ private:
+  const Colouring* colouring_;
+  Dwg graph_;
+  std::vector<CruId> cut_node_;     // per graph edge
+  std::vector<EdgeId> edge_above_;  // per tree node
+  std::vector<double> sigma_above_; // per tree node
+};
+
+}  // namespace treesat

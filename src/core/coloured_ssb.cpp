@@ -1,0 +1,486 @@
+#include "core/coloured_ssb.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pareto_dp.hpp"
+#include "graph/path_enumeration.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace treesat {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One colour region: the sub-DAG spanned by a maximal monochromatic subtree.
+struct Region {
+  CruId root;
+  Colour colour = kUncoloured;
+  VertexId entry;  ///< face left of the subtree's leaf span
+  VertexId exit;   ///< face right of it
+  std::vector<EdgeId> base_edges;  ///< working-graph ids of its original edges
+  bool expanded = false;
+  bool unexpandable = false;  ///< path count exceeded the cap
+};
+
+/// Mutable search state: the working graph (base edges + appended
+/// composites), the alive mask, and the member mapping back to base edges.
+struct Working {
+  Dwg graph;
+  EdgeMask mask;
+  std::vector<std::vector<EdgeId>> members;  ///< per working edge: base edge ids, in order
+
+  explicit Working(const Dwg& base) : graph(base), mask(base.full_mask()) {
+    members.reserve(base.edge_count());
+    for (std::size_t e = 0; e < base.edge_count(); ++e) {
+      members.push_back({EdgeId{e}});
+    }
+  }
+
+  /// Appends a composite edge and keeps the mask sized to the graph.
+  void add_composite(VertexId u, VertexId v, double sigma, double beta, Colour colour,
+                     std::vector<EdgeId> member_edges) {
+    const EdgeId id = graph.add_edge(u, v, sigma, beta, colour);
+    members.push_back(std::move(member_edges));
+    mask.grow(graph.edge_count());
+    TS_CHECK(mask.alive(id), "freshly added composite must be alive");
+  }
+
+  /// Flattens a working-graph path to base-graph edge ids, left to right.
+  [[nodiscard]] std::vector<EdgeId> to_base_path(std::span<const EdgeId> path) const {
+    std::vector<EdgeId> base;
+    for (const EdgeId e : path) {
+      const auto& m = members.at(e.index());
+      base.insert(base.end(), m.begin(), m.end());
+    }
+    return base;
+  }
+};
+
+/// Builds the region table from the colouring.
+std::vector<Region> build_regions(const AssignmentGraph& ag, const Working& w) {
+  const Colouring& col = ag.colouring();
+  const CruTree& tree = col.tree();
+  std::vector<Region> regions;
+  std::unordered_map<std::uint32_t, std::size_t> by_root;  // region root -> index
+  for (const CruId r : col.region_roots()) {
+    Region reg;
+    reg.root = r;
+    reg.colour = static_cast<Colour>(col.colour(r).value());
+    const LeafSpan span = tree.leaf_span(r);
+    reg.entry = VertexId{span.first};
+    reg.exit = VertexId{span.last + 1};
+    by_root.emplace(r.value(), regions.size());
+    regions.push_back(std::move(reg));
+  }
+  // Assign every base edge to the region of the maximal subtree containing
+  // its cut node (walk up to the highest assignable ancestor).
+  for (std::size_t e = 0; e < w.graph.edge_count(); ++e) {
+    CruId v = ag.cut_node(EdgeId{e});
+    CruId top = v;
+    while (true) {
+      const CruId p = tree.node(top).parent;
+      if (!p.valid() || !col.is_assignable(p)) break;
+      top = p;
+    }
+    const auto it = by_root.find(top.value());
+    TS_CHECK(it != by_root.end(), "edge above '" << tree.node(v).name
+                                                 << "' belongs to no colour region");
+    regions[it->second].base_edges.push_back(EdgeId{e});
+  }
+  return regions;
+}
+
+/// Expands one region into composite edges (paper Fig 9): one composite per
+/// entry->exit path using only the region's alive base edges. Returns false
+/// (leaving the region untouched) when the path count exceeds the cap.
+bool expand_region(Working& w, Region& region, std::size_t cap, ColouredSsbStats& stats) {
+  if (region.expanded || region.unexpandable) return false;
+
+  // Mask with only the region's alive edges.
+  std::vector<bool> in_region(w.graph.edge_count(), false);
+  for (const EdgeId e : region.base_edges) in_region[e.index()] = true;
+  EdgeMask region_mask(w.graph.edge_count());
+  for (std::size_t e = 0; e < w.graph.edge_count(); ++e) {
+    const EdgeId eid{e};
+    if (!in_region[e] || !w.mask.alive(eid)) region_mask.kill(eid);
+  }
+
+  if (count_simple_paths(w.graph, region.entry, region.exit, region_mask, cap) >= cap) {
+    region.unexpandable = true;
+    return false;
+  }
+
+  struct Composite {
+    double sigma = 0.0;
+    double beta = 0.0;
+    std::vector<EdgeId> base;
+  };
+  std::vector<Composite> composites;
+  for_each_simple_path(w.graph, region.entry, region.exit, region_mask, cap,
+                       [&](std::span<const EdgeId> path) {
+                         Composite c;
+                         for (const EdgeId e : path) {
+                           c.sigma += w.graph.edge(e).sigma;
+                           c.beta += w.graph.edge(e).beta;
+                         }
+                         c.base = w.to_base_path(path);
+                         composites.push_back(std::move(c));
+                       });
+
+  // Retire the originals, then materialize the composites.
+  for (const EdgeId e : region.base_edges) w.mask.kill(e);
+  for (Composite& c : composites) {
+    w.add_composite(region.entry, region.exit, c.sigma, c.beta, region.colour,
+                    std::move(c.base));
+  }
+  stats.composite_edges += composites.size();
+  ++stats.regions_expanded;
+  region.expanded = true;
+  return true;
+}
+
+/// Exact fallback over the alive DAG: Pareto label-setting with per-vertex
+/// dimension reduction.
+///
+/// A label at face vertex v records (sigma-sum, b_done, open colour sums):
+///   * b_done folds everything whose bottleneck contribution is already
+///     final at v -- uncoloured betas (max) and the total sums of colours
+///     whose last region ends at or before v;
+///   * a colour is *open* at v only when its regions straddle v
+///     (first region entry < v < last region exit); only those sums can
+///     still grow and therefore matter for dominance.
+/// All components grow monotonically along a path and the objective is
+/// monotone in each, so component-wise dominated labels at a vertex are
+/// discarded. Labels are also dropped against the incumbent via
+///   lambda_S*(sigma + min-sigma-to-T)
+///     + lambda_B*max(b_done, max_open(sum_c + min-beta_c-to-T)).
+/// Most vertices have 0-2 open colours, which keeps buckets tiny; this is
+/// what makes the fallback practical on the multi-region-colour instances
+/// where the paper's expansion cannot restore progress.
+/// Returns the best path strictly beating `upper_bound`, or nullopt.
+/// `nodes` counts labels created (the work measure reported in stats).
+std::optional<Path> fallback_search(const Working& w, VertexId s, VertexId t,
+                                    const SsbObjective& obj, double upper_bound,
+                                    std::size_t node_cap, std::size_t& nodes) {
+  const std::size_t vcount = w.graph.vertex_count();
+  const std::size_t colours = w.graph.colour_count();
+
+  // min sigma distance to t per vertex (DAG, backwards sweep).
+  std::vector<double> to_t(vcount, kInf);
+  to_t[t.index()] = 0.0;
+  for (std::size_t v = t.index() + 1; v-- > 0;) {
+    for (const EdgeId eid : w.graph.out_edges(VertexId{v})) {
+      if (!w.mask.alive(eid)) continue;
+      const DwgEdge& e = w.graph.edge(eid);
+      to_t[v] = std::min(to_t[v], e.sigma + to_t[e.to.index()]);
+    }
+  }
+  // Per colour: minimum additional beta on any v -> t continuation, and the
+  // open interval (first entry, last exit) of its edges.
+  std::vector<std::vector<double>> min_beta(colours, std::vector<double>(vcount, kInf));
+  std::vector<std::size_t> first_entry(colours, vcount);
+  std::vector<std::size_t> last_exit(colours, 0);
+  for (const DwgEdge& e : w.graph.edges()) {
+    if (e.colour == kUncoloured) continue;
+    const auto c = static_cast<std::size_t>(e.colour);
+    first_entry[c] = std::min(first_entry[c], e.from.index());
+    last_exit[c] = std::max(last_exit[c], e.to.index());
+  }
+  for (std::size_t c = 0; c < colours; ++c) {
+    auto& mb = min_beta[c];
+    mb[t.index()] = 0.0;
+    for (std::size_t v = t.index() + 1; v-- > 0;) {
+      for (const EdgeId eid : w.graph.out_edges(VertexId{v})) {
+        if (!w.mask.alive(eid)) continue;
+        const DwgEdge& e = w.graph.edge(eid);
+        if (mb[e.to.index()] == kInf) continue;
+        const double contribution = e.colour == static_cast<Colour>(c) ? e.beta : 0.0;
+        mb[v] = std::min(mb[v], contribution + mb[e.to.index()]);
+      }
+    }
+  }
+
+  // Open-colour layout per vertex: open(c, v) iff first_entry < v < last_exit.
+  // slot[v * colours + c] = dimension index of colour c at vertex v, or -1.
+  std::vector<std::vector<std::size_t>> open_at(vcount);
+  std::vector<int> slot(vcount * colours, -1);
+  for (std::size_t v = 0; v < vcount; ++v) {
+    for (std::size_t c = 0; c < colours; ++c) {
+      if (first_entry[c] < v && v < last_exit[c]) {
+        slot[v * colours + c] = static_cast<int>(open_at[v].size());
+        open_at[v].push_back(c);
+      }
+    }
+  }
+
+  // Per-vertex label storage: cost stride = 2 + open colours (sigma, b_done,
+  // open sums). Parent pointers live beside the costs.
+  struct Bucket {
+    std::vector<double> cost;
+    std::vector<EdgeId> via_edge;
+    std::vector<std::uint32_t> via_parent;  // label index at via_edge.from
+    [[nodiscard]] std::size_t size(std::size_t stride) const { return cost.size() / stride; }
+  };
+  std::vector<Bucket> buckets(vcount);
+  const auto stride_of = [&](std::size_t v) { return 2 + open_at[v].size(); };
+
+  buckets[s.index()].cost.assign(stride_of(s.index()), 0.0);
+  buckets[s.index()].via_edge.push_back(EdgeId{});
+  buckets[s.index()].via_parent.push_back(0);
+  nodes = 1;
+
+  double best = upper_bound;
+  bool found = false;
+  std::uint32_t best_label = 0;
+
+  std::vector<double> cand;  // scratch for one extended label
+  for (std::size_t v = s.index(); v <= t.index(); ++v) {
+    Bucket& from = buckets[v];
+    const std::size_t from_stride = stride_of(v);
+    const std::size_t label_count = from.size(from_stride);
+    if (v == t.index()) {
+      for (std::size_t label = 0; label < label_count; ++label) {
+        // At T no colour is open: b_done is the full bottleneck.
+        const double value =
+            obj.value(from.cost[label * from_stride], from.cost[label * from_stride + 1]);
+        if (value < best) {
+          best = value;
+          best_label = static_cast<std::uint32_t>(label);
+          found = true;
+        }
+      }
+      break;
+    }
+    for (const EdgeId eid : w.graph.out_edges(VertexId{v})) {
+      if (!w.mask.alive(eid)) continue;
+      const DwgEdge& e = w.graph.edge(eid);
+      const std::size_t to = e.to.index();
+      if (to_t[to] == kInf) continue;
+      const std::size_t to_stride = stride_of(to);
+
+      for (std::size_t label = 0; label < label_count; ++label) {
+        const double* lc = &from.cost[label * from_stride];
+        cand.assign(to_stride, 0.0);
+        cand[0] = lc[0] + e.sigma;
+        double b_done = lc[1];
+
+        // Carry / fold the colours open at v.
+        for (std::size_t k = 0; k < open_at[v].size(); ++k) {
+          const std::size_t c = open_at[v][k];
+          double sum = lc[2 + k];
+          if (e.colour == static_cast<Colour>(c)) sum += e.beta;
+          const int target = slot[to * colours + c];
+          if (target >= 0) {
+            cand[2 + static_cast<std::size_t>(target)] = sum;
+          } else {
+            b_done = std::max(b_done, sum);  // colour finished before `to`
+          }
+        }
+        // The edge's own colour, when it was not yet open at v.
+        if (e.colour == kUncoloured) {
+          b_done = std::max(b_done, e.beta);
+        } else {
+          const auto c = static_cast<std::size_t>(e.colour);
+          if (slot[v * colours + c] < 0) {
+            const int target = slot[to * colours + c];
+            if (target >= 0) {
+              cand[2 + static_cast<std::size_t>(target)] += e.beta;
+            } else {
+              b_done = std::max(b_done, e.beta);
+            }
+          }
+        }
+        cand[1] = b_done;
+
+        // Incumbent bound with per-colour futures.
+        double b_floor = b_done;
+        for (std::size_t k = 0; k < open_at[to].size(); ++k) {
+          const double future = min_beta[open_at[to][k]][to];
+          if (future != kInf) b_floor = std::max(b_floor, cand[2 + k] + future);
+        }
+        const double bound = obj.s_coeff * (cand[0] + to_t[to]) + obj.b_coeff * b_floor;
+        if (bound >= best) continue;
+
+        // Dominance both ways against the target bucket.
+        Bucket& into = buckets[to];
+        const std::size_t existing = into.size(to_stride);
+        bool dominated = false;
+        for (std::size_t other = 0; other < existing && !dominated; ++other) {
+          const double* oc = &into.cost[other * to_stride];
+          dominated = true;
+          for (std::size_t k = 0; k < to_stride; ++k) {
+            if (oc[k] > cand[k] + 1e-12) {
+              dominated = false;
+              break;
+            }
+          }
+        }
+        if (dominated) continue;
+        std::size_t kept = 0;
+        for (std::size_t other = 0; other < into.size(to_stride); ++other) {
+          const double* oc = &into.cost[other * to_stride];
+          bool beats = true;
+          for (std::size_t k = 0; k < to_stride; ++k) {
+            if (cand[k] > oc[k] + 1e-12) {
+              beats = false;
+              break;
+            }
+          }
+          if (beats) continue;  // drop `other`
+          if (kept != other) {
+            std::copy(oc, oc + to_stride, &into.cost[kept * to_stride]);
+            into.via_edge[kept] = into.via_edge[other];
+            into.via_parent[kept] = into.via_parent[other];
+          }
+          ++kept;
+        }
+        into.cost.resize(kept * to_stride);
+        into.via_edge.resize(kept);
+        into.via_parent.resize(kept);
+
+        into.cost.insert(into.cost.end(), cand.begin(), cand.end());
+        into.via_edge.push_back(eid);
+        into.via_parent.push_back(static_cast<std::uint32_t>(label));
+        if (++nodes > node_cap) {
+          throw ResourceLimit("coloured SSB fallback exceeded its label cap");
+        }
+      }
+    }
+  }
+
+  if (!found) return std::nullopt;  // nothing beat the incumbent
+  std::vector<EdgeId> edges;
+  std::size_t at_vertex = t.index();
+  std::uint32_t label = best_label;
+  while (buckets[at_vertex].via_edge[label].valid()) {
+    const EdgeId eid = buckets[at_vertex].via_edge[label];
+    edges.push_back(eid);
+    const std::uint32_t parent = buckets[at_vertex].via_parent[label];
+    at_vertex = w.graph.edge(eid).from.index();
+    label = parent;
+  }
+  std::reverse(edges.begin(), edges.end());
+  return make_path(w.graph, std::move(edges), s, t, /*coloured=*/true);
+}
+
+}  // namespace
+
+ColouredSsbResult coloured_ssb_solve(const AssignmentGraph& ag,
+                                     const ColouredSsbOptions& options) {
+  TS_REQUIRE(options.objective.valid(), "coloured_ssb_solve: bad objective");
+  const VertexId s = ag.source();
+  const VertexId t = ag.target();
+
+  Working w(ag.graph());
+  ColouredSsbStats stats;
+  std::vector<Region> regions = build_regions(ag, w);
+
+  if (options.eager_expansion) {
+    for (Region& r : regions) {
+      expand_region(w, r, options.expansion_cap_per_region, stats);
+    }
+  }
+
+  double ssb_can = kInf;
+  std::optional<std::vector<EdgeId>> best_base;  // base-graph path of the candidate
+
+  const auto remember = [&](const Path& p) {
+    const double value = options.objective.value(p.s_weight, p.b_weight);
+    if (value < ssb_can) {
+      ssb_can = value;
+      best_base = w.to_base_path(p.edges);
+    }
+  };
+
+  bool fallback_needed = false;
+  // Iteration cap: each non-stalled round kills >= 1 edge, and each stall
+  // expands >= 1 region; both are finite.
+  const std::size_t cap = 4 * (ag.graph().edge_count() + regions.size() + 4) +
+                          4 * options.expansion_cap_per_region;
+  while (true) {
+    if (stats.iterations >= cap) {
+      // Only reachable through pathological expansion churn; the fallback is
+      // exact, so degrade to it rather than failing.
+      fallback_needed = true;
+      break;
+    }
+    ++stats.iterations;
+
+    std::optional<Path> p = min_sum_path_dag(w.graph, s, t, w.mask, /*coloured=*/true);
+    if (!p) break;  // disconnected: candidate optimal
+    if (options.objective.s_coeff * p->s_weight >= ssb_can) break;
+    remember(*p);
+
+    const double threshold = p->b_weight;
+    std::size_t killed = 0;
+    for (std::size_t e = 0; e < w.graph.edge_count(); ++e) {
+      const EdgeId eid{e};
+      if (w.mask.alive(eid) && w.graph.edge(eid).beta >= threshold) {
+        w.mask.kill(eid);
+        ++killed;
+      }
+    }
+    stats.edges_eliminated += killed;
+    if (killed > 0) continue;
+
+    // Stall: B(P_i) is a multi-edge colour sum (paper Fig 9's situation).
+    stats.stalled = true;
+    // Expand the unexpanded regions of the colours achieving the bottleneck,
+    // preferring those actually traversed by P_i.
+    std::unordered_map<Colour, double> sums;
+    for (const EdgeId e : p->edges) {
+      const DwgEdge& de = w.graph.edge(e);
+      if (de.colour != kUncoloured) sums[de.colour] += de.beta;
+    }
+    bool expanded_any = false;
+    for (Region& r : regions) {
+      const auto it = sums.find(r.colour);
+      if (it == sums.end() || it->second < threshold) continue;
+      if (expand_region(w, r, options.expansion_cap_per_region, stats)) {
+        expanded_any = true;
+      }
+    }
+    if (!expanded_any) {
+      // Nothing left to expand for the bottleneck colour (multi-region
+      // colour or capped region): the iteration cannot make progress.
+      fallback_needed = true;
+      break;
+    }
+  }
+
+  if (fallback_needed) {
+    stats.used_fallback = true;
+    try {
+      std::optional<Path> p = fallback_search(w, s, t, options.objective, ssb_can,
+                                              options.fallback_node_cap,
+                                              stats.fallback_nodes);
+      if (p) remember(*p);
+    } catch (const ResourceLimit&) {
+      if (!options.delegate_on_cap) throw;
+      // The path formulation is the wrong tool for this instance (label
+      // sets explode when many colours stay open across the whole face
+      // range); the Pareto DP solves the same objective exactly.
+      stats.delegated_to_dp = true;
+      ParetoDpOptions dp_options;
+      dp_options.objective = options.objective;
+      const ParetoDpResult dp = pareto_dp_solve(ag.colouring(), dp_options);
+      const std::vector<EdgeId> path = ag.assignment_to_path(dp.assignment);
+      remember(make_path(ag.graph(), path, s, t, /*coloured=*/true));
+    }
+  }
+
+  stats.expanded_edge_count = w.mask.alive_count();
+  TS_CHECK(best_base.has_value(),
+           "coloured SSB found no assignment; the all-on-host cut always exists");
+
+  Assignment assignment = ag.path_to_assignment(*best_base);
+  DelayBreakdown delay = assignment.delay();
+  ColouredSsbResult result{std::move(assignment), std::move(delay), ssb_can, stats};
+  return result;
+}
+
+}  // namespace treesat

@@ -1,0 +1,81 @@
+// The adapted coloured SSB search (paper §5.4, Figs 9-10): the paper's main
+// algorithm, computing the minimum end-to-end-delay assignment of a CRU tree
+// onto a host-satellites system.
+//
+// The search runs the §4.2 SSB iteration on the coloured assignment graph,
+// where B(P) is the maximum *per-colour sum* of β. Eliminating edges with
+// β(e) >= B(P_i) remains safe (any path through e has a per-colour sum, and
+// hence a B, of at least β(e)); what breaks is *progress*: when B(P_i) is
+// contributed by several same-coloured edges, no single edge need reach the
+// threshold. The paper's remedy is the *expansion* step (Fig 9): a colour
+// region -- the sub-DAG between the faces flanking one maximal monochromatic
+// subtree -- is replaced by composite edges, one per path through the
+// region, each carrying the summed σ and β of its members. A composite of
+// the bottleneck colour then does reach B(P_i) and elimination proceeds;
+// the expanded graph is exactly the E' of the paper's O(|E'|) claim.
+//
+// Going beyond the paper (which assumes expansion is always affordable):
+// the number of composites equals the number of monotone cuts of the
+// subtree, which can grow exponentially, so each region expansion is capped
+// (`expansion_cap_per_region`). If the search stalls and every stalled
+// region is unexpandable -- or the same colour recurs in several disjoint
+// regions whose composites individually stay below the threshold -- the
+// search falls back to branch-and-bound enumeration over the remaining
+// alive DAG, pruned by the monotone prefix bound
+//   λ_S·(S_prefix + min-σ-to-T) + λ_B·B_prefix >= SSB_can.
+// The fallback is exact; `stats.used_fallback` reports it so experiment E5
+// can measure how often the paper's assumption holds.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/assignment_graph.hpp"
+#include "core/objective.hpp"
+
+namespace treesat {
+
+struct ColouredSsbOptions {
+  SsbObjective objective = SsbObjective::end_to_end();
+  /// Max composite edges when expanding one colour region; a region whose
+  /// path count exceeds this stays unexpanded (the fallback covers it).
+  std::size_t expansion_cap_per_region = 65536;
+  /// Max labels for the Pareto label-setting fallback. On adversarial
+  /// instances (many satellites, scattered pinning) the label sets grow
+  /// combinatorially and per-label dominance checks are linear in the
+  /// bucket, so the cap bounds *quadratic* work -- keep it modest.
+  std::size_t fallback_node_cap = std::size_t{1} << 17;
+  /// What to do when the fallback cap is hit: true (default) completes the
+  /// solve exactly with the Pareto DP (core/pareto_dp.hpp) and flags it in
+  /// stats.delegated_to_dp; false propagates ResourceLimit to the caller.
+  bool delegate_on_cap = true;
+  /// Expand regions eagerly up front instead of on stall. Mirrors the
+  /// paper's presentation (expansion before elimination); the lazy default
+  /// only pays for expansion when a stall actually occurs.
+  bool eager_expansion = false;
+};
+
+struct ColouredSsbStats {
+  std::size_t iterations = 0;          ///< SSB iterations (shortest-path rounds)
+  std::size_t edges_eliminated = 0;
+  std::size_t regions_expanded = 0;
+  std::size_t composite_edges = 0;     ///< composites materialized in total
+  std::size_t expanded_edge_count = 0; ///< |E'|: live edges after all expansions
+  std::size_t fallback_nodes = 0;      ///< labels created by the fallback
+  bool used_fallback = false;
+  bool stalled = false;                ///< a stall occurred (expansion or fallback engaged)
+  bool delegated_to_dp = false;        ///< fallback cap hit; finished via Pareto DP
+};
+
+struct ColouredSsbResult {
+  Assignment assignment;
+  DelayBreakdown delay;
+  double ssb_weight = 0.0;  ///< objective value (== delay.end_to_end() for S+B)
+  ColouredSsbStats stats;
+};
+
+/// Solves for the SSB-optimal assignment of `ag`'s tree.
+[[nodiscard]] ColouredSsbResult coloured_ssb_solve(const AssignmentGraph& ag,
+                                                   const ColouredSsbOptions& options = {});
+
+}  // namespace treesat

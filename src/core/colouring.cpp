@@ -1,0 +1,74 @@
+#include "core/colouring.hpp"
+
+#include <algorithm>
+
+namespace treesat {
+
+Colouring::Colouring(const CruTree& tree) : tree_(&tree) {
+  colour_.assign(tree.size(), SatelliteId{});
+
+  // Bottom-up propagation (postorder guarantees children first).
+  for (const CruId v : tree.postorder()) {
+    const CruNode& nd = tree.node(v);
+    if (nd.is_sensor()) {
+      colour_[v.index()] = nd.satellite;
+      continue;
+    }
+    SatelliteId common;
+    bool clash = false;
+    for (const CruId c : nd.children) {
+      const SatelliteId cc = colour_[c.index()];
+      if (!cc.valid()) {  // conflicting child poisons the parent
+        clash = true;
+        break;
+      }
+      if (!common.valid()) {
+        common = cc;
+      } else if (common != cc) {
+        clash = true;
+        break;
+      }
+    }
+    colour_[v.index()] = clash ? SatelliteId{} : common;
+  }
+
+  // Region roots: assignable nodes whose parent is not assignable. The root
+  // is never assignable, so every assignable node has a parent to test.
+  for (const CruId v : tree.preorder()) {
+    if (!is_assignable(v)) continue;
+    const CruId p = tree.node(v).parent;
+    const bool parent_assignable = p.valid() && is_assignable(p);
+    if (!parent_assignable) region_roots_.push_back(v);
+  }
+
+  for (const CruId v : tree.preorder()) {
+    const bool host_only = v == tree.root() || is_conflict(v);
+    if (host_only) forced_host_time_ += tree.node(v).host_time;
+  }
+}
+
+bool Colouring::is_assignable(CruId v) const {
+  if (v == tree_->root()) return false;
+  return colour_.at(v.index()).valid();
+}
+
+std::vector<CruId> Colouring::regions_of(SatelliteId colour) const {
+  std::vector<CruId> out;
+  for (const CruId r : region_roots_) {
+    if (colour_[r.index()] == colour) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(), [&](CruId a, CruId b) {
+    return tree_->leaf_span(a).first < tree_->leaf_span(b).first;
+  });
+  return out;
+}
+
+std::vector<CruId> Colouring::conflict_nodes() const {
+  std::vector<CruId> out;
+  for (std::size_t i = 0; i < tree_->size(); ++i) {
+    if (is_conflict(CruId{i})) out.push_back(CruId{i});
+  }
+  return out;
+}
+
+}  // namespace treesat

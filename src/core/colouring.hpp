@@ -1,0 +1,66 @@
+// The colouring scheme (paper §5.1, Fig 5).
+//
+// Each satellite gets a distinguishable colour; the colour of each sensor's
+// pinned satellite is propagated from the leaves towards the root. A node
+// whose children's colours agree inherits that colour -- it is *assignable*:
+// it may execute either on the host or on that (its *correspondent*)
+// satellite. A node whose subtree reaches sensors on two or more satellites
+// is a *conflict* node: it must consume context from multiple satellites and
+// can only execute on the host (the paper's CRU1/CRU2/CRU3).
+//
+// The colour of a tree edge <parent, v> is the colour of v (the side that
+// would end up on a satellite if the edge were cut); conflict nodes' edges
+// are uncolourable and can never be cut.
+#pragma once
+
+#include <vector>
+
+#include "tree/cru_tree.hpp"
+
+namespace treesat {
+
+class Colouring {
+ public:
+  /// Propagates colours bottom-up over `tree`. O(n). The colouring holds a
+  /// reference: the tree must outlive it (temporaries are rejected).
+  explicit Colouring(const CruTree& tree);
+  explicit Colouring(CruTree&&) = delete;
+
+  /// The correspondent satellite of v; invalid for conflict nodes.
+  [[nodiscard]] SatelliteId colour(CruId v) const { return colour_.at(v.index()); }
+
+  /// True when v's subtree spans sensors of >= 2 satellites (v is host-only).
+  [[nodiscard]] bool is_conflict(CruId v) const { return !colour_.at(v.index()).valid(); }
+
+  /// True when v may be placed on a satellite: v is monochromatic and is not
+  /// the root (the root always runs on the host).
+  [[nodiscard]] bool is_assignable(CruId v) const;
+
+  /// Roots of the maximal monochromatic subtrees (the highest assignable
+  /// nodes): every assignable node lies in exactly one such subtree. These
+  /// are the "colour regions" that the coloured SSB search expands (Fig 9)
+  /// and the Pareto DP processes independently.
+  [[nodiscard]] const std::vector<CruId>& region_roots() const { return region_roots_; }
+
+  /// Region roots of one colour, in left-to-right (leaf-span) order.
+  [[nodiscard]] std::vector<CruId> regions_of(SatelliteId colour) const;
+
+  /// All conflict nodes (always includes the root unless the whole tree is
+  /// monochromatic below it -- the root itself is reported according to its
+  /// propagated colour, not its forced host placement).
+  [[nodiscard]] std::vector<CruId> conflict_nodes() const;
+
+  /// Σ h over the nodes that can never leave the host: the root plus every
+  /// conflict node. This is the S-floor of any assignment.
+  [[nodiscard]] double forced_host_time() const { return forced_host_time_; }
+
+  [[nodiscard]] const CruTree& tree() const { return *tree_; }
+
+ private:
+  const CruTree* tree_;
+  std::vector<SatelliteId> colour_;
+  std::vector<CruId> region_roots_;
+  double forced_host_time_ = 0.0;
+};
+
+}  // namespace treesat

@@ -1,0 +1,117 @@
+#include "core/exhaustive.hpp"
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace treesat {
+
+namespace {
+
+/// Preorder positions and subtree extents, so "skip this subtree" is a jump.
+struct PreorderIndex {
+  std::vector<CruId> order;           // preorder position -> node
+  std::vector<std::size_t> subtree;   // node -> subtree node count
+
+  explicit PreorderIndex(const CruTree& tree)
+      : order(tree.preorder().begin(), tree.preorder().end()), subtree(tree.size(), 1) {
+    for (const CruId v : tree.postorder()) {
+      for (const CruId c : tree.node(v).children) {
+        subtree[v.index()] += subtree[c.index()];
+      }
+    }
+  }
+};
+
+struct Enumerator {
+  const Colouring& colouring;
+  const CruTree& tree;
+  const PreorderIndex& index;
+  std::size_t cap;
+  const std::function<void(const Assignment&)>& visit;
+  std::vector<CruId> cut;
+  std::size_t emitted = 0;
+
+  // Decides nodes in preorder. At each assignable node: either cut here
+  // (skipping its subtree) or leave it on the host and descend. Sensors
+  // cannot stay on the host, so they always cut.
+  void run(std::size_t pos) {
+    if (pos == index.order.size()) {
+      if (emitted == cap) {
+        throw ResourceLimit("for_each_assignment: assignment count exceeds cap");
+      }
+      ++emitted;
+      visit(Assignment(colouring, cut));
+      return;
+    }
+    const CruId v = index.order[pos];
+    if (colouring.is_assignable(v)) {
+      cut.push_back(v);
+      run(pos + index.subtree[v.index()]);  // cut: subtree decided wholesale
+      cut.pop_back();
+      if (tree.node(v).is_sensor()) return;  // sensors have no host option
+    }
+    run(pos + 1);  // v on the host; children decided next
+  }
+};
+
+}  // namespace
+
+void for_each_assignment(const Colouring& colouring, std::size_t cap,
+                         const std::function<void(const Assignment&)>& visit) {
+  const CruTree& tree = colouring.tree();
+  const PreorderIndex index(tree);
+  Enumerator en{colouring, tree, index, cap, visit, {}, 0};
+  en.run(0);
+}
+
+std::size_t count_assignments(const Colouring& colouring, std::size_t cap) {
+  const CruTree& tree = colouring.tree();
+  // ways(v) = [v assignable] + Π ways(children), except sensors (exactly 1).
+  std::vector<std::size_t> ways(tree.size(), 1);
+  for (const CruId v : tree.postorder()) {
+    const CruNode& nd = tree.node(v);
+    if (nd.is_sensor()) {
+      ways[v.index()] = 1;
+      continue;
+    }
+    std::size_t product = 1;
+    for (const CruId c : nd.children) {
+      const std::size_t w = ways[c.index()];
+      if (product > cap / std::max<std::size_t>(w, 1)) {
+        product = cap;
+        break;
+      }
+      product *= w;
+    }
+    std::size_t total = product;
+    if (colouring.is_assignable(v)) {
+      total = (total >= cap - 1) ? cap : total + 1;
+    }
+    ways[v.index()] = std::min(total, cap);
+  }
+  return ways[tree.root().index()];
+}
+
+ExhaustiveResult exhaustive_solve(const Colouring& colouring, const SsbObjective& objective,
+                                  std::size_t cap) {
+  TS_REQUIRE(objective.valid(), "exhaustive_solve: bad objective");
+  std::optional<Assignment> best;
+  DelayBreakdown best_delay;
+  double best_value = std::numeric_limits<double>::infinity();
+  std::size_t count = 0;
+  for_each_assignment(colouring, cap, [&](const Assignment& a) {
+    ++count;
+    const DelayBreakdown d = a.delay();
+    const double value = d.objective(objective);
+    if (value < best_value) {
+      best_value = value;
+      best = a;
+      best_delay = d;
+    }
+  });
+  TS_CHECK(best.has_value(), "exhaustive_solve: no valid assignment (impossible)");
+  return ExhaustiveResult{std::move(*best), std::move(best_delay), best_value, count};
+}
+
+}  // namespace treesat

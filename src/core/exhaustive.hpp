@@ -1,0 +1,40 @@
+// Exhaustive assignment enumeration -- the ground-truth oracle.
+//
+// Enumerates every monotone cut of the CRU tree (every valid assignment,
+// §3) and evaluates the delay model directly, without going through the
+// assignment graph at all. Exponential, so only usable on small instances,
+// but it shares no code path with the SSB machinery, which makes it the
+// independent witness the property suites compare every other solver
+// against.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/assignment.hpp"
+#include "core/objective.hpp"
+
+namespace treesat {
+
+struct ExhaustiveResult {
+  Assignment assignment;
+  DelayBreakdown delay;
+  double objective = 0.0;
+  std::size_t assignments_enumerated = 0;
+};
+
+/// Calls `visit` for every valid assignment. Throws ResourceLimit when the
+/// count would exceed `cap`.
+void for_each_assignment(const Colouring& colouring, std::size_t cap,
+                         const std::function<void(const Assignment&)>& visit);
+
+/// Number of valid assignments, saturated at `cap`.
+[[nodiscard]] std::size_t count_assignments(const Colouring& colouring, std::size_t cap);
+
+/// The assignment minimizing `objective` by brute force. Deterministic tie
+/// break: the first optimum in enumeration order wins.
+[[nodiscard]] ExhaustiveResult exhaustive_solve(const Colouring& colouring,
+                                                const SsbObjective& objective,
+                                                std::size_t cap = 1u << 22);
+
+}  // namespace treesat

@@ -1,0 +1,164 @@
+#include "core/pareto_dp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace treesat {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Sorts by (load, host) and removes dominated points: keep a point only if
+/// its host time is strictly below every point with smaller-or-equal load.
+void prune(std::vector<ParetoPoint>& points, std::size_t max_frontier) {
+  std::sort(points.begin(), points.end(), [](const ParetoPoint& a, const ParetoPoint& b) {
+    if (a.load != b.load) return a.load < b.load;
+    return a.host < b.host;
+  });
+  std::vector<ParetoPoint> kept;
+  double best_host = kInf;
+  for (ParetoPoint& p : points) {
+    if (p.host < best_host) {
+      best_host = p.host;
+      kept.push_back(std::move(p));
+    }
+  }
+  if (kept.size() > max_frontier) {
+    throw ResourceLimit("pareto_dp: frontier exceeds max_frontier (" +
+                        std::to_string(kept.size()) + " points)");
+  }
+  points = std::move(kept);
+}
+
+/// Minkowski sum of two frontiers (loads add, hosts add, cuts concatenate).
+std::vector<ParetoPoint> minkowski(const std::vector<ParetoPoint>& a,
+                                   const std::vector<ParetoPoint>& b,
+                                   std::size_t max_frontier) {
+  if (static_cast<double>(a.size()) * static_cast<double>(b.size()) >
+      static_cast<double>(max_frontier) * 64.0) {
+    throw ResourceLimit("pareto_dp: Minkowski product too large");
+  }
+  std::vector<ParetoPoint> out;
+  out.reserve(a.size() * b.size());
+  for (const ParetoPoint& pa : a) {
+    for (const ParetoPoint& pb : b) {
+      ParetoPoint p;
+      p.load = pa.load + pb.load;
+      p.host = pa.host + pb.host;
+      p.cut = pa.cut;
+      p.cut.insert(p.cut.end(), pb.cut.begin(), pb.cut.end());
+      out.push_back(std::move(p));
+    }
+  }
+  prune(out, max_frontier);
+  return out;
+}
+
+std::vector<ParetoPoint> node_frontier(const Colouring& colouring, CruId v,
+                                       std::size_t max_frontier) {
+  const CruTree& tree = colouring.tree();
+  const CruNode& nd = tree.node(v);
+
+  // Option 1: cut the edge above v -- the whole subtree on the satellite.
+  ParetoPoint cut_here;
+  cut_here.load = tree.subtree_sat_time(v) + nd.comm_up;
+  cut_here.host = 0.0;
+  cut_here.cut = {v};
+
+  if (nd.is_sensor()) return {std::move(cut_here)};
+
+  // Option 2: v on the host; children combine independently.
+  std::vector<ParetoPoint> combined{ParetoPoint{}};  // neutral element
+  for (const CruId c : nd.children) {
+    combined = minkowski(combined, node_frontier(colouring, c, max_frontier), max_frontier);
+  }
+  for (ParetoPoint& p : combined) p.host += nd.host_time;
+
+  combined.push_back(std::move(cut_here));
+  prune(combined, max_frontier);
+  return combined;
+}
+
+}  // namespace
+
+std::vector<ParetoPoint> region_frontier(const Colouring& colouring, CruId region_root,
+                                         std::size_t max_frontier) {
+  TS_REQUIRE(colouring.is_assignable(region_root),
+             "region_frontier: node is not assignable");
+  return node_frontier(colouring, region_root, max_frontier);
+}
+
+ParetoDpResult pareto_dp_solve(const Colouring& colouring, const ParetoDpOptions& options) {
+  TS_REQUIRE(options.objective.valid(), "pareto_dp_solve: bad objective");
+  const CruTree& tree = colouring.tree();
+  ParetoDpStats stats;
+
+  // Per-colour frontiers: Minkowski-combine the frontiers of the colour's
+  // regions (their loads land on the same satellite).
+  const std::size_t colours = tree.satellite_count();
+  std::vector<std::vector<ParetoPoint>> per_colour(colours);
+  for (std::size_t c = 0; c < colours; ++c) {
+    std::vector<ParetoPoint> acc{ParetoPoint{}};
+    for (const CruId r : colouring.regions_of(SatelliteId{c})) {
+      std::vector<ParetoPoint> f = region_frontier(colouring, r, options.max_frontier);
+      stats.max_region_frontier = std::max(stats.max_region_frontier, f.size());
+      acc = minkowski(acc, f, options.max_frontier);
+    }
+    stats.max_colour_frontier = std::max(stats.max_colour_frontier, acc.size());
+    per_colour[c] = std::move(acc);
+  }
+
+  // Sweep candidate bottleneck values: all per-colour loads, ascending. Every
+  // colour starts at its smallest-load point (always feasible: frontiers are
+  // never empty) and advances to cheaper-host points as L grows.
+  std::vector<double> candidates;
+  for (const auto& f : per_colour) {
+    for (const ParetoPoint& p : f) candidates.push_back(p.load);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+  if (candidates.empty()) candidates.push_back(0.0);  // no satellites at all
+
+  std::vector<std::size_t> pick(colours, 0);
+  double best_value = kInf;
+  std::vector<std::size_t> best_pick;
+  const double base_host = colouring.forced_host_time();
+
+  for (const double L : candidates) {
+    bool feasible = true;
+    double host_sum = 0.0;
+    double achieved = 0.0;
+    for (std::size_t c = 0; c < colours; ++c) {
+      const auto& f = per_colour[c];
+      // Advance to the largest load <= L (minimal host among load <= L).
+      while (pick[c] + 1 < f.size() && f[pick[c] + 1].load <= L) ++pick[c];
+      if (f[pick[c]].load > L) {
+        feasible = false;  // this colour cannot fit under L yet
+        break;
+      }
+      host_sum += f[pick[c]].host;
+      achieved = std::max(achieved, f[pick[c]].load);
+    }
+    ++stats.candidates_swept;
+    if (!feasible) continue;
+    const double value = options.objective.value(base_host + host_sum, achieved);
+    if (value < best_value) {
+      best_value = value;
+      best_pick = pick;
+    }
+  }
+  TS_CHECK(best_value < kInf, "pareto_dp: sweep found no feasible bottleneck (impossible)");
+
+  std::vector<CruId> cut;
+  for (std::size_t c = 0; c < colours; ++c) {
+    const auto& chosen = per_colour[c][best_pick[c]];
+    cut.insert(cut.end(), chosen.cut.begin(), chosen.cut.end());
+  }
+  Assignment assignment(colouring, std::move(cut));
+  DelayBreakdown delay = assignment.delay();
+  const double objective = delay.objective(options.objective);
+  return ParetoDpResult{std::move(assignment), std::move(delay), objective, stats};
+}
+
+}  // namespace treesat

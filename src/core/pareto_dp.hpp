@@ -1,0 +1,76 @@
+// Pareto-frontier dynamic program -- treesat's scalable exact solver.
+//
+// This is our extension beyond the paper (DESIGN.md §6). Instead of
+// searching the assignment graph, it exploits the structure of the §3
+// objective directly:
+//
+//   minimize  λ_S·(H_0 + Σ_c host_c) + λ_B·max_c load_c
+//
+// where H_0 is the forced host time (root + conflict nodes), and for each
+// colour c, (load_c, host_c) ranges over the outcomes of cutting colour c's
+// regions: load_c = satellite-c work + uplink time, host_c = the h of the
+// region nodes left above the cut. For one region the achievable outcomes
+// form a small Pareto frontier computed bottom-up:
+//
+//   F(sensor) = { (comm_up, 0) }
+//   F(v)      = prune( {(sat_subtree(v)+comm_up(v), 0)}          -- cut at v
+//                      ∪  (⊕_children F) + (0, h_v) )            -- v on host
+//
+// (⊕ is the Minkowski sum: loads add, host times add.) Regions of the same
+// colour combine with another ⊕; finally a linear sweep over candidate
+// bottleneck values L picks, per colour, the cheapest point with load <= L
+// and evaluates the objective at the *achieved* maximum. The sweep is exact
+// for every λ: for the optimal solution's bottleneck L*, each per-colour
+// choice is at least as good as the optimum's, so candidate L* already
+// attains the optimal value.
+//
+// Frontier sizes are worst-case exponential (the problem embeds tree
+// knapsack) but domination pruning keeps them tiny on realistic cost
+// distributions; `max_frontier` guards the pathological case.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "core/objective.hpp"
+
+namespace treesat {
+
+struct ParetoDpStats {
+  std::size_t max_region_frontier = 0;  ///< largest per-region frontier
+  std::size_t max_colour_frontier = 0;  ///< largest per-colour frontier after merging
+  std::size_t candidates_swept = 0;     ///< bottleneck candidates evaluated
+};
+
+struct ParetoDpResult {
+  Assignment assignment;
+  DelayBreakdown delay;
+  double objective = 0.0;
+  ParetoDpStats stats;
+};
+
+struct ParetoDpOptions {
+  SsbObjective objective = SsbObjective::end_to_end();
+  /// Frontier size limit; exceeding it throws ResourceLimit.
+  std::size_t max_frontier = std::size_t{1} << 20;
+};
+
+/// Exact optimal assignment via the Pareto DP.
+[[nodiscard]] ParetoDpResult pareto_dp_solve(const Colouring& colouring,
+                                             const ParetoDpOptions& options = {});
+
+/// One point of a (load, host) frontier, exposed for tests and benches.
+struct ParetoPoint {
+  double load = 0.0;          ///< satellite time: work below the cut + uplink
+  double host = 0.0;          ///< host time of region nodes above the cut
+  std::vector<CruId> cut;     ///< cut nodes realizing the point
+};
+
+/// Pareto frontier of one region (subtree rooted at an assignable node),
+/// sorted by load ascending / host strictly descending.
+[[nodiscard]] std::vector<ParetoPoint> region_frontier(const Colouring& colouring,
+                                                       CruId region_root,
+                                                       std::size_t max_frontier);
+
+}  // namespace treesat

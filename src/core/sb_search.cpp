@@ -1,0 +1,49 @@
+#include "core/sb_search.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/shortest_path.hpp"
+
+namespace treesat {
+
+SbSearchResult sb_search(const Dwg& g, VertexId s, VertexId t, EdgeMask mask, bool coloured) {
+  SbSearchResult result;
+  if (s == t) {
+    result.best = Path{};
+    result.sb_weight = 0.0;
+    return result;
+  }
+  double sb_can = std::numeric_limits<double>::infinity();
+  const std::size_t cap = g.edge_count() + 2;
+
+  while (result.iterations < cap) {
+    ++result.iterations;
+    std::optional<Path> p = min_sum_path(g, s, t, mask, coloured);
+    if (!p) break;  // disconnected: candidate optimal
+    if (p->s_weight >= sb_can) break;  // S alone can no longer improve the max
+    const double sb = std::max(p->s_weight, p->b_weight);
+    if (sb < sb_can) {
+      sb_can = sb;
+      result.best = *p;
+      result.sb_weight = sb;
+    }
+    std::size_t killed = 0;
+    for (std::size_t e = 0; e < g.edge_count(); ++e) {
+      const EdgeId eid{e};
+      if (mask.alive(eid) && g.edge(eid).beta >= p->b_weight) {
+        mask.kill(eid);
+        ++killed;
+      }
+    }
+    result.edges_eliminated += killed;
+    if (killed == 0) break;  // coloured stall: candidate is the best provable
+  }
+  return result;
+}
+
+SbSearchResult sb_search(const Dwg& g, VertexId s, VertexId t, bool coloured) {
+  return sb_search(g, s, t, g.full_mask(), coloured);
+}
+
+}  // namespace treesat

@@ -1,0 +1,37 @@
+// Bokhari's SB optimal-path search (Bokhari 1988, summarized in paper §2).
+//
+// Finds the S-T path minimizing the SB weight  max(S(P), B(P))  -- the
+// bottleneck objective of Bokhari's original host-satellites problem, which
+// the paper replaces with the SSB sum. Implemented as the classic threshold
+// descent: repeatedly find the minimum-S path, then eliminate every edge
+// with β >= B(P_i); the best max(S,B) seen when the graph disconnects (or
+// when S(P_i) alone reaches the candidate) is optimal, by the same exchange
+// argument as the SSB search.
+//
+// Kept as a first-class citizen because experiment E7 (bench_ssb_vs_sb)
+// contrasts the two objectives, and the Bokhari tree baseline (A8) is built
+// on it.
+#pragma once
+
+#include <optional>
+
+#include "graph/dwg.hpp"
+
+namespace treesat {
+
+struct SbSearchResult {
+  std::optional<Path> best;
+  double sb_weight = 0.0;  ///< max(S, B) of `best`
+  std::size_t iterations = 0;
+  std::size_t edges_eliminated = 0;
+};
+
+/// Runs the SB search from s to t. `coloured` selects the §5.4 bottleneck
+/// definition (used when applying the SB objective to coloured assignment
+/// graphs for comparison experiments).
+[[nodiscard]] SbSearchResult sb_search(const Dwg& g, VertexId s, VertexId t, EdgeMask mask,
+                                       bool coloured = false);
+[[nodiscard]] SbSearchResult sb_search(const Dwg& g, VertexId s, VertexId t,
+                                       bool coloured = false);
+
+}  // namespace treesat

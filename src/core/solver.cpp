@@ -1,0 +1,83 @@
+#include "core/solver.hpp"
+
+#include "common/stopwatch.hpp"
+#include "core/coloured_ssb.hpp"
+#include "core/exhaustive.hpp"
+#include "core/pareto_dp.hpp"
+#include "heuristics/annealing.hpp"
+#include "heuristics/branch_bound.hpp"
+#include "heuristics/genetic.hpp"
+#include "heuristics/local_search.hpp"
+
+namespace treesat {
+
+const char* method_name(SolveMethod method) {
+  switch (method) {
+    case SolveMethod::kColouredSsb: return "coloured-ssb";
+    case SolveMethod::kParetoDp: return "pareto-dp";
+    case SolveMethod::kExhaustive: return "exhaustive";
+    case SolveMethod::kBranchBound: return "branch-bound";
+    case SolveMethod::kGenetic: return "genetic";
+    case SolveMethod::kLocalSearch: return "local-search";
+    case SolveMethod::kGreedy: return "greedy";
+    case SolveMethod::kAnnealing: return "annealing";
+  }
+  return "unknown";
+}
+
+SolveSummary solve(const Colouring& colouring, const SolveOptions& options) {
+  const Stopwatch watch;
+  const auto finish = [&](Assignment assignment, bool exact) {
+    DelayBreakdown delay = assignment.delay();
+    const double value = delay.objective(options.objective);
+    return SolveSummary{std::move(assignment), std::move(delay), value, watch.seconds(),
+                        exact, method_name(options.method)};
+  };
+
+  switch (options.method) {
+    case SolveMethod::kColouredSsb: {
+      const AssignmentGraph ag(colouring);
+      ColouredSsbOptions o;
+      o.objective = options.objective;
+      return finish(coloured_ssb_solve(ag, o).assignment, /*exact=*/true);
+    }
+    case SolveMethod::kParetoDp: {
+      ParetoDpOptions o;
+      o.objective = options.objective;
+      return finish(pareto_dp_solve(colouring, o).assignment, /*exact=*/true);
+    }
+    case SolveMethod::kExhaustive: {
+      return finish(exhaustive_solve(colouring, options.objective).assignment,
+                    /*exact=*/true);
+    }
+    case SolveMethod::kBranchBound: {
+      BranchBoundOptions o;
+      o.objective = options.objective;
+      return finish(branch_bound_solve(colouring, o).assignment, /*exact=*/true);
+    }
+    case SolveMethod::kGenetic: {
+      GeneticOptions o;
+      o.objective = options.objective;
+      o.seed = options.seed;
+      return finish(genetic_solve(colouring, o).assignment, /*exact=*/false);
+    }
+    case SolveMethod::kLocalSearch: {
+      LocalSearchOptions o;
+      o.objective = options.objective;
+      o.seed = options.seed;
+      return finish(local_search_solve(colouring, o).assignment, /*exact=*/false);
+    }
+    case SolveMethod::kGreedy: {
+      return finish(greedy_solve(colouring, options.objective).assignment, /*exact=*/false);
+    }
+    case SolveMethod::kAnnealing: {
+      AnnealingOptions o;
+      o.objective = options.objective;
+      o.seed = options.seed;
+      return finish(annealing_solve(colouring, o).assignment, /*exact=*/false);
+    }
+  }
+  throw InvalidArgument("solve: unknown method");
+}
+
+}  // namespace treesat

@@ -1,0 +1,49 @@
+// Unified solver facade.
+//
+// Downstream users (examples, benches, the CLI-style harnesses) pick a
+// method and get back an assignment, its delay breakdown and uniform run
+// statistics. The lifetime contract is the library-wide one: the returned
+// Assignment references the Colouring, which references the CruTree; keep
+// both alive while the result is in use.
+#pragma once
+
+#include <string>
+
+#include "core/assignment.hpp"
+#include "core/objective.hpp"
+
+namespace treesat {
+
+enum class SolveMethod : std::uint8_t {
+  kColouredSsb,  ///< the paper's adapted SSB path search (exact)
+  kParetoDp,     ///< Pareto-frontier DP (exact, our extension)
+  kExhaustive,   ///< brute-force cut enumeration (exact, small trees only)
+  kBranchBound,  ///< branch-and-bound over cuts (exact; paper future work)
+  kGenetic,      ///< genetic algorithm (heuristic; paper future work)
+  kLocalSearch,  ///< hill climbing with restarts (heuristic)
+  kGreedy,       ///< greedy bottleneck descent (heuristic baseline)
+  kAnnealing,    ///< simulated annealing (heuristic)
+};
+
+[[nodiscard]] const char* method_name(SolveMethod method);
+
+struct SolveOptions {
+  SolveMethod method = SolveMethod::kColouredSsb;
+  SsbObjective objective = SsbObjective::end_to_end();
+  std::uint64_t seed = 1;  ///< heuristics only
+};
+
+struct SolveSummary {
+  Assignment assignment;
+  DelayBreakdown delay;
+  double objective_value = 0.0;
+  double wall_seconds = 0.0;
+  bool exact = false;  ///< whether the method guarantees optimality
+  std::string method;
+};
+
+/// Solves with the chosen method. Exact methods return the optimum;
+/// heuristics return their best-found assignment.
+[[nodiscard]] SolveSummary solve(const Colouring& colouring, const SolveOptions& options = {});
+
+}  // namespace treesat

@@ -1,0 +1,79 @@
+#include "core/ssb_search.hpp"
+
+#include <limits>
+
+#include "graph/shortest_path.hpp"
+
+namespace treesat {
+
+SsbSearchResult ssb_search(const Dwg& g, VertexId s, VertexId t, EdgeMask mask,
+                           const SsbSearchOptions& options) {
+  TS_REQUIRE(options.objective.valid(), "ssb_search: negative objective coefficients");
+  SsbSearchResult result;
+  if (s == t) {  // the empty path is trivially optimal: S = B = 0
+    result.best = Path{};
+    result.ssb_weight = 0.0;
+    result.stop = SsbStop::kSumBound;
+    result.final_mask = std::move(mask);
+    return result;
+  }
+  double ssb_can = std::numeric_limits<double>::infinity();
+  const std::size_t cap =
+      options.iteration_cap != 0 ? options.iteration_cap : g.edge_count() + 2;
+
+  while (true) {
+    if (result.iterations >= cap) {
+      result.stop = SsbStop::kIterationCap;
+      break;
+    }
+    ++result.iterations;
+
+    std::optional<Path> p = min_sum_path(g, s, t, mask, options.coloured);
+    if (!p) {
+      result.stop = SsbStop::kDisconnected;
+      break;
+    }
+    // Remaining paths all have S >= S(P_i); if λ·S alone already reaches the
+    // candidate there is nothing better left.
+    if (options.objective.s_coeff * p->s_weight >= ssb_can) {
+      result.stop = SsbStop::kSumBound;
+      break;
+    }
+    const double ssb = options.objective.value(p->s_weight, p->b_weight);
+    if (ssb < ssb_can) {
+      ssb_can = ssb;
+      result.best = *p;
+      result.ssb_weight = ssb;
+    }
+    // Eliminate every edge whose β alone reaches the bottleneck of P_i.
+    const double threshold = p->b_weight;
+    std::size_t killed = 0;
+    for (std::size_t e = 0; e < g.edge_count(); ++e) {
+      const EdgeId eid{e};
+      if (!mask.alive(eid)) continue;
+      if (g.edge(eid).beta >= threshold) {
+        mask.kill(eid);
+        ++killed;
+      }
+    }
+    result.edges_eliminated += killed;
+    if (killed == 0) {
+      // Uncoloured B is the max over P_i's edges, so its argmax edge always
+      // satisfies β >= B(P_i); killed == 0 is only reachable in coloured
+      // mode (a per-colour *sum* can exceed every individual β).
+      TS_CHECK(options.coloured, "uncoloured SSB search failed to make progress");
+      result.stop = SsbStop::kStalled;
+      break;
+    }
+  }
+
+  result.final_mask = std::move(mask);
+  return result;
+}
+
+SsbSearchResult ssb_search(const Dwg& g, VertexId s, VertexId t,
+                           const SsbSearchOptions& options) {
+  return ssb_search(g, s, t, g.full_mask(), options);
+}
+
+}  // namespace treesat

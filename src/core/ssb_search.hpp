@@ -1,0 +1,67 @@
+// The SSB optimal-path search on a doubly weighted graph (paper §4.2).
+//
+// Finds the S-T path minimizing  SSB(P) = λ·S(P) + (1−λ)·B(P)  by iterating:
+//
+//   1. find the minimum-S path P_i among alive edges (Dijkstra on σ);
+//   2. keep it as candidate if its SSB improves on SSB_can;
+//   3. eliminate every alive edge e with β(e) >= B(P_i);
+//   4. stop when S or T gets disconnected, or when λ·S(P_i) >= SSB_can
+//      (every remaining path P has S(P) >= S(P_i), so SSB(P) >= SSB_can).
+//
+// Elimination safety: a path P through an eliminated edge e satisfies
+// B(P) >= β(e) >= B(P_i) and S(P) >= S(P_i) (P_i was minimum-S), hence
+// SSB(P) >= SSB(P_i) >= SSB_can -- it can never be *strictly* better than
+// the recorded candidate. Using >= (rather than the strict > in the paper's
+// prose) additionally guarantees progress: the bottleneck edge of P_i itself
+// dies each round, so the loop runs at most |E| iterations -- which is also
+// what the paper's own worked example does (Fig 4 eliminates the <4,20>
+// edge with β equal to B(P_1) = 20) and what the O(|V|²·|E|) complexity
+// claim assumes.
+//
+// The same routine runs in *coloured* mode, where B(P) is the maximum
+// per-colour β sum (§5.4): elimination stays safe (any per-colour sum ≥ any
+// of its member edges' β) but may stall because no single edge need reach
+// B(P_i). Callers that can expand colour regions (the coloured SSB search)
+// handle the stall; plain callers get the stall reported in the stats.
+#pragma once
+
+#include <optional>
+
+#include "core/objective.hpp"
+#include "graph/dwg.hpp"
+
+namespace treesat {
+
+/// Why the search loop ended.
+enum class SsbStop : std::uint8_t {
+  kDisconnected,   ///< S and T separated: candidate is optimal
+  kSumBound,       ///< λ·S(P_i) >= SSB_can: candidate is optimal
+  kStalled,        ///< no edge eliminable (coloured mode only): caller must
+                   ///< expand colour regions or fall back to enumeration
+  kIterationCap,   ///< safety cap hit (should not happen on valid inputs)
+};
+
+struct SsbSearchResult {
+  std::optional<Path> best;   ///< optimal path unless the search stalled
+  double ssb_weight = 0.0;    ///< objective of `best`
+  SsbStop stop = SsbStop::kDisconnected;
+  std::size_t iterations = 0;
+  std::size_t edges_eliminated = 0;
+  EdgeMask final_mask;        ///< alive edges at stop (used by expansion)
+};
+
+struct SsbSearchOptions {
+  SsbObjective objective = SsbObjective::end_to_end();
+  bool coloured = false;        ///< use the §5.4 per-colour bottleneck
+  std::size_t iteration_cap = 0;  ///< 0 = |E| + 2 (the natural bound)
+};
+
+/// Runs the §4.2 search from s to t on the alive edges of `mask`.
+[[nodiscard]] SsbSearchResult ssb_search(const Dwg& g, VertexId s, VertexId t, EdgeMask mask,
+                                         const SsbSearchOptions& options = {});
+
+/// Convenience overload over the whole graph.
+[[nodiscard]] SsbSearchResult ssb_search(const Dwg& g, VertexId s, VertexId t,
+                                         const SsbSearchOptions& options = {});
+
+}  // namespace treesat

@@ -1,0 +1,83 @@
+#include "graph/path_enumeration.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace treesat {
+
+namespace {
+
+struct Enumerator {
+  const Dwg& g;
+  VertexId target;
+  const EdgeMask& mask;
+  std::size_t remaining;
+  const std::function<void(std::span<const EdgeId>)>& visit;
+  std::vector<EdgeId> stack;
+  std::vector<bool> on_path;
+
+  /// Depth-first enumeration. Returns false when the budget ran out.
+  bool run(VertexId u) {
+    if (u == target) {
+      if (remaining == 0) return false;
+      --remaining;
+      visit(stack);
+      return true;
+    }
+    on_path[u.index()] = true;
+    for (const EdgeId eid : g.out_edges(u)) {
+      if (!mask.alive(eid)) continue;
+      const VertexId v = g.edge(eid).to;
+      if (on_path[v.index()]) continue;  // keep the path simple
+      stack.push_back(eid);
+      const bool ok = run(v);
+      stack.pop_back();
+      if (!ok) {
+        on_path[u.index()] = false;
+        return false;
+      }
+    }
+    on_path[u.index()] = false;
+    return true;
+  }
+};
+
+}  // namespace
+
+bool for_each_simple_path(const Dwg& g, VertexId s, VertexId t, const EdgeMask& mask,
+                          std::size_t max_paths,
+                          const std::function<void(std::span<const EdgeId>)>& visit) {
+  TS_REQUIRE(s.valid() && s.index() < g.vertex_count(), "for_each_simple_path: bad source");
+  TS_REQUIRE(t.valid() && t.index() < g.vertex_count(), "for_each_simple_path: bad target");
+  Enumerator en{g, t, mask, max_paths, visit, {}, std::vector<bool>(g.vertex_count(), false)};
+  return en.run(s);
+}
+
+std::optional<Path> min_path_exhaustive(
+    const Dwg& g, VertexId s, VertexId t, const EdgeMask& mask, std::size_t max_paths,
+    const std::function<double(std::span<const EdgeId>)>& measure, bool coloured) {
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<EdgeId> best_edges;
+  bool found = false;
+  const bool complete = for_each_simple_path(
+      g, s, t, mask, max_paths, [&](std::span<const EdgeId> path) {
+        const double cost = measure(path);
+        if (!found || cost < best) {
+          best = cost;
+          best_edges.assign(path.begin(), path.end());
+          found = true;
+        }
+      });
+  if (!complete || !found) return std::nullopt;
+  return make_path(g, std::move(best_edges), s, t, coloured);
+}
+
+std::size_t count_simple_paths(const Dwg& g, VertexId s, VertexId t, const EdgeMask& mask,
+                               std::size_t cap) {
+  std::size_t n = 0;
+  const bool complete =
+      for_each_simple_path(g, s, t, mask, cap, [&](std::span<const EdgeId>) { ++n; });
+  return complete ? n : cap;
+}
+
+}  // namespace treesat

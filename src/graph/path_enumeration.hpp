@@ -1,0 +1,38 @@
+// Exhaustive and bounded S-T path enumeration.
+//
+// Used for (a) ground-truth verification of the SSB/SB searches on small
+// random DWGs in the property suites, and (b) the branch-and-bound fallback
+// of the coloured SSB search when a colour region exceeds the expansion cap
+// (assignment graphs are forward DAGs, so enumeration terminates without a
+// visited set and prunes well on S-weight).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "graph/dwg.hpp"
+
+namespace treesat {
+
+/// Calls `visit(path_edges)` for every simple path from s to t over alive
+/// edges, in lexicographic edge-id order. Returns false (and stops early) if
+/// the number of paths would exceed `max_paths`. Intended for small graphs;
+/// the number of simple paths is exponential in general.
+bool for_each_simple_path(const Dwg& g, VertexId s, VertexId t, const EdgeMask& mask,
+                          std::size_t max_paths,
+                          const std::function<void(std::span<const EdgeId>)>& visit);
+
+/// Exhaustive minimum over all simple S-T paths of an arbitrary path measure.
+/// Returns nullopt when t is unreachable or the path count exceeds max_paths.
+/// `measure` maps a path (edge span) to its cost.
+[[nodiscard]] std::optional<Path> min_path_exhaustive(
+    const Dwg& g, VertexId s, VertexId t, const EdgeMask& mask, std::size_t max_paths,
+    const std::function<double(std::span<const EdgeId>)>& measure, bool coloured);
+
+/// Count of simple S-T paths, capped at `cap` (returns cap when there are at
+/// least that many). Used to size expansion decisions.
+[[nodiscard]] std::size_t count_simple_paths(const Dwg& g, VertexId s, VertexId t,
+                                             const EdgeMask& mask, std::size_t cap);
+
+}  // namespace treesat

@@ -1,0 +1,129 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace treesat {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Reconstructs the edge sequence s -> t from the predecessor-edge array.
+std::vector<EdgeId> rebuild(const Dwg& g, VertexId s, VertexId t,
+                            const std::vector<EdgeId>& pred_edge) {
+  std::vector<EdgeId> edges;
+  VertexId at = t;
+  while (at != s) {
+    const EdgeId eid = pred_edge[at.index()];
+    TS_CHECK(eid.valid(), "rebuild: broken predecessor chain at vertex " << at);
+    edges.push_back(eid);
+    at = g.edge(eid).from;
+  }
+  std::reverse(edges.begin(), edges.end());
+  return edges;
+}
+
+}  // namespace
+
+std::optional<Path> min_sum_path(const Dwg& g, VertexId s, VertexId t, const EdgeMask& mask,
+                                 bool coloured) {
+  TS_REQUIRE(s.valid() && s.index() < g.vertex_count(), "min_sum_path: bad source " << s);
+  TS_REQUIRE(t.valid() && t.index() < g.vertex_count(), "min_sum_path: bad target " << t);
+
+  std::vector<double> dist(g.vertex_count(), kInf);
+  std::vector<EdgeId> pred_edge(g.vertex_count());
+  std::vector<bool> done(g.vertex_count(), false);
+
+  using Item = std::pair<double, VertexId>;  // (distance, vertex); vertex breaks ties
+  const auto greater = [](const Item& a, const Item& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second > b.second;
+  };
+  std::priority_queue<Item, std::vector<Item>, decltype(greater)> queue(greater);
+
+  dist[s.index()] = 0.0;
+  queue.emplace(0.0, s);
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (done[u.index()]) continue;
+    done[u.index()] = true;
+    if (u == t) break;
+    for (const EdgeId eid : g.out_edges(u)) {
+      if (!mask.alive(eid)) continue;
+      const DwgEdge& e = g.edge(eid);
+      const double nd = d + e.sigma;
+      // Strict improvement keeps predecessor choice deterministic: the first
+      // edge (lowest id) achieving the best distance wins.
+      if (nd < dist[e.to.index()]) {
+        dist[e.to.index()] = nd;
+        pred_edge[e.to.index()] = eid;
+        queue.emplace(nd, e.to);
+      }
+    }
+  }
+
+  if (dist[t.index()] == kInf) return std::nullopt;
+  return make_path(g, rebuild(g, s, t, pred_edge), s, t, coloured);
+}
+
+std::optional<Path> min_sum_path_dag(const Dwg& g, VertexId s, VertexId t, const EdgeMask& mask,
+                                     bool coloured) {
+  TS_REQUIRE(s.valid() && s.index() < g.vertex_count(), "min_sum_path_dag: bad source " << s);
+  TS_REQUIRE(t.valid() && t.index() < g.vertex_count(), "min_sum_path_dag: bad target " << t);
+  TS_REQUIRE(s <= t, "min_sum_path_dag: source id must not exceed target id in a forward DAG");
+
+  std::vector<double> dist(g.vertex_count(), kInf);
+  std::vector<EdgeId> pred_edge(g.vertex_count());
+  dist[s.index()] = 0.0;
+  for (std::size_t v = s.index(); v <= t.index(); ++v) {
+    if (dist[v] == kInf) continue;
+    for (const EdgeId eid : g.out_edges(VertexId{v})) {
+      if (!mask.alive(eid)) continue;
+      const DwgEdge& e = g.edge(eid);
+      TS_CHECK(e.to.index() > v, "min_sum_path_dag: edge " << eid << " is not forward");
+      const double nd = dist[v] + e.sigma;
+      if (nd < dist[e.to.index()]) {
+        dist[e.to.index()] = nd;
+        pred_edge[e.to.index()] = eid;
+      }
+    }
+  }
+  if (dist[t.index()] == kInf) return std::nullopt;
+  return make_path(g, rebuild(g, s, t, pred_edge), s, t, coloured);
+}
+
+bool reachable(const Dwg& g, VertexId s, VertexId t, const EdgeMask& mask) {
+  TS_REQUIRE(s.valid() && s.index() < g.vertex_count(), "reachable: bad source " << s);
+  TS_REQUIRE(t.valid() && t.index() < g.vertex_count(), "reachable: bad target " << t);
+  if (s == t) return true;
+  std::vector<bool> seen(g.vertex_count(), false);
+  std::vector<VertexId> stack{s};
+  seen[s.index()] = true;
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    for (const EdgeId eid : g.out_edges(u)) {
+      if (!mask.alive(eid)) continue;
+      const VertexId v = g.edge(eid).to;
+      if (v == t) return true;
+      if (!seen[v.index()]) {
+        seen[v.index()] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+bool is_forward_dag(const Dwg& g) {
+  for (const DwgEdge& e : g.edges()) {
+    if (e.to <= e.from) return false;
+  }
+  return true;
+}
+
+}  // namespace treesat

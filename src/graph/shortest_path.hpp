@@ -1,0 +1,37 @@
+// Shortest-path primitives on DWGs.
+//
+// The SSB / SB searches of paper §4 repeatedly need "the path from S to T
+// with minimum S-weight among alive edges"; Dijkstra on σ provides it (σ is
+// non-negative by construction). Assignment graphs are additionally DAGs
+// whose vertices are created in topological (left-to-right face) order, so a
+// linear-time DAG relaxation is provided as well and used where the order is
+// known.
+#pragma once
+
+#include <optional>
+
+#include "graph/dwg.hpp"
+
+namespace treesat {
+
+/// Dijkstra by σ over alive edges. Returns the minimum-S path from s to t
+/// (edge ids in order), or nullopt when t is unreachable. Ties are broken
+/// deterministically by (distance, vertex id) so results are reproducible.
+/// The returned Path's b_weight uses the `coloured` definition.
+[[nodiscard]] std::optional<Path> min_sum_path(const Dwg& g, VertexId s, VertexId t,
+                                               const EdgeMask& mask, bool coloured = false);
+
+/// Same as min_sum_path but requires that vertex ids already form a
+/// topological order of the alive subgraph (true for assignment graphs,
+/// whose faces are numbered left to right). O(V + E).
+[[nodiscard]] std::optional<Path> min_sum_path_dag(const Dwg& g, VertexId s, VertexId t,
+                                                   const EdgeMask& mask, bool coloured = false);
+
+/// True when t is reachable from s over alive edges.
+[[nodiscard]] bool reachable(const Dwg& g, VertexId s, VertexId t, const EdgeMask& mask);
+
+/// Verifies that vertex ids are a topological order of the (whole) graph:
+/// every edge goes from a lower id to a strictly higher id.
+[[nodiscard]] bool is_forward_dag(const Dwg& g);
+
+}  // namespace treesat

@@ -1,0 +1,88 @@
+#include "heuristics/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace treesat {
+
+namespace {
+
+/// Applies one random lower/raise move to `cut`; returns false when the
+/// drawn move is inapplicable (caller just redraws).
+bool random_move(const Colouring& colouring, Rng& rng, std::vector<CruId>& cut) {
+  const CruTree& tree = colouring.tree();
+  const std::size_t pick = rng.index(cut.size());
+  const CruId v = cut[pick];
+
+  if (rng.bernoulli(0.5)) {
+    // lower(v): v -> children(v).
+    const CruNode& nd = tree.node(v);
+    if (nd.is_sensor()) return false;
+    cut.erase(cut.begin() + static_cast<std::ptrdiff_t>(pick));
+    cut.insert(cut.end(), nd.children.begin(), nd.children.end());
+    return true;
+  }
+  // raise(parent(v)): all siblings must be cut nodes and the parent must be
+  // assignable.
+  const CruId p = tree.node(v).parent;
+  if (!p.valid() || !colouring.is_assignable(p)) return false;
+  const CruNode& pn = tree.node(p);
+  std::unordered_set<std::uint32_t> in_cut;
+  for (const CruId u : cut) in_cut.insert(u.value());
+  for (const CruId c : pn.children) {
+    if (in_cut.count(c.value()) == 0) return false;
+  }
+  std::erase_if(cut, [&](CruId u) { return tree.node(u).parent == p; });
+  cut.push_back(p);
+  return true;
+}
+
+}  // namespace
+
+AnnealingResult annealing_solve(const Colouring& colouring, const AnnealingOptions& o) {
+  TS_REQUIRE(o.objective.valid(), "annealing: bad objective");
+  TS_REQUIRE(o.steps >= 1, "annealing: need at least one step");
+  TS_REQUIRE(o.cooling > 0.0 && o.cooling <= 1.0, "annealing: cooling must be in (0,1]");
+  TS_REQUIRE(o.initial_temperature >= 0.0, "annealing: negative temperature");
+
+  Rng rng(o.seed);
+  std::vector<CruId> current = Assignment::topmost(colouring).cut_nodes();
+  double current_value =
+      Assignment(colouring, current).delay().objective(o.objective);
+
+  std::vector<CruId> best = current;
+  double best_value = current_value;
+  double temperature = std::max(o.initial_temperature * current_value, 1e-12);
+
+  std::size_t accepted = 0;
+  std::size_t steps = 0;
+  for (; steps < o.steps; ++steps) {
+    std::vector<CruId> candidate = current;
+    if (!random_move(colouring, rng, candidate)) {
+      temperature *= o.cooling;
+      continue;
+    }
+    const double value = Assignment(colouring, candidate).delay().objective(o.objective);
+    const double delta = value - current_value;
+    if (delta <= 0.0 || rng.bernoulli(std::exp(-delta / temperature))) {
+      current = std::move(candidate);
+      current_value = value;
+      ++accepted;
+      if (value < best_value) {
+        best_value = value;
+        best = current;
+      }
+    }
+    temperature *= o.cooling;
+  }
+
+  Assignment assignment(colouring, best);
+  DelayBreakdown delay = assignment.delay();
+  const double value = delay.objective(o.objective);
+  return AnnealingResult{std::move(assignment), std::move(delay), value, steps, accepted};
+}
+
+}  // namespace treesat

@@ -1,0 +1,41 @@
+// Simulated annealing over monotone cuts -- completes the §6 heuristic
+// family (B&B, GA, local search) with the classic temperature-schedule
+// metaheuristic, so experiment E9 compares all standard options a
+// practitioner would reach for on the general DAG problem.
+//
+// Moves are the same lower/raise pair as the local search: move a random
+// cut node down to its children, or pull a full sibling group up to its
+// parent. Both preserve validity; acceptance follows Metropolis with a
+// geometric cooling schedule calibrated from the initial solution's delay.
+#pragma once
+
+#include <cstdint>
+
+#include "core/assignment.hpp"
+#include "core/objective.hpp"
+
+namespace treesat {
+
+struct AnnealingOptions {
+  SsbObjective objective = SsbObjective::end_to_end();
+  std::size_t steps = 20000;
+  /// Initial acceptance temperature as a fraction of the starting objective
+  /// value (T0 = initial_temperature * value(start)).
+  double initial_temperature = 0.25;
+  /// Geometric cooling: T_{k+1} = cooling * T_k, applied every step.
+  double cooling = 0.9995;
+  std::uint64_t seed = 1;
+};
+
+struct AnnealingResult {
+  Assignment assignment;
+  DelayBreakdown delay;
+  double objective_value = 0.0;
+  std::size_t steps_run = 0;
+  std::size_t moves_accepted = 0;
+};
+
+[[nodiscard]] AnnealingResult annealing_solve(const Colouring& colouring,
+                                              const AnnealingOptions& options = {});
+
+}  // namespace treesat

@@ -1,0 +1,161 @@
+#include "heuristics/branch_bound.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "heuristics/local_search.hpp"
+
+namespace treesat {
+
+namespace {
+
+struct Searcher {
+  const Colouring& colouring;
+  const CruTree& tree;
+  const SsbObjective& objective;
+  std::size_t node_cap;
+
+  std::vector<CruId> order;            // preorder
+  std::vector<std::size_t> subtree;    // node -> subtree size (preorder extent)
+  std::vector<double> forced_suffix;   // preorder pos -> Σ h of forced-host nodes from pos on
+  // region_suffix[c * (n+1) + pos]: Σ over undecided regions of colour c
+  // (root at preorder position >= pos) of the region's *minimum possible*
+  // satellite load. Admissible: every region must be cut somewhere, and each
+  // cut costs its colour at least that much.
+  std::vector<double> region_suffix;
+
+  std::vector<CruId> cut;
+  std::vector<double> loads;           // per-colour satellite time so far
+  double host = 0.0;                   // host time of decided nodes
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<CruId> best_cut;
+  std::size_t visited = 0;
+  std::size_t pruned = 0;
+
+  explicit Searcher(const Colouring& c, const SsbObjective& obj, std::size_t cap)
+      : colouring(c), tree(c.tree()), objective(obj), node_cap(cap) {
+    order.assign(tree.preorder().begin(), tree.preorder().end());
+    subtree.assign(tree.size(), 1);
+    for (const CruId v : tree.postorder()) {
+      for (const CruId ch : tree.node(v).children) subtree[v.index()] += subtree[ch.index()];
+    }
+    forced_suffix.assign(order.size() + 1, 0.0);
+    for (std::size_t pos = order.size(); pos-- > 0;) {
+      const CruId v = order[pos];
+      const bool forced = v == tree.root() || colouring.is_conflict(v);
+      forced_suffix[pos] = forced_suffix[pos + 1] + (forced ? tree.node(v).host_time : 0.0);
+    }
+    loads.assign(tree.satellite_count(), 0.0);
+
+    // Minimum achievable load of each region: min(cut at v, Σ children mins)
+    // bottom-up, then suffix-accumulated per colour over preorder positions.
+    std::vector<double> min_load(tree.size(), 0.0);
+    for (const CruId v : tree.postorder()) {
+      if (!colouring.is_assignable(v)) continue;
+      const double cut_here = tree.subtree_sat_time(v) + tree.node(v).comm_up;
+      if (tree.node(v).is_sensor()) {
+        min_load[v.index()] = cut_here;
+        continue;
+      }
+      double descend = 0.0;
+      for (const CruId c : tree.node(v).children) descend += min_load[c.index()];
+      min_load[v.index()] = std::min(cut_here, descend);
+    }
+    // Per preorder position: minimum additional load each colour must still
+    // absorb from the sensors at positions >= pos. Every such sensor is
+    // covered by a cut at position >= pos (cuts before pos skipped their
+    // whole subtree), so for the maximal undecided subtree starting at pos:
+    //   assignable v: its sensors cost its colour at least min_load(v), then
+    //                 continue past the subtree;
+    //   conflict v / root: costs nothing here (its h is in forced_suffix),
+    //                 continue with its children.
+    const std::size_t k = tree.satellite_count();
+    const std::size_t stride = order.size() + 1;
+    region_suffix.assign(k * stride, 0.0);
+    for (std::size_t pos = order.size(); pos-- > 0;) {
+      const CruId v = order[pos];
+      const std::size_t skip = colouring.is_assignable(v) ? subtree[v.index()] : 1;
+      for (std::size_t c = 0; c < k; ++c) {
+        region_suffix[c * stride + pos] = region_suffix[c * stride + pos + skip];
+      }
+      if (colouring.is_assignable(v)) {
+        const std::size_t c = colouring.colour(v).index();
+        region_suffix[c * stride + pos] += min_load[v.index()];
+      }
+    }
+  }
+
+  [[nodiscard]] double lower_bound(std::size_t pos) const {
+    double max_load = 0.0;
+    const std::size_t stride = order.size() + 1;
+    for (std::size_t c = 0; c < loads.size(); ++c) {
+      max_load = std::max(max_load, loads[c] + region_suffix[c * stride + pos]);
+    }
+    return objective.value(host + forced_suffix[pos], max_load);
+  }
+
+  void offer_leaf() {
+    const double max_load = loads.empty() ? 0.0 : *std::max_element(loads.begin(), loads.end());
+    const double value = objective.value(host, max_load);
+    if (value < best) {
+      best = value;
+      best_cut = cut;
+    }
+  }
+
+  void run(std::size_t pos) {
+    if (++visited > node_cap) {
+      throw ResourceLimit("branch_bound: node cap exceeded");
+    }
+    if (lower_bound(pos) >= best) {
+      ++pruned;
+      return;
+    }
+    if (pos == order.size()) {
+      offer_leaf();
+      return;
+    }
+    const CruId v = order[pos];
+    if (colouring.is_assignable(v)) {
+      // Branch 1: cut at v.
+      const SatelliteId c = colouring.colour(v);
+      const double load = tree.subtree_sat_time(v) + tree.node(v).comm_up;
+      loads[c.index()] += load;
+      cut.push_back(v);
+      run(pos + subtree[v.index()]);
+      cut.pop_back();
+      loads[c.index()] -= load;
+      if (tree.node(v).is_sensor()) return;  // sensors have no host branch
+    }
+    // Branch 2: v on the host.
+    host += tree.node(v).host_time;
+    run(pos + 1);
+    host -= tree.node(v).host_time;
+  }
+};
+
+}  // namespace
+
+BranchBoundResult branch_bound_solve(const Colouring& colouring,
+                                     const BranchBoundOptions& options) {
+  TS_REQUIRE(options.objective.valid(), "branch_bound: bad objective");
+  Searcher searcher(colouring, options.objective, options.node_cap);
+
+  if (options.greedy_incumbent) {
+    const LocalSearchResult greedy = greedy_solve(colouring, options.objective);
+    searcher.best = greedy.objective_value;
+    searcher.best_cut = greedy.assignment.cut_nodes();
+  }
+  searcher.run(0);
+
+  TS_CHECK(!searcher.best_cut.empty() || colouring.tree().sensor_count() == 0,
+           "branch_bound: no assignment found");
+  Assignment assignment(colouring, searcher.best_cut);
+  DelayBreakdown delay = assignment.delay();
+  const double value = delay.objective(options.objective);
+  return BranchBoundResult{std::move(assignment), std::move(delay), value, searcher.visited,
+                           searcher.pruned};
+}
+
+}  // namespace treesat

@@ -1,0 +1,42 @@
+// Branch-and-bound over monotone cuts -- the other heuristic direction named
+// by the paper's §6 future work. On the tree-structured problem it is in
+// fact *exact*: the search enumerates the same space as the exhaustive
+// oracle but prunes with an admissible lower bound, so experiment E9 can
+// report both its (always-optimal) quality and the node counts that make it
+// practical far beyond brute force.
+//
+// Branching: nodes are decided in preorder -- an assignable node either
+// becomes a cut node (its subtree is skipped) or stays on the host.
+// Bound: for a partial decision with host time H so far and per-colour loads
+// T_c so far,
+//     LB = λ_S·(H + H_forced_remaining) + λ_B·max_c T_c
+// is admissible because every term only grows as decisions complete
+// (remaining forced-host h is precomputed per preorder suffix).
+#pragma once
+
+#include "core/assignment.hpp"
+#include "core/objective.hpp"
+
+namespace treesat {
+
+struct BranchBoundOptions {
+  SsbObjective objective = SsbObjective::end_to_end();
+  /// DFS node cap; exceeding it throws ResourceLimit.
+  std::size_t node_cap = std::size_t{1} << 26;
+  /// Seed the incumbent with greedy descent before searching (cheap and
+  /// typically tightens the bound dramatically).
+  bool greedy_incumbent = true;
+};
+
+struct BranchBoundResult {
+  Assignment assignment;
+  DelayBreakdown delay;
+  double objective_value = 0.0;
+  std::size_t nodes_visited = 0;
+  std::size_t nodes_pruned = 0;
+};
+
+[[nodiscard]] BranchBoundResult branch_bound_solve(const Colouring& colouring,
+                                                   const BranchBoundOptions& options = {});
+
+}  // namespace treesat

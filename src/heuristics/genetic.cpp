@@ -1,0 +1,107 @@
+#include "heuristics/genetic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+namespace treesat {
+
+namespace {
+
+struct Individual {
+  std::vector<bool> genes;
+  double fitness = std::numeric_limits<double>::infinity();  // lower is better
+};
+
+}  // namespace
+
+Assignment decode_genome(const Colouring& colouring, const std::vector<bool>& genes) {
+  const CruTree& tree = colouring.tree();
+  TS_REQUIRE(genes.size() == tree.size(),
+             "decode_genome: genome has " << genes.size() << " genes for " << tree.size()
+                                          << " nodes");
+  std::vector<CruId> cut;
+  std::vector<CruId> stack(colouring.region_roots().begin(), colouring.region_roots().end());
+  while (!stack.empty()) {
+    const CruId v = stack.back();
+    stack.pop_back();
+    if (tree.node(v).is_sensor() || genes[v.index()]) {
+      cut.push_back(v);
+      continue;
+    }
+    for (const CruId c : tree.node(v).children) stack.push_back(c);
+  }
+  return Assignment(colouring, std::move(cut));
+}
+
+GeneticResult genetic_solve(const Colouring& colouring, const GeneticOptions& o) {
+  TS_REQUIRE(o.objective.valid(), "genetic_solve: bad objective");
+  TS_REQUIRE(o.population >= 2, "genetic_solve: population must be >= 2");
+  TS_REQUIRE(o.tournament >= 1 && o.tournament <= o.population,
+             "genetic_solve: bad tournament size");
+  TS_REQUIRE(o.elites < o.population, "genetic_solve: elites must leave room for offspring");
+
+  const CruTree& tree = colouring.tree();
+  Rng rng(o.seed);
+  std::size_t evaluations = 0;
+
+  const auto evaluate = [&](Individual& ind) {
+    ind.fitness = decode_genome(colouring, ind.genes).delay().objective(o.objective);
+    ++evaluations;
+  };
+
+  std::vector<Individual> population(o.population);
+  for (Individual& ind : population) {
+    ind.genes.resize(tree.size());
+    for (std::size_t g = 0; g < ind.genes.size(); ++g) ind.genes[g] = rng.bernoulli(0.5);
+    evaluate(ind);
+  }
+
+  const auto by_fitness = [](const Individual& a, const Individual& b) {
+    return a.fitness < b.fitness;
+  };
+  const auto tournament_pick = [&]() -> const Individual& {
+    std::size_t best = rng.index(population.size());
+    for (std::size_t k = 1; k < o.tournament; ++k) {
+      const std::size_t challenger = rng.index(population.size());
+      if (population[challenger].fitness < population[best].fitness) best = challenger;
+    }
+    return population[best];
+  };
+
+  std::size_t generations = 0;
+  for (; generations < o.generations; ++generations) {
+    std::sort(population.begin(), population.end(), by_fitness);
+    std::vector<Individual> next(population.begin(),
+                                 population.begin() + static_cast<std::ptrdiff_t>(o.elites));
+    while (next.size() < o.population) {
+      Individual child;
+      if (rng.bernoulli(o.crossover_prob)) {
+        const Individual& a = tournament_pick();
+        const Individual& b = tournament_pick();
+        child.genes.resize(tree.size());
+        for (std::size_t g = 0; g < child.genes.size(); ++g) {
+          child.genes[g] = rng.bernoulli(0.5) ? a.genes[g] : b.genes[g];
+        }
+      } else {
+        child.genes = tournament_pick().genes;
+      }
+      for (std::size_t g = 0; g < child.genes.size(); ++g) {
+        if (rng.bernoulli(o.mutation_prob)) child.genes[g] = !child.genes[g];
+      }
+      evaluate(child);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+
+  const Individual& best =
+      *std::min_element(population.begin(), population.end(), by_fitness);
+  Assignment assignment = decode_genome(colouring, best.genes);
+  DelayBreakdown delay = assignment.delay();
+  const double value = delay.objective(o.objective);
+  return GeneticResult{std::move(assignment), std::move(delay), value, generations,
+                       evaluations};
+}
+
+}  // namespace treesat

@@ -1,0 +1,49 @@
+// Genetic algorithm over assignments -- one of the two heuristic directions
+// the paper's §6 names for the general (DAG-to-DAG) problem, demonstrated
+// here on the tree case where its quality can be measured against the exact
+// optimum (experiment E9).
+//
+// Encoding: one bit per tree node, interpreted top-down per colour region --
+// descend from each region root; a node with gene 1 (or a sensor) becomes a
+// cut node and its subtree is skipped, a node with gene 0 stays on the host
+// and its children are decoded next. Every genome decodes to a *valid*
+// monotone cut, so no repair step is needed and crossover/mutation stay
+// plain bit operations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/assignment.hpp"
+#include "core/objective.hpp"
+
+namespace treesat {
+
+struct GeneticOptions {
+  SsbObjective objective = SsbObjective::end_to_end();
+  std::size_t population = 64;
+  std::size_t generations = 80;
+  std::size_t tournament = 3;     ///< tournament selection size
+  std::size_t elites = 2;         ///< genomes copied unchanged per generation
+  double crossover_prob = 0.9;    ///< else clone a parent
+  double mutation_prob = 0.02;    ///< per-gene flip probability
+  std::uint64_t seed = 1;
+};
+
+struct GeneticResult {
+  Assignment assignment;
+  DelayBreakdown delay;
+  double objective_value = 0.0;
+  std::size_t generations_run = 0;
+  std::size_t evaluations = 0;
+};
+
+[[nodiscard]] GeneticResult genetic_solve(const Colouring& colouring,
+                                          const GeneticOptions& options = {});
+
+/// Decodes a genome (one bit per node) into its assignment. Exposed for the
+/// encoding's own unit tests.
+[[nodiscard]] Assignment decode_genome(const Colouring& colouring,
+                                       const std::vector<bool>& genes);
+
+}  // namespace treesat

@@ -1,0 +1,151 @@
+#include "heuristics/local_search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <unordered_set>
+
+namespace treesat {
+
+namespace {
+
+/// All cut sets reachable from `cut` by one lower/raise move.
+std::vector<std::vector<CruId>> neighbours(const Colouring& colouring,
+                                           const std::vector<CruId>& cut) {
+  const CruTree& tree = colouring.tree();
+  std::vector<std::vector<CruId>> out;
+  std::unordered_set<std::uint32_t> in_cut;
+  for (const CruId v : cut) in_cut.insert(v.value());
+
+  // lower(v): v -> children(v).
+  for (std::size_t i = 0; i < cut.size(); ++i) {
+    const CruNode& nd = tree.node(cut[i]);
+    if (nd.is_sensor()) continue;
+    std::vector<CruId> next;
+    next.reserve(cut.size() + nd.children.size() - 1);
+    for (std::size_t j = 0; j < cut.size(); ++j) {
+      if (j != i) next.push_back(cut[j]);
+    }
+    next.insert(next.end(), nd.children.begin(), nd.children.end());
+    out.push_back(std::move(next));
+  }
+
+  // raise(p): children(p) -> p, for parents whose children are all cut.
+  std::unordered_set<std::uint32_t> tried_parents;
+  for (const CruId v : cut) {
+    const CruId p = tree.node(v).parent;
+    if (!p.valid() || !colouring.is_assignable(p)) continue;
+    if (!tried_parents.insert(p.value()).second) continue;
+    const CruNode& pn = tree.node(p);
+    const bool all_cut = std::all_of(pn.children.begin(), pn.children.end(), [&](CruId c) {
+      return in_cut.count(c.value()) != 0;
+    });
+    if (!all_cut) continue;
+    std::vector<CruId> next;
+    next.reserve(cut.size() - pn.children.size() + 1);
+    for (const CruId u : cut) {
+      if (tree.node(u).parent != p) next.push_back(u);
+    }
+    next.push_back(p);
+    out.push_back(std::move(next));
+  }
+  return out;
+}
+
+struct Incumbent {
+  std::optional<Assignment> assignment;
+  DelayBreakdown delay;
+  double value = std::numeric_limits<double>::infinity();
+
+  bool offer(const Assignment& a, const SsbObjective& objective) {
+    const DelayBreakdown d = a.delay();
+    const double v = d.objective(objective);
+    if (v < value) {
+      value = v;
+      delay = d;
+      assignment = a;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Best-improvement hill climbing from `start`; returns moves applied.
+std::size_t climb(const Colouring& colouring, Assignment start, const SsbObjective& objective,
+                  std::size_t max_moves, Incumbent& incumbent) {
+  std::vector<CruId> cut = start.cut_nodes();
+  double current = start.delay().objective(objective);
+  incumbent.offer(start, objective);
+
+  std::size_t moves = 0;
+  while (moves < max_moves) {
+    double best_value = current;
+    std::optional<std::vector<CruId>> best_cut;
+    for (std::vector<CruId>& candidate : neighbours(colouring, cut)) {
+      const Assignment a(colouring, candidate);
+      const double v = a.delay().objective(objective);
+      if (v < best_value) {
+        best_value = v;
+        best_cut = a.cut_nodes();
+      }
+    }
+    if (!best_cut) break;  // local optimum
+    cut = std::move(*best_cut);
+    current = best_value;
+    ++moves;
+    incumbent.offer(Assignment(colouring, cut), objective);
+  }
+  return moves;
+}
+
+}  // namespace
+
+Assignment random_assignment(const Colouring& colouring, Rng& rng) {
+  const CruTree& tree = colouring.tree();
+  std::vector<CruId> cut;
+  std::vector<CruId> stack(colouring.region_roots().begin(), colouring.region_roots().end());
+  while (!stack.empty()) {
+    const CruId v = stack.back();
+    stack.pop_back();
+    if (tree.node(v).is_sensor() || rng.bernoulli(0.5)) {
+      cut.push_back(v);
+      continue;
+    }
+    for (const CruId c : tree.node(v).children) stack.push_back(c);
+  }
+  return Assignment(colouring, std::move(cut));
+}
+
+LocalSearchResult local_search_solve(const Colouring& colouring,
+                                     const LocalSearchOptions& options) {
+  TS_REQUIRE(options.objective.valid(), "local_search: bad objective");
+  TS_REQUIRE(options.restarts >= 1, "local_search: need at least one restart");
+  Rng rng(options.seed);
+  Incumbent incumbent;
+  std::size_t total_moves = 0;
+  std::size_t restarts = 0;
+
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    const Assignment start = r == 0 ? Assignment::topmost(colouring)
+                                    : random_assignment(colouring, rng);
+    total_moves += climb(colouring, start, options.objective, options.max_moves, incumbent);
+    ++restarts;
+  }
+
+  TS_CHECK(incumbent.assignment.has_value(), "local_search: no assignment produced");
+  return LocalSearchResult{std::move(*incumbent.assignment), incumbent.delay, incumbent.value,
+                           total_moves, restarts};
+}
+
+LocalSearchResult greedy_solve(const Colouring& colouring, const SsbObjective& objective) {
+  TS_REQUIRE(objective.valid(), "greedy_solve: bad objective");
+  Incumbent incumbent;
+  const std::size_t moves =
+      climb(colouring, Assignment::topmost(colouring), objective,
+            /*max_moves=*/colouring.tree().size() * 4, incumbent);
+  TS_CHECK(incumbent.assignment.has_value(), "greedy_solve: no assignment produced");
+  return LocalSearchResult{std::move(*incumbent.assignment), incumbent.delay, incumbent.value,
+                           moves, 1};
+}
+
+}  // namespace treesat

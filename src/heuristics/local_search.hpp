@@ -1,0 +1,54 @@
+// Hill-climbing local search over monotone cuts, plus the greedy bottleneck
+// descent baseline. These are the simple comparison points the paper's §6
+// future-work heuristics (GA, branch-and-bound) are measured against in
+// experiment E9.
+//
+// Neighbourhood of a cut set:
+//   * lower(v):  replace cut node v by its children (v moves to the host) --
+//                defined for non-sensor cut nodes;
+//   * raise(p):  replace the full child set of p by p itself (p and its
+//                subtree move to the satellite) -- defined when p is
+//                assignable and every child of p is currently a cut node.
+// Both moves preserve validity, and together they connect the whole cut
+// lattice, so repeated improvement + random restarts explores well.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/assignment.hpp"
+#include "core/objective.hpp"
+
+namespace treesat {
+
+struct LocalSearchOptions {
+  SsbObjective objective = SsbObjective::end_to_end();
+  std::size_t restarts = 8;       ///< random restarts (first start is `topmost`)
+  std::size_t max_moves = 10000;  ///< per restart
+  std::uint64_t seed = 1;
+};
+
+struct LocalSearchResult {
+  Assignment assignment;
+  DelayBreakdown delay;
+  double objective_value = 0.0;
+  std::size_t moves_applied = 0;
+  std::size_t restarts_run = 0;
+};
+
+[[nodiscard]] LocalSearchResult local_search_solve(const Colouring& colouring,
+                                                   const LocalSearchOptions& options = {});
+
+/// Greedy bottleneck descent: start from the topmost cut (minimum host time)
+/// and repeatedly apply the single move that most improves the objective,
+/// stopping at the first local optimum. Deterministic.
+[[nodiscard]] LocalSearchResult greedy_solve(const Colouring& colouring,
+                                             const SsbObjective& objective =
+                                                 SsbObjective::end_to_end());
+
+/// A uniformly random valid assignment (used for restarts and GA seeding):
+/// descends each region from its root, cutting at every node with
+/// probability 1/2 (sensors always cut).
+[[nodiscard]] Assignment random_assignment(const Colouring& colouring, Rng& rng);
+
+}  // namespace treesat

@@ -1,0 +1,131 @@
+#include "io/dot.hpp"
+
+#include <sstream>
+
+namespace treesat {
+
+namespace {
+
+/// A fixed palette cycled by satellite id (matches the paper's R/Y/B/G for
+/// the first four).
+const char* palette(std::size_t colour) {
+  static constexpr const char* kColours[] = {"red",    "gold",   "blue",  "green",
+                                             "purple", "orange", "brown", "cyan"};
+  return kColours[colour % (sizeof(kColours) / sizeof(kColours[0]))];
+}
+
+std::string colour_name(SatelliteId c) {
+  return c.valid() ? palette(c.index()) : "black";
+}
+
+void emit_tree_nodes(std::ostream& os, const CruTree& tree) {
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const CruNode& nd = tree.node(CruId{i});
+    if (nd.is_sensor()) {
+      os << "  n" << i << " [shape=box,label=\"" << nd.name << "\\nsat"
+         << nd.satellite.value() << "\",color=" << palette(nd.satellite.index()) << "];\n";
+    } else {
+      os << "  n" << i << " [shape=ellipse,label=\"" << nd.name << "\\nh=" << nd.host_time
+         << " s=" << nd.sat_time << "\"];\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string tree_to_dot(const CruTree& tree) {
+  std::ostringstream os;
+  os << "digraph cru_tree {\n  rankdir=BT;\n";
+  emit_tree_nodes(os, tree);
+  for (std::size_t i = 1; i < tree.size(); ++i) {
+    const CruNode& nd = tree.node(CruId{i});
+    os << "  n" << i << " -> n" << nd.parent.value() << " [label=\"c=" << nd.comm_up
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string colouring_to_dot(const Colouring& colouring) {
+  const CruTree& tree = colouring.tree();
+  std::ostringstream os;
+  os << "digraph coloured_cru_tree {\n  rankdir=BT;\n";
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const CruNode& nd = tree.node(CruId{i});
+    const bool conflict = colouring.is_conflict(CruId{i});
+    os << "  n" << i << " [shape=" << (nd.is_sensor() ? "box" : "ellipse") << ",label=\""
+       << nd.name << "\"" << (conflict ? ",style=dashed" : "") << "];\n";
+  }
+  for (std::size_t i = 1; i < tree.size(); ++i) {
+    const CruNode& nd = tree.node(CruId{i});
+    // Edge colour = propagated colour of the node below (paper Fig 5);
+    // conflict edges stay black.
+    os << "  n" << i << " -> n" << nd.parent.value() << " [color="
+       << colour_name(colouring.colour(CruId{i})) << ",penwidth=2];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string assignment_to_dot(const Assignment& assignment) {
+  const CruTree& tree = assignment.tree();
+  std::ostringstream os;
+  os << "digraph assignment {\n  rankdir=BT;\n";
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const CruNode& nd = tree.node(CruId{i});
+    const SatelliteId sat = assignment.satellite_of(CruId{i});
+    os << "  n" << i << " [shape=" << (nd.is_sensor() ? "box" : "ellipse") << ",label=\""
+       << nd.name << "\",style=filled,fillcolor="
+       << (sat.valid() ? colour_name(sat) : std::string("lightgrey")) << "];\n";
+  }
+  for (std::size_t i = 1; i < tree.size(); ++i) {
+    const CruNode& nd = tree.node(CruId{i});
+    const bool cut = assignment.placement(CruId{i}) == Placement::kSatellite &&
+                     assignment.placement(nd.parent) == Placement::kHost;
+    os << "  n" << i << " -> n" << nd.parent.value()
+       << (cut ? " [penwidth=3,label=\"cut\"]" : "") << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string dwg_to_dot(const Dwg& graph) {
+  std::ostringstream os;
+  os << "digraph dwg {\n  rankdir=LR;\n";
+  for (std::size_t v = 0; v < graph.vertex_count(); ++v) {
+    os << "  v" << v << " [shape=square,label=\"" << v << "\"];\n";
+  }
+  for (const DwgEdge& e : graph.edges()) {
+    os << "  v" << e.from.value() << " -> v" << e.to.value() << " [label=\"<" << e.sigma
+       << "," << e.beta << ">\"";
+    if (e.colour != kUncoloured) {
+      os << ",color=" << palette(static_cast<std::size_t>(e.colour)) << ",penwidth=2";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string assignment_graph_to_dot(const AssignmentGraph& ag) {
+  const Dwg& g = ag.graph();
+  const CruTree& tree = ag.colouring().tree();
+  std::ostringstream os;
+  os << "digraph assignment_graph {\n  rankdir=LR;\n";
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    std::string label = "F" + std::to_string(v);
+    if (v == ag.source().index()) label = "S";
+    if (v == ag.target().index()) label = "T";
+    os << "  v" << v << " [shape=square,label=\"" << label << "\"];\n";
+  }
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const DwgEdge& de = g.edge(EdgeId{e});
+    os << "  v" << de.from.value() << " -> v" << de.to.value() << " [label=\""
+       << tree.node(ag.cut_node(EdgeId{e})).name << " <" << de.sigma << "," << de.beta
+       << ">\",color=" << palette(static_cast<std::size_t>(de.colour)) << ",penwidth=2];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace treesat

@@ -1,0 +1,34 @@
+// Graphviz DOT export for CRU trees, colourings, assignments and DWGs.
+// Used by the examples to produce the paper-figure-style visualizations
+// (Fig 2/5: the coloured tree; Fig 6: the coloured assignment graph).
+#pragma once
+
+#include <string>
+
+#include "core/assignment.hpp"
+#include "core/assignment_graph.hpp"
+#include "core/colouring.hpp"
+#include "graph/dwg.hpp"
+#include "tree/cru_tree.hpp"
+
+namespace treesat {
+
+/// Plain tree: nodes with h/s labels, sensors as boxes tagged with their
+/// satellite.
+[[nodiscard]] std::string tree_to_dot(const CruTree& tree);
+
+/// Coloured tree (paper Fig 5): edges painted with their propagated
+/// satellite colour; conflict nodes dashed.
+[[nodiscard]] std::string colouring_to_dot(const Colouring& colouring);
+
+/// Assignment rendering: satellite-resident subtrees in their colour,
+/// host-resident nodes grey, cut edges bold.
+[[nodiscard]] std::string assignment_to_dot(const Assignment& assignment);
+
+/// A DWG (paper Fig 4/6 style): edges labelled <σ,β>, coloured when tagged.
+[[nodiscard]] std::string dwg_to_dot(const Dwg& graph);
+
+/// The coloured assignment graph with face vertices S, F1..F(L-1), T.
+[[nodiscard]] std::string assignment_graph_to_dot(const AssignmentGraph& ag);
+
+}  // namespace treesat

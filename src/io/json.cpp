@@ -1,0 +1,148 @@
+#include "io/json.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace treesat {
+
+namespace {
+
+/// Shortest round-trippable double formatting ("%.17g" trimmed via %g).
+std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back == v) {
+    // Try shorter representations first for readability.
+    for (int precision = 6; precision < 17; ++precision) {
+      char shorter[64];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+      std::sscanf(shorter, "%lf", &back);
+      if (back == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string tree_to_json(const CruTree& tree) {
+  std::ostringstream os;
+  os << "{\"nodes\":[";
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const CruNode& nd = tree.node(CruId{i});
+    if (i) os << ',';
+    os << "{\"id\":" << i << ",\"name\":\"" << json_escape(nd.name) << "\",\"kind\":\""
+       << (nd.is_sensor() ? "sensor" : "compute") << "\",\"parent\":";
+    if (nd.parent.valid()) {
+      os << nd.parent.value();
+    } else {
+      os << "null";
+    }
+    os << ",\"host_time\":" << number(nd.host_time)
+       << ",\"sat_time\":" << number(nd.sat_time)
+       << ",\"comm_up\":" << number(nd.comm_up);
+    if (nd.satellite.valid()) {
+      os << ",\"satellite\":" << nd.satellite.value();
+    }
+    os << '}';
+  }
+  os << "],\"sensor_count\":" << tree.sensor_count()
+     << ",\"satellite_count\":" << tree.satellite_count() << '}';
+  return os.str();
+}
+
+std::string assignment_to_json(const Assignment& assignment) {
+  const CruTree& tree = assignment.tree();
+  const DelayBreakdown d = assignment.delay();
+  std::ostringstream os;
+  os << "{\"placements\":[";
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (i) os << ',';
+    const SatelliteId sat = assignment.satellite_of(CruId{i});
+    os << "{\"name\":\"" << json_escape(tree.node(CruId{i}).name) << "\",\"on\":";
+    if (sat.valid()) {
+      os << "\"satellite\",\"satellite\":" << sat.value();
+    } else {
+      os << "\"host\"";
+    }
+    os << '}';
+  }
+  os << "],\"cut\":[";
+  for (std::size_t i = 0; i < assignment.cut_nodes().size(); ++i) {
+    if (i) os << ',';
+    os << '"' << json_escape(tree.node(assignment.cut_nodes()[i]).name) << '"';
+  }
+  os << "],\"delay\":{\"host_time\":" << number(d.host_time)
+     << ",\"bottleneck\":" << number(d.bottleneck) << ",\"end_to_end\":"
+     << number(d.end_to_end()) << ",\"satellite_time\":[";
+  for (std::size_t c = 0; c < d.satellite_time.size(); ++c) {
+    if (c) os << ',';
+    os << number(d.satellite_time[c]);
+  }
+  os << "]}}";
+  return os.str();
+}
+
+std::string summary_to_json(const SolveSummary& summary) {
+  std::ostringstream os;
+  os << "{\"method\":\"" << json_escape(summary.method) << "\",\"exact\":"
+     << (summary.exact ? "true" : "false")
+     << ",\"objective\":" << number(summary.objective_value)
+     << ",\"wall_seconds\":" << number(summary.wall_seconds)
+     << ",\"assignment\":" << assignment_to_json(summary.assignment) << '}';
+  return os.str();
+}
+
+std::string sim_to_json(const SimResult& result) {
+  std::ostringstream os;
+  os << "{\"frames\":[";
+  for (std::size_t f = 0; f < result.frames.size(); ++f) {
+    if (f) os << ',';
+    os << "{\"release\":" << number(result.frames[f].release)
+       << ",\"completion\":" << number(result.frames[f].completion)
+       << ",\"latency\":" << number(result.frames[f].latency()) << '}';
+  }
+  os << "],\"makespan\":" << number(result.makespan)
+     << ",\"mean_latency\":" << number(result.mean_latency)
+     << ",\"max_latency\":" << number(result.max_latency)
+     << ",\"throughput\":" << number(result.throughput())
+     << ",\"host_busy\":" << number(result.host_busy) << ",\"sat_busy\":[";
+  for (std::size_t c = 0; c < result.sat_busy.size(); ++c) {
+    if (c) os << ',';
+    os << number(result.sat_busy[c]);
+  }
+  os << "],\"uplink_busy\":[";
+  for (std::size_t c = 0; c < result.uplink_busy.size(); ++c) {
+    if (c) os << ',';
+    os << number(result.uplink_busy[c]);
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace treesat

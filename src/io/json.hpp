@@ -1,0 +1,33 @@
+// JSON export of treesat's result objects -- the machine-readable side of
+// the experiment pipeline (the Table writer covers the human-readable side).
+// Emits standards-compliant JSON with escaped strings; numbers use
+// round-trippable shortest formatting. Writer-only by design: treesat's
+// ingestion format is the line-based tree text (tree/serialize.hpp), which
+// stays trivially diffable; JSON is for dashboards and plotting scripts.
+#pragma once
+
+#include <string>
+
+#include "core/assignment.hpp"
+#include "core/solver.hpp"
+#include "sim/simulator.hpp"
+#include "tree/cru_tree.hpp"
+
+namespace treesat {
+
+/// The tree with per-node costs and structure.
+[[nodiscard]] std::string tree_to_json(const CruTree& tree);
+
+/// Placement of every CRU plus the delay breakdown.
+[[nodiscard]] std::string assignment_to_json(const Assignment& assignment);
+
+/// A solver run: method, exactness, value, timing, and the assignment.
+[[nodiscard]] std::string summary_to_json(const SolveSummary& summary);
+
+/// A simulation: per-frame traces and resource busy times.
+[[nodiscard]] std::string sim_to_json(const SimResult& result);
+
+/// Escapes a string for inclusion inside JSON quotes.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace treesat

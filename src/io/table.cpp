@@ -1,0 +1,63 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace treesat {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  TS_REQUIRE(!header_.empty(), "Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  TS_REQUIRE(row.size() == header_.size(),
+             "Table: row has " << row.size() << " cells, header has " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::format_cell(double v) {
+  std::ostringstream oss;
+  oss << std::setprecision(5) << v;
+  return oss.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cells[c];
+    }
+    os << '\n';
+  };
+  line(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    rule += std::string(width[c], '-') + "  ";
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  line(header_);
+  for (const auto& row : rows_) line(row);
+}
+
+}  // namespace treesat

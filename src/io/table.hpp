@@ -1,0 +1,44 @@
+// Minimal aligned-table and CSV writers for the benchmark harnesses, so that
+// every experiment binary prints paper-style rows without pulling in a
+// formatting dependency.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace treesat {
+
+/// Collects rows of strings and prints them either as an aligned text table
+/// (for terminals / EXPERIMENTS.md) or as CSV (for plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic values with `precision` significant
+  /// digits, strings verbatim.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(std::size_t v) { return std::to_string(v); }
+  static std::string format_cell(int v) { return std::to_string(v); }
+  static std::string format_cell(bool v) { return v ? "yes" : "no"; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace treesat

@@ -1,0 +1,46 @@
+#include "platform/host_satellite_system.hpp"
+
+namespace treesat {
+
+HostSatelliteSystem::HostSatelliteSystem(std::string host_name, double host_speed_ops_per_s)
+    : host_name_(std::move(host_name)), host_speed_(host_speed_ops_per_s) {
+  TS_REQUIRE(host_speed_ > 0.0, "host speed must be positive, got " << host_speed_);
+}
+
+SatelliteId HostSatelliteSystem::add_satellite(SatelliteSpec spec) {
+  TS_REQUIRE(spec.speed_ops_per_s > 0.0,
+             "satellite speed must be positive, got " << spec.speed_ops_per_s);
+  TS_REQUIRE(spec.uplink.bandwidth_bytes_per_s > 0.0,
+             "uplink bandwidth must be positive, got " << spec.uplink.bandwidth_bytes_per_s);
+  TS_REQUIRE(spec.uplink.latency_s >= 0.0,
+             "uplink latency must be non-negative, got " << spec.uplink.latency_s);
+  const SatelliteId id{satellites_.size()};
+  satellites_.push_back(std::move(spec));
+  return id;
+}
+
+double HostSatelliteSystem::host_exec_time(double ops) const {
+  TS_REQUIRE(ops >= 0.0, "host_exec_time: negative op count " << ops);
+  return ops / host_speed_;
+}
+
+double HostSatelliteSystem::sat_exec_time(SatelliteId id, double ops) const {
+  TS_REQUIRE(ops >= 0.0, "sat_exec_time: negative op count " << ops);
+  return ops / satellite(id).speed_ops_per_s;
+}
+
+double HostSatelliteSystem::uplink_time(SatelliteId id, double bytes) const {
+  return satellite(id).uplink.transfer_time(bytes);
+}
+
+HostSatelliteSystem HostSatelliteSystem::homogeneous(std::size_t satellite_count,
+                                                     double host_speed, double sat_speed,
+                                                     LinkSpec link) {
+  HostSatelliteSystem sys("host", host_speed);
+  for (std::size_t i = 0; i < satellite_count; ++i) {
+    sys.add_satellite(SatelliteSpec{"sat" + std::to_string(i), sat_speed, link});
+  }
+  return sys;
+}
+
+}  // namespace treesat

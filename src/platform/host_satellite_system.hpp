@@ -1,0 +1,76 @@
+// Platform model: a star network of one host and K satellites (paper §3).
+//
+// The paper's optimization consumes only three derived constants per CRU --
+// h_i, s_i and c_ij -- which the authors obtain by "analytical benchmarking
+// or task profiling" (§5.3). This module is that benchmarking layer: it
+// describes devices (instruction rates) and links (latency + bandwidth), and
+// lowers *profiled* workloads (operation counts, frame sizes) into the
+// CruTree cost constants. The discrete-event simulator consumes the same
+// specs so that analytic predictions and simulated executions share one
+// source of truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/ids.hpp"
+
+namespace treesat {
+
+/// A point-to-point link between a satellite and the host.
+struct LinkSpec {
+  double latency_s = 0.0;             ///< one-way propagation + protocol latency [s]
+  double bandwidth_bytes_per_s = 1.0; ///< sustained throughput [B/s]
+
+  /// Time to move one frame of `bytes` across the link.
+  [[nodiscard]] double transfer_time(double bytes) const {
+    TS_REQUIRE(bytes >= 0.0, "transfer_time: negative frame size " << bytes);
+    return latency_s + bytes / bandwidth_bytes_per_s;
+  }
+};
+
+/// One satellite device (a sensor box in the tele-monitoring application).
+struct SatelliteSpec {
+  std::string name;
+  double speed_ops_per_s = 1.0;  ///< compute rate [op/s]
+  LinkSpec uplink;               ///< satellite -> host link
+};
+
+/// The star platform: host + satellites.
+class HostSatelliteSystem {
+ public:
+  /// `host_speed_ops_per_s` is the host device's compute rate (the mobile
+  /// terminal in the paper's example).
+  explicit HostSatelliteSystem(std::string host_name, double host_speed_ops_per_s);
+
+  /// Registers a satellite; returns its id (== colour in the paper's
+  /// colouring scheme).
+  SatelliteId add_satellite(SatelliteSpec spec);
+
+  [[nodiscard]] const std::string& host_name() const { return host_name_; }
+  [[nodiscard]] double host_speed() const { return host_speed_; }
+  [[nodiscard]] std::size_t satellite_count() const { return satellites_.size(); }
+  [[nodiscard]] const SatelliteSpec& satellite(SatelliteId id) const {
+    return satellites_.at(id.index());
+  }
+
+  /// Execution time of `ops` operations on the host.
+  [[nodiscard]] double host_exec_time(double ops) const;
+  /// Execution time of `ops` operations on satellite `id`.
+  [[nodiscard]] double sat_exec_time(SatelliteId id, double ops) const;
+  /// Time to ship a `bytes`-sized frame from satellite `id` to the host.
+  [[nodiscard]] double uplink_time(SatelliteId id, double bytes) const;
+
+  /// Homogeneous convenience factory: K identical satellites whose compute
+  /// rate is `sat_speed` and whose uplinks share `link`.
+  static HostSatelliteSystem homogeneous(std::size_t satellite_count, double host_speed,
+                                         double sat_speed, LinkSpec link);
+
+ private:
+  std::string host_name_;
+  double host_speed_;
+  std::vector<SatelliteSpec> satellites_;
+};
+
+}  // namespace treesat

@@ -1,0 +1,120 @@
+#include "platform/profiled_tree.hpp"
+
+#include <algorithm>
+
+namespace treesat {
+
+CruId ProfiledTree::add_root(std::string name, double work_ops, double out_frame_bytes) {
+  TS_REQUIRE(nodes_.empty(), "add_root must be the first node added");
+  ProfiledNode node;
+  node.name = std::move(name);
+  node.work_ops = work_ops;
+  node.out_frame_bytes = out_frame_bytes;
+  return add_node(std::move(node), CruId{});
+}
+
+CruId ProfiledTree::add_compute(CruId parent, std::string name, double work_ops,
+                                double out_frame_bytes) {
+  TS_REQUIRE(work_ops >= 0.0, "add_compute: negative work " << work_ops);
+  TS_REQUIRE(out_frame_bytes >= 0.0, "add_compute: negative frame size " << out_frame_bytes);
+  ProfiledNode node;
+  node.name = std::move(name);
+  node.work_ops = work_ops;
+  node.out_frame_bytes = out_frame_bytes;
+  return add_node(std::move(node), parent);
+}
+
+CruId ProfiledTree::add_sensor(CruId parent, std::string name, SatelliteId satellite,
+                               double raw_frame_bytes) {
+  TS_REQUIRE(satellite.valid(), "add_sensor: invalid satellite");
+  TS_REQUIRE(raw_frame_bytes >= 0.0, "add_sensor: negative frame size " << raw_frame_bytes);
+  ProfiledNode node;
+  node.name = std::move(name);
+  node.kind = CruKind::kSensor;
+  node.out_frame_bytes = raw_frame_bytes;
+  node.satellite = satellite;
+  satellite_count_ = std::max(satellite_count_, satellite.index() + 1);
+  return add_node(std::move(node), parent);
+}
+
+CruId ProfiledTree::add_node(ProfiledNode node, CruId parent) {
+  if (!nodes_.empty()) {
+    TS_REQUIRE(parent.valid() && parent.index() < nodes_.size(),
+               "ProfiledTree: bad parent " << parent);
+    TS_REQUIRE(nodes_[parent.index()].kind != CruKind::kSensor,
+               "ProfiledTree: sensors cannot have children");
+  }
+  const CruId id{nodes_.size()};
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  if (parent.valid()) nodes_[parent.index()].children.push_back(id);
+  return id;
+}
+
+std::vector<SatelliteId> ProfiledTree::correspondent_satellites() const {
+  std::vector<SatelliteId> colour(nodes_.size());
+  std::vector<bool> conflict(nodes_.size(), false);
+  // Children were appended after their parents, so iterating ids backwards
+  // is a valid postorder substitute.
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    const ProfiledNode& nd = nodes_[i];
+    if (nd.kind == CruKind::kSensor) {
+      colour[i] = nd.satellite;
+      continue;
+    }
+    SatelliteId common;
+    bool clash = false;
+    for (const CruId c : nd.children) {
+      if (conflict[c.index()] || !colour[c.index()].valid()) {
+        clash = true;
+        break;
+      }
+      if (!common.valid()) {
+        common = colour[c.index()];
+      } else if (common != colour[c.index()]) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) {
+      conflict[i] = true;  // colour[i] stays invalid
+    } else {
+      colour[i] = common;
+    }
+  }
+  return colour;
+}
+
+CruTree ProfiledTree::lower(const HostSatelliteSystem& sys) const {
+  TS_REQUIRE(!nodes_.empty(), "lower: empty profiled tree");
+  TS_REQUIRE(satellite_count_ <= sys.satellite_count(),
+             "lower: workload references satellite id "
+                 << satellite_count_ - 1 << " but the platform has only "
+                 << sys.satellite_count() << " satellites");
+
+  const std::vector<SatelliteId> colour = correspondent_satellites();
+  CruTreeBuilder builder;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const ProfiledNode& nd = nodes_[i];
+    if (!nd.parent.valid()) {
+      builder.root(nd.name, sys.host_exec_time(nd.work_ops));
+      continue;
+    }
+    if (nd.kind == CruKind::kSensor) {
+      builder.sensor(nd.parent, nd.name, nd.satellite,
+                     sys.uplink_time(nd.satellite, nd.out_frame_bytes));
+      continue;
+    }
+    const double h = sys.host_exec_time(nd.work_ops);
+    double s = 0.0;
+    double c = 0.0;
+    if (colour[i].valid()) {  // monochromatic: satellite placement possible
+      s = sys.sat_exec_time(colour[i], nd.work_ops);
+      c = sys.uplink_time(colour[i], nd.out_frame_bytes);
+    }
+    builder.compute(nd.parent, nd.name, h, s, c);
+  }
+  return builder.build();
+}
+
+}  // namespace treesat

@@ -1,0 +1,66 @@
+// Profiled workloads and their lowering to CRU-tree cost constants.
+//
+// A ProfiledTree is the device-independent description of a context
+// reasoning procedure: per-CRU operation counts and per-edge output frame
+// sizes, with sensors pinned to satellites. Combining it with a
+// HostSatelliteSystem ("analytical benchmarking", paper §5.3) yields the
+// CruTree whose h/s/c constants the optimizer consumes:
+//
+//   h_i = ops_i / host_speed
+//   s_i = ops_i / speed(correspondent satellite of i)
+//   c_{i,parent} = uplink latency + frame_bytes_i / uplink bandwidth
+//
+// A CRU whose subtree spans several satellites has no correspondent
+// satellite; it can only ever run on the host, so its s and comm constants
+// are never read. The lowering sets them to zero rather than a poisoned
+// value so that subtree sums over *monochromatic* regions stay exact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/host_satellite_system.hpp"
+#include "tree/cru_tree.hpp"
+
+namespace treesat {
+
+/// One node of a profiled reasoning procedure.
+struct ProfiledNode {
+  std::string name;
+  CruKind kind = CruKind::kCompute;
+  CruId parent;                  ///< invalid for the root
+  std::vector<CruId> children;
+  double work_ops = 0.0;         ///< operations per frame (0 for sensors)
+  double out_frame_bytes = 0.0;  ///< size of the node's output frame
+  SatelliteId satellite;         ///< sensors only: the wired satellite
+};
+
+/// Device-independent workload description. Build with the add_* methods in
+/// parent-before-child order (mirrors CruTreeBuilder).
+class ProfiledTree {
+ public:
+  CruId add_root(std::string name, double work_ops, double out_frame_bytes = 0.0);
+  CruId add_compute(CruId parent, std::string name, double work_ops, double out_frame_bytes);
+  CruId add_sensor(CruId parent, std::string name, SatelliteId satellite,
+                   double raw_frame_bytes);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const ProfiledNode& node(CruId id) const { return nodes_.at(id.index()); }
+  [[nodiscard]] std::size_t satellite_count() const { return satellite_count_; }
+
+  /// The correspondent satellite of each node: its own pin for sensors, the
+  /// common pin of all sensors below for internal nodes, invalid for
+  /// multi-satellite ("conflict") nodes. Computed bottom-up.
+  [[nodiscard]] std::vector<SatelliteId> correspondent_satellites() const;
+
+  /// Lowers this workload against `sys` into optimizer-ready cost constants.
+  /// Requires every sensor's satellite id to exist in `sys`.
+  [[nodiscard]] CruTree lower(const HostSatelliteSystem& sys) const;
+
+ private:
+  CruId add_node(ProfiledNode node, CruId parent);
+  std::vector<ProfiledNode> nodes_;
+  std::size_t satellite_count_ = 0;
+};
+
+}  // namespace treesat

@@ -1,0 +1,292 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace treesat {
+
+namespace {
+
+/// Resources are identified by dense indices: host CPU, then satellite CPUs,
+/// then satellite uplinks.
+struct ResourceMap {
+  std::size_t satellites;
+  [[nodiscard]] std::size_t host() const { return 0; }
+  [[nodiscard]] std::size_t sat_cpu(SatelliteId c) const { return 1 + c.index(); }
+  [[nodiscard]] std::size_t uplink(SatelliteId c) const { return 1 + satellites + c.index(); }
+  [[nodiscard]] std::size_t count() const { return 1 + 2 * satellites; }
+};
+
+/// A schedulable unit: a CRU execution or a frame transmission.
+struct Task {
+  std::size_t frame;
+  CruId node;
+  bool transmission;   ///< uplink transfer of `node`'s output
+  double duration;
+  std::size_t order;   ///< postorder position for deterministic tie-break
+};
+
+struct TaskKey {
+  std::size_t frame;
+  std::size_t order;
+  bool transmission;
+  friend bool operator>(const TaskKey& a, const TaskKey& b) {
+    if (a.frame != b.frame) return a.frame > b.frame;
+    if (a.order != b.order) return a.order > b.order;
+    return a.transmission && !b.transmission;
+  }
+};
+
+/// One single-server FIFO resource with a deterministic ready queue.
+struct Resource {
+  double free_at = 0.0;
+  double busy = 0.0;
+  using Entry = std::pair<TaskKey, std::size_t>;  // key, task index
+  struct Greater {
+    bool operator()(const Entry& a, const Entry& b) const { return a.first > b.first; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Greater> ready;
+};
+
+struct Event {
+  double time;
+  std::size_t seq;      // FIFO among simultaneous events
+  std::size_t task;     // completed task index
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+SimResult simulate(const Assignment& assignment, const SimOptions& options) {
+  TS_REQUIRE(options.frames >= 1, "simulate: need at least one frame");
+  TS_REQUIRE(options.frame_interval >= 0.0, "simulate: negative frame interval");
+
+  const CruTree& tree = assignment.tree();
+  const Colouring& colouring = assignment.colouring();
+  const std::size_t n = tree.size();
+  const std::size_t frames = options.frames;
+  const ResourceMap rmap{tree.satellite_count()};
+
+  // Postorder positions give the deterministic intra-frame dispatch order
+  // and guarantee children-before-parents on shared resources.
+  std::vector<std::size_t> post_pos(n, 0);
+  for (std::size_t i = 0; i < tree.postorder().size(); ++i) {
+    post_pos[tree.postorder()[i].index()] = i;
+  }
+
+  // Static task table: per frame, one execution task per node, plus one
+  // transmission task per cut node (order inherited from the node).
+  // Task index layout: frame * per_frame + slot.
+  const std::vector<CruId>& cuts = assignment.cut_nodes();
+  const std::size_t per_frame = n + cuts.size();
+  std::vector<Task> tasks(frames * per_frame);
+  std::vector<std::size_t> tx_slot(n, per_frame);  // node -> slot of its transmission
+  for (std::size_t c = 0; c < cuts.size(); ++c) tx_slot[cuts[c].index()] = n + c;
+
+  const auto exec_duration = [&](CruId v) {
+    const CruNode& nd = tree.node(v);
+    if (nd.is_sensor()) return 0.0;
+    return assignment.placement(v) == Placement::kHost ? nd.host_time : nd.sat_time;
+  };
+  const auto resource_of = [&](const Task& t) -> std::size_t {
+    if (t.transmission) return rmap.uplink(colouring.colour(t.node));
+    if (assignment.placement(t.node) == Placement::kHost) return rmap.host();
+    return rmap.sat_cpu(colouring.colour(t.node));
+  };
+
+  for (std::size_t f = 0; f < frames; ++f) {
+    for (std::size_t v = 0; v < n; ++v) {
+      tasks[f * per_frame + v] =
+          Task{f, CruId{v}, false, exec_duration(CruId{v}), post_pos[v]};
+    }
+    for (std::size_t c = 0; c < cuts.size(); ++c) {
+      const CruId v = cuts[c];
+      tasks[f * per_frame + n + c] =
+          Task{f, v, true, tree.node(v).comm_up, post_pos[v.index()]};
+    }
+  }
+
+  // Dependency counters. Execution of node v waits for:
+  //   * each satellite-side child on the same device: its execution;
+  //   * (host nodes) each child that is a cut node: its transmission --
+  //     or, in barrier mode, one aggregate "all deliveries of the frame"
+  //     dependency (plus host-side children individually);
+  //   * sensors: the frame release only.
+  // Transmission of cut node v waits for: v's execution, or -- under
+  // kAfterAllCompute -- all of its satellite's executions for the frame.
+  std::vector<std::size_t> deps(tasks.size(), 0);
+  std::vector<std::vector<std::size_t>> dependents(tasks.size());
+  // Barrier bookkeeping: per frame, outstanding deliveries; host tasks hold
+  // one synthetic dep released when the count hits zero.
+  std::vector<std::size_t> barrier_left(frames, cuts.size());
+  // After-all-compute bookkeeping: per (frame, satellite), outstanding
+  // executions; transmissions hold one synthetic dep each.
+  std::vector<std::size_t> sat_exec_total(tree.satellite_count(), 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (assignment.placement(CruId{v}) == Placement::kSatellite) {
+      ++sat_exec_total[colouring.colour(CruId{v}).index()];
+    }
+  }
+  std::vector<std::vector<std::size_t>> sat_exec_left(
+      frames, std::vector<std::size_t>(tree.satellite_count()));
+  for (std::size_t f = 0; f < frames; ++f) sat_exec_left[f] = sat_exec_total;
+
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::size_t base = f * per_frame;
+    for (std::size_t v = 0; v < n; ++v) {
+      const CruId node{v};
+      const std::size_t exec = base + v;
+      const bool on_host = assignment.placement(node) == Placement::kHost;
+      for (const CruId ch : tree.node(node).children) {
+        const bool child_cut = tx_slot[ch.index()] != per_frame;
+        if (!on_host) {
+          // Satellite node: children live on the same satellite CPU.
+          ++deps[exec];
+          dependents[base + ch.index()].push_back(exec);
+        } else if (child_cut) {
+          if (options.host_rule == HostStartRule::kDataflow) {
+            ++deps[exec];
+            dependents[base + tx_slot[ch.index()]].push_back(exec);
+          }
+          // Barrier mode: covered by the synthetic frame barrier below.
+        } else {
+          // Host child of a host node.
+          ++deps[exec];
+          dependents[base + ch.index()].push_back(exec);
+        }
+      }
+      if (on_host && options.host_rule == HostStartRule::kBarrier && !cuts.empty()) {
+        ++deps[exec];  // released when barrier_left[f] reaches zero
+      }
+      // Transmissions.
+      if (tx_slot[v] != per_frame) {
+        const std::size_t tx = base + tx_slot[v];
+        if (options.transmit_rule == TransmitRule::kOverlapped) {
+          ++deps[tx];
+          dependents[exec].push_back(tx);
+        } else {
+          ++deps[tx];  // released when the satellite's executions all finish
+        }
+      }
+    }
+  }
+
+  // --- Engine ---
+  std::vector<Resource> resources(rmap.count());
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::size_t seq = 0;
+  SimResult result;
+  result.frames.assign(frames, FrameTrace{});
+  result.sat_busy.assign(tree.satellite_count(), 0.0);
+  result.uplink_busy.assign(tree.satellite_count(), 0.0);
+
+  // Dispatches the highest-priority ready task iff the server is idle at
+  // `now`; queued tasks are picked up again by their predecessor's
+  // completion event, which preserves strict priority order (a task that
+  // becomes ready before the server frees must be able to overtake).
+  const auto dispatch = [&](std::size_t rid, double now) {
+    Resource& r = resources[rid];
+    if (r.free_at > now || r.ready.empty()) return;
+    const std::size_t ti = r.ready.top().second;
+    r.ready.pop();
+    const double end = now + tasks[ti].duration;
+    r.free_at = end;
+    r.busy += tasks[ti].duration;
+    events.push(Event{end, seq++, ti});
+  };
+  const auto make_ready = [&](std::size_t ti, double now) {
+    const std::size_t rid = resource_of(tasks[ti]);
+    resources[rid].ready.push(
+        {TaskKey{tasks[ti].frame, tasks[ti].order, tasks[ti].transmission}, ti});
+    dispatch(rid, now);
+  };
+  const auto satisfy = [&](std::size_t ti, double now) {
+    TS_CHECK(deps[ti] > 0, "dependency underflow on task " << ti);
+    if (--deps[ti] == 0) make_ready(ti, now);
+  };
+
+  // Frame releases are synthetic events (task index >= tasks.size(), frame
+  // encoded as the offset); they enqueue the frame's sensor executions.
+  for (std::size_t f = 0; f < frames; ++f) {
+    const double release = static_cast<double>(f) * options.frame_interval;
+    result.frames[f].release = release;
+    events.push(Event{release, seq++, tasks.size() + f});
+  }
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    ++result.events_processed;
+    const std::size_t ti = ev.task;
+
+    if (ti >= tasks.size()) {  // frame release
+      const std::size_t f = ti - tasks.size();
+      for (const CruId v : tree.sensors_left_to_right()) {
+        make_ready(f * per_frame + v.index(), ev.time);
+      }
+      continue;
+    }
+    Task& task = tasks[ti];
+
+    // Task `ti` finished at ev.time.
+    const std::size_t rid = resource_of(task);
+    const std::size_t f = task.frame;
+    for (const std::size_t dep : dependents[ti]) satisfy(dep, ev.time);
+
+    if (!task.transmission) {
+      if (task.node == tree.root()) {
+        result.frames[f].completion = ev.time;
+      }
+      if (assignment.placement(task.node) == Placement::kSatellite &&
+          options.transmit_rule == TransmitRule::kAfterAllCompute) {
+        const SatelliteId c = colouring.colour(task.node);
+        TS_CHECK(sat_exec_left[f][c.index()] > 0, "satellite exec underflow");
+        if (--sat_exec_left[f][c.index()] == 0) {
+          // All of satellite c's compute done: release its transmissions.
+          for (const CruId v : cuts) {
+            if (colouring.colour(v) == c) {
+              satisfy(f * per_frame + tx_slot[v.index()], ev.time);
+            }
+          }
+        }
+      }
+    } else {
+      // A delivery reached the host.
+      if (options.host_rule == HostStartRule::kBarrier) {
+        TS_CHECK(barrier_left[f] > 0, "barrier underflow");
+        if (--barrier_left[f] == 0) {
+          for (std::size_t v = 0; v < n; ++v) {
+            if (assignment.placement(CruId{v}) == Placement::kHost) {
+              satisfy(f * per_frame + v, ev.time);
+            }
+          }
+        }
+      }
+    }
+    dispatch(rid, ev.time);
+  }
+
+  // Sanity: every task ran.
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+    TS_CHECK(deps[ti] == 0, "simulate: deadlock, task " << ti << " never became ready");
+  }
+
+  for (const FrameTrace& tr : result.frames) {
+    result.makespan = std::max(result.makespan, tr.completion);
+    result.mean_latency += tr.latency();
+    result.max_latency = std::max(result.max_latency, tr.latency());
+  }
+  result.mean_latency /= static_cast<double>(frames);
+  result.host_busy = resources[rmap.host()].busy;
+  for (std::size_t c = 0; c < tree.satellite_count(); ++c) {
+    result.sat_busy[c] = resources[rmap.sat_cpu(SatelliteId{c})].busy;
+    result.uplink_busy[c] = resources[rmap.uplink(SatelliteId{c})].busy;
+  }
+  return result;
+}
+
+}  // namespace treesat

@@ -1,0 +1,55 @@
+#include "tree/lca.hpp"
+
+#include <bit>
+
+namespace treesat {
+
+LcaIndex::LcaIndex(const CruTree& tree) : tree_(tree) {
+  const std::size_t n = tree.size();
+  levels_ = std::max<std::size_t>(1, std::bit_width(n));
+  up_.assign(levels_, std::vector<CruId>(n));
+  for (std::size_t v = 0; v < n; ++v) {
+    up_[0][v] = tree.node(CruId{v}).parent;
+  }
+  for (std::size_t k = 1; k < levels_; ++k) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const CruId half = up_[k - 1][v];
+      up_[k][v] = half.valid() ? up_[k - 1][half.index()] : CruId{};
+    }
+  }
+}
+
+CruId LcaIndex::ancestor(CruId v, std::size_t steps) const {
+  TS_REQUIRE(v.valid() && v.index() < tree_.size(), "ancestor: bad node " << v);
+  for (std::size_t k = 0; k < levels_ && v.valid(); ++k) {
+    if (steps & (std::size_t{1} << k)) {
+      v = up_[k][v.index()];
+    }
+  }
+  if (steps >> levels_ != 0) return CruId{};
+  return v;
+}
+
+CruId LcaIndex::lca(CruId u, CruId v) const {
+  TS_REQUIRE(u.valid() && u.index() < tree_.size(), "lca: bad node " << u);
+  TS_REQUIRE(v.valid() && v.index() < tree_.size(), "lca: bad node " << v);
+  std::size_t du = tree_.depth(u);
+  std::size_t dv = tree_.depth(v);
+  if (du < dv) {
+    std::swap(u, v);
+    std::swap(du, dv);
+  }
+  u = ancestor(u, du - dv);
+  if (u == v) return u;
+  for (std::size_t k = levels_; k-- > 0;) {
+    const CruId au = up_[k][u.index()];
+    const CruId av = up_[k][v.index()];
+    if (au != av) {
+      u = au;
+      v = av;
+    }
+  }
+  return up_[0][u.index()];
+}
+
+}  // namespace treesat

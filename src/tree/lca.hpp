@@ -1,0 +1,31 @@
+// Lowest-common-ancestor queries on a CruTree via binary lifting.
+//
+// Needed by the Bokhari baseline (his original problem constrains two nodes
+// on the same satellite to share their LCA's placement, paper §2 constraint
+// 1) and by the tree validators. O(n log n) preprocessing, O(log n) query.
+#pragma once
+
+#include <vector>
+
+#include "tree/cru_tree.hpp"
+
+namespace treesat {
+
+class LcaIndex {
+ public:
+  explicit LcaIndex(const CruTree& tree);
+
+  /// Lowest common ancestor of u and v.
+  [[nodiscard]] CruId lca(CruId u, CruId v) const;
+
+  /// Ancestor of v exactly `steps` levels up; invalid id if above the root.
+  [[nodiscard]] CruId ancestor(CruId v, std::size_t steps) const;
+
+ private:
+  const CruTree& tree_;
+  std::size_t levels_;
+  // up_[k][v] = 2^k-th ancestor of v (invalid when above the root).
+  std::vector<std::vector<CruId>> up_;
+};
+
+}  // namespace treesat

@@ -1,0 +1,107 @@
+#include "tree/serialize.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace treesat {
+
+namespace {
+
+bool has_whitespace(const std::string& s) {
+  return std::any_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isspace(c) != 0; });
+}
+
+}  // namespace
+
+void write_text(std::ostream& os, const CruTree& tree) {
+  os << "cru_tree v1\n";
+  os << "# id parent kind name host_time sat_time comm_up satellite\n";
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const CruNode& nd = tree.node(CruId{i});
+    TS_REQUIRE(!nd.name.empty() && !has_whitespace(nd.name),
+               "write_text: node " << i << " has an unserializable name '" << nd.name << "'");
+    os << i << ' ';
+    if (nd.parent.valid()) {
+      os << nd.parent.value();
+    } else {
+      os << '-';
+    }
+    os << ' ' << (nd.is_sensor() ? "sensor" : "compute") << ' ' << nd.name << ' '
+       << nd.host_time << ' ' << nd.sat_time << ' ' << nd.comm_up << ' ';
+    if (nd.satellite.valid()) {
+      os << nd.satellite.value();
+    } else {
+      os << '-';
+    }
+    os << '\n';
+  }
+}
+
+std::string to_text(const CruTree& tree) {
+  std::ostringstream oss;
+  write_text(oss, tree);
+  return oss.str();
+}
+
+CruTree read_text(std::istream& is) {
+  std::string header;
+  std::getline(is, header);
+  TS_REQUIRE(header == "cru_tree v1", "read_text: bad header '" << header << "'");
+
+  CruTreeBuilder builder;
+  std::string line;
+  std::size_t expected_id = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::size_t id = 0;
+    std::string parent_tok, kind, name, sat_tok;
+    double h = 0.0, s = 0.0, c = 0.0;
+    TS_REQUIRE(static_cast<bool>(ls >> id >> parent_tok >> kind >> name >> h >> s >> c >>
+                                 sat_tok),
+               "read_text: malformed node line '" << line << "'");
+    TS_REQUIRE(id == expected_id,
+               "read_text: node ids must be dense and increasing; got " << id << ", expected "
+                                                                        << expected_id);
+    ++expected_id;
+
+    if (parent_tok == "-") {
+      TS_REQUIRE(id == 0, "read_text: only node 0 may be the root");
+      TS_REQUIRE(kind == "compute", "read_text: the root must be a compute node");
+      builder.root(name, h);
+      continue;
+    }
+    std::size_t parent_id = 0;
+    try {
+      parent_id = std::stoul(parent_tok);
+    } catch (const std::exception&) {
+      throw InvalidArgument("read_text: bad parent '" + parent_tok + "'");
+    }
+    TS_REQUIRE(parent_id < id, "read_text: parent " << parent_id << " does not precede node "
+                                                    << id);
+    if (kind == "compute") {
+      builder.compute(CruId{parent_id}, name, h, s, c);
+    } else if (kind == "sensor") {
+      TS_REQUIRE(sat_tok != "-", "read_text: sensor node " << id << " lacks a satellite");
+      std::size_t sat = 0;
+      try {
+        sat = std::stoul(sat_tok);
+      } catch (const std::exception&) {
+        throw InvalidArgument("read_text: bad satellite '" + sat_tok + "'");
+      }
+      builder.sensor(CruId{parent_id}, name, SatelliteId{sat}, c);
+    } else {
+      throw InvalidArgument("read_text: unknown node kind '" + kind + "'");
+    }
+  }
+  return builder.build();
+}
+
+CruTree tree_from_text(const std::string& text) {
+  std::istringstream iss(text);
+  return read_text(iss);
+}
+
+}  // namespace treesat

@@ -1,0 +1,169 @@
+#include "workload/generator.hpp"
+
+#include <string>
+#include <vector>
+
+namespace treesat {
+
+namespace {
+
+/// Draws the parent for node v among the already-created nodes [0, v) with
+/// spare fan-out.
+std::size_t draw_parent(Rng& rng, std::size_t v, const std::vector<std::size_t>& child_counts,
+                        std::size_t max_children) {
+  std::vector<std::size_t> candidates;
+  for (std::size_t p = 0; p < v; ++p) {
+    if (child_counts[p] < max_children) candidates.push_back(p);
+  }
+  // Fan-out may be saturated everywhere (max_children too tight for a tree
+  // of this size); fall back to uniform choice, accepting a wider node.
+  if (candidates.empty()) return rng.index(v);
+  return candidates[rng.index(candidates.size())];
+}
+
+/// Satellite choice shared by both generators.
+class SensorPinner {
+ public:
+  SensorPinner(Rng& rng, SensorPolicy policy, std::size_t satellites)
+      : rng_(rng), policy_(policy), satellites_(satellites) {}
+
+  /// `top_branch` identifies the child-of-root subtree the sensor falls in
+  /// (used by the clustered policy to keep subtrees monochromatic).
+  SatelliteId pin(std::size_t top_branch) {
+    switch (policy_) {
+      case SensorPolicy::kRoundRobin:
+        return SatelliteId{counter_++ % satellites_};
+      case SensorPolicy::kScattered:
+        return SatelliteId{rng_.index(satellites_)};
+      case SensorPolicy::kClustered: {
+        const SatelliteId home{top_branch % satellites_};
+        if (rng_.bernoulli(0.9)) return home;
+        return SatelliteId{rng_.index(satellites_)};
+      }
+    }
+    TS_CHECK(false, "unreachable sensor policy");
+    return SatelliteId{};
+  }
+
+ private:
+  Rng& rng_;
+  SensorPolicy policy_;
+  std::size_t satellites_;
+  std::size_t counter_ = 0;
+};
+
+/// Index of the child-of-root branch that contains compute node v.
+std::vector<std::size_t> top_branches(const std::vector<std::size_t>& parent) {
+  std::vector<std::size_t> branch(parent.size(), 0);
+  for (std::size_t v = 1; v < parent.size(); ++v) {
+    branch[v] = parent[v] == 0 ? v : branch[parent[v]];
+  }
+  return branch;
+}
+
+}  // namespace
+
+CruTree random_tree(Rng& rng, const TreeGenOptions& o) {
+  TS_REQUIRE(o.compute_nodes >= 1, "random_tree: need at least the root");
+  TS_REQUIRE(o.satellites >= 1, "random_tree: need at least one satellite");
+  TS_REQUIRE(o.max_children >= 1, "random_tree: max_children must be positive");
+  TS_REQUIRE(o.min_cost >= 0.0 && o.min_cost <= o.max_cost, "random_tree: bad cost range");
+
+  const auto cost = [&] { return rng.uniform_real(o.min_cost, o.max_cost); };
+
+  // Random recursive tree over the compute nodes.
+  std::vector<std::size_t> parent(o.compute_nodes, 0);
+  std::vector<std::size_t> child_counts(o.compute_nodes, 0);
+  for (std::size_t v = 1; v < o.compute_nodes; ++v) {
+    const std::size_t p = draw_parent(rng, v, child_counts, o.max_children);
+    parent[v] = p;
+    ++child_counts[p];
+  }
+  const std::vector<std::size_t> branch = top_branches(parent);
+
+  CruTreeBuilder builder;
+  std::vector<CruId> ids(o.compute_nodes);
+  ids[0] = builder.root("cru0", cost());
+  for (std::size_t v = 1; v < o.compute_nodes; ++v) {
+    ids[v] = builder.compute(ids[parent[v]], "cru" + std::to_string(v), cost(), cost(),
+                             cost());
+  }
+
+  SensorPinner pinner(rng, o.policy, o.satellites);
+  std::size_t sensor_n = 0;
+  for (std::size_t v = 0; v < o.compute_nodes; ++v) {
+    const bool childless = child_counts[v] == 0;
+    std::size_t sensors = childless ? 1 : 0;
+    if (childless && rng.bernoulli(o.extra_sensor_prob)) ++sensors;
+    for (std::size_t k = 0; k < sensors; ++k) {
+      builder.sensor(ids[v], "sensor" + std::to_string(sensor_n++), pinner.pin(branch[v]),
+                     cost());
+    }
+  }
+  return builder.build();
+}
+
+ProfiledTree random_profiled_tree(Rng& rng, const ProfiledGenOptions& o) {
+  TS_REQUIRE(o.compute_nodes >= 1, "random_profiled_tree: need at least the root");
+  TS_REQUIRE(o.satellites >= 1, "random_profiled_tree: need at least one satellite");
+  TS_REQUIRE(o.min_ops >= 0.0 && o.min_ops <= o.max_ops, "random_profiled_tree: bad ops");
+  TS_REQUIRE(o.min_frame_bytes >= 0.0 && o.min_frame_bytes <= o.max_frame_bytes,
+             "random_profiled_tree: bad frame range");
+
+  const auto ops = [&] { return rng.uniform_real(o.min_ops, o.max_ops); };
+  const auto bytes = [&] { return rng.uniform_real(o.min_frame_bytes, o.max_frame_bytes); };
+
+  std::vector<std::size_t> parent(o.compute_nodes, 0);
+  std::vector<std::size_t> child_counts(o.compute_nodes, 0);
+  for (std::size_t v = 1; v < o.compute_nodes; ++v) {
+    const std::size_t p = draw_parent(rng, v, child_counts, o.max_children);
+    parent[v] = p;
+    ++child_counts[p];
+  }
+  const std::vector<std::size_t> branch = top_branches(parent);
+
+  ProfiledTree tree;
+  std::vector<CruId> ids(o.compute_nodes);
+  ids[0] = tree.add_root("cru0", ops(), bytes());
+  for (std::size_t v = 1; v < o.compute_nodes; ++v) {
+    ids[v] = tree.add_compute(ids[parent[v]], "cru" + std::to_string(v), ops(), bytes());
+  }
+  SensorPinner pinner(rng, o.policy, o.satellites);
+  std::size_t sensor_n = 0;
+  for (std::size_t v = 0; v < o.compute_nodes; ++v) {
+    if (child_counts[v] != 0) continue;
+    tree.add_sensor(ids[v], "sensor" + std::to_string(sensor_n++), pinner.pin(branch[v]),
+                    bytes());
+  }
+  return tree;
+}
+
+Dwg random_dwg(Rng& rng, const DwgGenOptions& o) {
+  TS_REQUIRE(o.vertices >= 2, "random_dwg: need at least S and T");
+  Dwg g(o.vertices);
+  const auto sigma = [&] { return rng.uniform_real(0.0, o.max_sigma); };
+  const auto beta = [&] { return rng.uniform_real(0.0, o.max_beta); };
+  const auto colour = [&]() -> Colour {
+    if (o.colours == 0 || !rng.bernoulli(o.coloured_fraction)) return kUncoloured;
+    return static_cast<Colour>(rng.index(o.colours));
+  };
+
+  // Fallback chain keeps S-T connected.
+  for (std::size_t v = 0; v + 1 < o.vertices; ++v) {
+    g.add_edge(VertexId{v}, VertexId{v + 1}, sigma(), beta(), colour());
+  }
+  const std::size_t extra = o.edges > o.vertices - 1 ? o.edges - (o.vertices - 1) : 0;
+  for (std::size_t e = 0; e < extra; ++e) {
+    std::size_t u = rng.index(o.vertices);
+    std::size_t v = rng.index(o.vertices);
+    if (u == v) {
+      v = (u + 1) % o.vertices;
+    }
+    if (o.forward_dag && u > v) std::swap(u, v);
+    if (u == v) continue;  // can happen after the swap when u was last
+    g.add_edge(VertexId{u}, VertexId{v}, sigma(), beta(), colour());
+  }
+  return g;
+}
+
+}  // namespace treesat

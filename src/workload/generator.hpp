@@ -1,0 +1,76 @@
+// Seeded random workload generation for tests, property suites and sweeps.
+//
+// Two layers:
+//   * random CruTree instances with direct h/s/c costs (exercising the
+//     optimizer in isolation), and
+//   * random ProfiledTree instances (ops + bytes) for the full
+//     profile -> lower -> optimize -> simulate pipeline.
+//
+// The sensor attachment policy controls how much the colouring matters:
+//   kClustered -- each subtree's sensors share a satellite where possible,
+//                 producing large monochromatic regions and few conflicts;
+//   kScattered -- satellites drawn independently per sensor, producing many
+//                 conflict nodes (the regime where Bokhari's unconstrained
+//                 assignment is far from feasible);
+//   kRoundRobin -- deterministic cyclic attachment, reproducible regardless
+//                 of RNG consumption order.
+// Random DWGs are also provided for the §4 algorithm's own property tests.
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/dwg.hpp"
+#include "platform/profiled_tree.hpp"
+#include "tree/cru_tree.hpp"
+
+namespace treesat {
+
+enum class SensorPolicy : std::uint8_t { kClustered, kScattered, kRoundRobin };
+
+struct TreeGenOptions {
+  std::size_t compute_nodes = 10;   ///< internal CRUs including the root
+  std::size_t satellites = 3;
+  std::size_t max_children = 3;     ///< fan-out bound for compute nodes
+  SensorPolicy policy = SensorPolicy::kScattered;
+  double min_cost = 0.0;            ///< lower bound for h/s/c draws
+  double max_cost = 10.0;           ///< upper bound for h/s/c draws
+  /// Probability that a childless compute node receives a second sensor
+  /// (multi-sensor leaves stress the per-colour sums).
+  double extra_sensor_prob = 0.25;
+};
+
+/// Random CruTree: a random recursive tree over the compute nodes, a sensor
+/// under every childless compute node (so the tree is valid), plus extra
+/// sensors by `extra_sensor_prob`. Costs are uniform in [min_cost, max_cost];
+/// conflict nodes keep their drawn s/c (the optimizer must ignore them).
+[[nodiscard]] CruTree random_tree(Rng& rng, const TreeGenOptions& options);
+
+struct ProfiledGenOptions {
+  std::size_t compute_nodes = 10;
+  std::size_t satellites = 3;
+  std::size_t max_children = 3;
+  SensorPolicy policy = SensorPolicy::kScattered;
+  double min_ops = 1e3;
+  double max_ops = 1e6;
+  double min_frame_bytes = 16;
+  double max_frame_bytes = 4096;
+};
+
+/// Random device-independent workload for the end-to-end pipeline.
+[[nodiscard]] ProfiledTree random_profiled_tree(Rng& rng, const ProfiledGenOptions& options);
+
+struct DwgGenOptions {
+  std::size_t vertices = 8;
+  std::size_t edges = 16;
+  double max_sigma = 20.0;
+  double max_beta = 20.0;
+  std::size_t colours = 0;   ///< 0 = uncoloured; otherwise colours drawn in [0, colours)
+  bool forward_dag = true;   ///< edges from lower to higher vertex ids
+  /// Fraction of coloured edges when colours > 0 (rest stay uncoloured).
+  double coloured_fraction = 1.0;
+};
+
+/// Random DWG between vertex 0 (S) and vertex `vertices-1` (T); always adds
+/// a fallback S-T chain so the two stay connected.
+[[nodiscard]] Dwg random_dwg(Rng& rng, const DwgGenOptions& options);
+
+}  // namespace treesat

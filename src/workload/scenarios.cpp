@@ -1,0 +1,104 @@
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+
+Scenario epilepsy_scenario() {
+  // Platform: a 2007 PDA host and two microcontroller sensor boxes on
+  // Bluetooth-class uplinks (box 1: ECG, box 2: 3-axis accelerometer).
+  HostSatelliteSystem platform("pda", 200e6);
+  const SatelliteId ecg_box = platform.add_satellite(
+      SatelliteSpec{"ecg-box", 80e6, LinkSpec{0.030, 90e3}});
+  const SatelliteId accel_box = platform.add_satellite(
+      SatelliteSpec{"accel-box", 80e6, LinkSpec{0.030, 90e3}});
+
+  // Reasoning procedure: per-signal feature extraction feeds a seizure
+  // probability estimator on the PDA (paper Fig 1). Frame = one 10 s window.
+  // Raw signals are expensive to ship over Bluetooth (2-lead 1 kHz ECG is
+  // ~40 KB per window) while extracted features are tiny -- the regime where
+  // pushing the front of the pipeline onto the sensor boxes wins, which is
+  // exactly the paper's motivation.
+  ProfiledTree w;
+  const CruId root = w.add_root("seizure_estimator", 2.5e6, 64);
+  const CruId ecg_feat = w.add_compute(root, "ecg_features", 8e6, 512);
+  const CruId qrs = w.add_compute(ecg_feat, "qrs_detect", 14e6, 1024);
+  w.add_sensor(qrs, "ecg", ecg_box, 40960);  // 2 leads x 1 kHz x 2 B x 10 s
+  const CruId hrv = w.add_compute(ecg_feat, "hrv_features", 4e6, 256);
+  w.add_sensor(hrv, "rr_intervals", ecg_box, 4096);
+  const CruId activity = w.add_compute(root, "activity_classifier", 6e6, 256);
+  const CruId accel_filter = w.add_compute(activity, "accel_filter", 9e6, 1536);
+  w.add_sensor(accel_filter, "accel_x", accel_box, 6144);  // 100 Hz x 3 B x 10 s... per axis
+  w.add_sensor(accel_filter, "accel_y", accel_box, 6144);
+  w.add_sensor(accel_filter, "accel_z", accel_box, 6144);
+  const CruId posture = w.add_compute(activity, "posture_estimator", 3e6, 128);
+  w.add_sensor(posture, "accel_magnitude", accel_box, 4096);
+
+  return Scenario{"epilepsy-tele-monitoring", std::move(w), std::move(platform)};
+}
+
+Scenario snmp_scenario(std::size_t probes) {
+  TS_REQUIRE(probes >= 1, "snmp_scenario: need at least one probe");
+  HostSatelliteSystem platform("nms-server", 1e9);
+  std::vector<SatelliteId> boxes;
+  boxes.reserve(probes);
+  for (std::size_t i = 0; i < probes; ++i) {
+    boxes.push_back(platform.add_satellite(SatelliteSpec{
+        "probe" + std::to_string(i), 100e6, LinkSpec{0.002, 1e6}}));
+  }
+
+  ProfiledTree w;
+  const CruId root = w.add_root("alarm_correlator", 8e6, 128);
+  for (std::size_t i = 0; i < probes; ++i) {
+    const std::string suffix = std::to_string(i);
+    const CruId agg = w.add_compute(root, "aggregate" + suffix, 5e6, 1024);
+    const CruId parse = w.add_compute(agg, "parse_mibs" + suffix, 12e6, 8192);
+    w.add_sensor(parse, "counters" + suffix, boxes[i], 65536);
+    const CruId thresh = w.add_compute(agg, "thresholds" + suffix, 2e6, 512);
+    w.add_sensor(thresh, "traps" + suffix, boxes[i], 4096);
+  }
+  return Scenario{"snmp-monitoring-" + std::to_string(probes), std::move(w),
+                  std::move(platform)};
+}
+
+CruTree paper_running_example() {
+  // Figs 2/5-8 structure (reconstructed from every numeric clue in §5):
+  //   CRU1 (root): children CRU2, CRU3                 -> conflicts
+  //   CRU2: children CRU4, CRU5;  CRU3: CRU6, CRU7, CRU8
+  //   CRU4: children CRU9, CRU10 (sensors on R)        -> region R
+  //   CRU5: own sensor + CRU11 (sensors on B)          -> region B #1
+  //   CRU6: child CRU13 (sensor on B)                  -> region B #2
+  //         (β of the <CRU3,CRU6> cut = s6 + s13 + c63, the §5.3 example)
+  //   CRU7: sensor on Y;  CRU8: child CRU12 (sensor on G)
+  // Costs are symbolic in the paper; we fix h_i = i, s_i = i + 4, and unit
+  // frame costs so the labelling tests can assert e.g. σ(<CRU2,CRU4>) =
+  // h1 + h2 = 3 exactly.
+  const SatelliteId R{0u}, Y{1u}, B{2u}, G{3u};
+  const auto h = [](int i) { return static_cast<double>(i); };
+  const auto s = [](int i) { return static_cast<double>(i + 4); };
+
+  CruTreeBuilder b;
+  const CruId cru1 = b.root("CRU1", h(1));
+  const CruId cru2 = b.compute(cru1, "CRU2", h(2), s(2), 1.0);
+  const CruId cru3 = b.compute(cru1, "CRU3", h(3), s(3), 1.0);
+  const CruId cru4 = b.compute(cru2, "CRU4", h(4), s(4), 1.0);
+  const CruId cru5 = b.compute(cru2, "CRU5", h(5), s(5), 1.0);
+  const CruId cru6 = b.compute(cru3, "CRU6", h(6), s(6), 1.0);
+  const CruId cru7 = b.compute(cru3, "CRU7", h(7), s(7), 1.0);
+  const CruId cru8 = b.compute(cru3, "CRU8", h(8), s(8), 1.0);
+  const CruId cru9 = b.compute(cru4, "CRU9", h(9), s(9), 1.0);
+  const CruId cru10 = b.compute(cru4, "CRU10", h(10), s(10), 1.0);
+  b.sensor(cru9, "sensorR1", R, 2.0);
+  b.sensor(cru10, "sensorR2", R, 2.0);
+  b.sensor(cru5, "sensorB1", B, 2.0);
+  const CruId cru11 = b.compute(cru5, "CRU11", h(11), s(11), 1.0);
+  b.sensor(cru11, "sensorB2", B, 2.0);
+  const CruId cru13 = b.compute(cru6, "CRU13", h(13), s(13), 1.0);
+  b.sensor(cru13, "sensorB3", B, 2.0);
+  b.sensor(cru7, "sensorY", Y, 2.0);
+  const CruId cru12 = b.compute(cru8, "CRU12", h(12), s(12), 1.0);
+  b.sensor(cru12, "sensorG", G, 2.0);
+  return b.build();
+}
+
+std::vector<std::string> paper_example_conflicts() { return {"CRU1", "CRU2", "CRU3"}; }
+
+}  // namespace treesat

@@ -1,0 +1,159 @@
+// Assignment-graph construction tests (paper §5.2-§5.3): the σ and β
+// labelling invariants that make "path weight == assignment delay" true,
+// checked both on the paper's running example (with its documented label
+// values) and as properties over random trees and *all* their assignments.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/assignment_graph.hpp"
+#include "core/exhaustive.hpp"
+#include "graph/path_enumeration.hpp"
+#include "graph/shortest_path.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+namespace {
+
+TEST(AssignmentGraph, PaperExampleSigmaLabels) {
+  // Fig 8's labels with h_i = i: σ(<CRU2,CRU4>) = h1+h2 = 3;
+  // σ(edge above CRU9's sensor) = h1+h2+h4+h9 = 16;
+  // σ(edge above CRU13's sensor) = h3+h6+h13 = 22;
+  // σ(edge above CRU7's sensor) = h7; σ(edge above CRU12) = h8.
+  const CruTree tree = paper_running_example();
+  const std::vector<double> sigma = bokhari_sigma_labels(tree);
+  EXPECT_DOUBLE_EQ(sigma[tree.by_name("CRU4").index()], 3.0);
+  EXPECT_DOUBLE_EQ(sigma[tree.by_name("sensorR1").index()], 16.0);
+  EXPECT_DOUBLE_EQ(sigma[tree.by_name("sensorB3").index()], 22.0);
+  EXPECT_DOUBLE_EQ(sigma[tree.by_name("sensorY").index()], 7.0);
+  EXPECT_DOUBLE_EQ(sigma[tree.by_name("CRU12").index()], 8.0);
+  // The leftmost edge leaving the root carries exactly h1.
+  EXPECT_DOUBLE_EQ(sigma[tree.by_name("CRU2").index()], 1.0);
+  // Non-leftmost root child starts a fresh chain.
+  EXPECT_DOUBLE_EQ(sigma[tree.by_name("CRU3").index()], 0.0);
+}
+
+TEST(AssignmentGraph, PaperExampleBetaOfCru6Cut) {
+  // §5.3's worked β: the edge crossing <CRU3, CRU6> carries s6 + s13 + c63.
+  // With s_i = i + 4 and unit comms: 10 + 17 + 1 = 28.
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  const AssignmentGraph ag(colouring);
+  const EdgeId e = ag.edge_above(tree.by_name("CRU6"));
+  ASSERT_TRUE(e.valid());
+  EXPECT_DOUBLE_EQ(ag.graph().edge(e).beta, 28.0);
+  // And the raw-sensor cut <A, sensor>: β = c_{s,·} alone (here 2).
+  const EdgeId se = ag.edge_above(tree.by_name("sensorY"));
+  EXPECT_DOUBLE_EQ(ag.graph().edge(se).beta, 2.0);
+}
+
+TEST(AssignmentGraph, ConflictEdgesAreOmitted) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  const AssignmentGraph ag(colouring);
+  EXPECT_FALSE(ag.edge_above(tree.by_name("CRU2")).valid());
+  EXPECT_FALSE(ag.edge_above(tree.by_name("CRU3")).valid());
+  // Assignable nodes each contribute exactly one edge:
+  // 13 CRUs + 7 sensors = 20 nodes; root + 2 conflicts excluded -> 17 edges.
+  EXPECT_EQ(ag.graph().edge_count(), 17u);
+  // Faces: 7 sensors -> 8 vertices (S, F1..F6, T).
+  EXPECT_EQ(ag.graph().vertex_count(), 8u);
+}
+
+TEST(AssignmentGraph, EdgesInheritTheirCutNodeColour) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  const AssignmentGraph ag(colouring);
+  for (std::size_t e = 0; e < ag.graph().edge_count(); ++e) {
+    const CruId v = ag.cut_node(EdgeId{e});
+    EXPECT_EQ(static_cast<std::size_t>(ag.graph().edge(EdgeId{e}).colour),
+              colouring.colour(v).index());
+  }
+}
+
+TEST(AssignmentGraph, IsForwardDagWithParallelEdges) {
+  // A unary chain produces parallel dual edges between the same face pair.
+  CruTreeBuilder b;
+  const CruId root = b.root("root", 1.0);
+  const CruId a = b.compute(root, "a", 1.0, 2.0, 0.1);
+  const CruId c = b.compute(a, "c", 1.0, 2.0, 0.1);
+  b.sensor(c, "s", SatelliteId{0u}, 0.1);
+  const CruTree tree = b.build();
+  const Colouring colouring(tree);
+  const AssignmentGraph ag(colouring);
+  EXPECT_TRUE(is_forward_dag(ag.graph()));
+  EXPECT_EQ(ag.graph().vertex_count(), 2u);  // one sensor: S and T only
+  EXPECT_EQ(ag.graph().edge_count(), 3u);    // a, c, sensor -- all S->T
+}
+
+struct GraphCase {
+  std::uint64_t seed;
+  std::size_t nodes;
+  std::size_t satellites;
+  SensorPolicy policy;
+};
+
+class AssignmentGraphProperty : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(AssignmentGraphProperty, EveryAssignmentPathEncodesItsDelay) {
+  // THE labelling theorem (paper §5.3/§5.4): for every valid assignment,
+  // the S weight of its path is the host time and the per-colour β sums are
+  // the satellite times.
+  const GraphCase c = GetParam();
+  Rng rng(c.seed);
+  TreeGenOptions o;
+  o.compute_nodes = c.nodes;
+  o.satellites = c.satellites;
+  o.policy = c.policy;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+  const AssignmentGraph ag(colouring);
+  EXPECT_TRUE(is_forward_dag(ag.graph()));
+
+  for_each_assignment(colouring, 1u << 14, [&](const Assignment& a) {
+    const std::vector<EdgeId> path = ag.assignment_to_path(a);
+    const Path measured =
+        make_path(ag.graph(), path, ag.source(), ag.target(), /*coloured=*/true);
+    const DelayBreakdown d = a.delay();
+    EXPECT_NEAR(measured.s_weight, d.host_time, 1e-9) << "seed=" << c.seed;
+    EXPECT_NEAR(measured.b_weight, d.bottleneck, 1e-9) << "seed=" << c.seed;
+    // And converting back yields the same assignment.
+    EXPECT_TRUE(ag.path_to_assignment(path) == a);
+  });
+}
+
+TEST_P(AssignmentGraphProperty, EverySTPathIsAValidAssignment) {
+  const GraphCase c = GetParam();
+  Rng rng(c.seed ^ 0x1234);
+  TreeGenOptions o;
+  o.compute_nodes = c.nodes;
+  o.satellites = c.satellites;
+  o.policy = c.policy;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+  const AssignmentGraph ag(colouring);
+
+  const std::size_t paths = count_simple_paths(ag.graph(), ag.source(), ag.target(),
+                                               ag.graph().full_mask(), 1u << 14);
+  const std::size_t assignments = count_assignments(colouring, 1u << 14);
+  EXPECT_EQ(paths, assignments) << "paths and monotone cuts must biject, seed=" << c.seed;
+}
+
+std::vector<GraphCase> graph_cases() {
+  std::vector<GraphCase> cases;
+  std::uint64_t seed = 51;
+  for (const SensorPolicy policy : {SensorPolicy::kScattered, SensorPolicy::kClustered}) {
+    for (const std::size_t n : {1u, 4u, 8u, 11u}) {
+      for (const std::size_t sats : {1u, 2u, 4u}) {
+        cases.push_back({seed++, n, sats, policy});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeded, AssignmentGraphProperty,
+                         ::testing::ValuesIn(graph_cases()));
+
+}  // namespace
+}  // namespace treesat

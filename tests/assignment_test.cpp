@@ -1,0 +1,124 @@
+// Assignment representation and §3 delay-model tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/assignment.hpp"
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+namespace {
+
+struct Fixture {
+  CruTree tree = paper_running_example();
+  Colouring colouring{tree};
+};
+
+TEST(Assignment, TopmostPutsEveryRegionOnItsSatellite) {
+  Fixture f;
+  const Assignment a = Assignment::topmost(f.colouring);
+  EXPECT_EQ(a.cut_nodes().size(), 5u);  // CRU4, CRU5, CRU6, CRU7, CRU8
+  // Host keeps only the forced nodes.
+  EXPECT_DOUBLE_EQ(a.delay().host_time, f.colouring.forced_host_time());
+  EXPECT_EQ(a.placement(f.tree.by_name("CRU1")), Placement::kHost);
+  EXPECT_EQ(a.placement(f.tree.by_name("CRU9")), Placement::kSatellite);
+  EXPECT_EQ(a.satellite_of(f.tree.by_name("CRU13")), SatelliteId{2u});
+}
+
+TEST(Assignment, AllOnHostLeavesOnlySensorsOutside) {
+  Fixture f;
+  const Assignment a = Assignment::all_on_host(f.colouring);
+  EXPECT_EQ(a.cut_nodes().size(), f.tree.sensor_count());
+  EXPECT_DOUBLE_EQ(a.delay().host_time, f.tree.total_host_time());
+}
+
+TEST(Assignment, DelayBreakdownPerSatellite) {
+  Fixture f;
+  // Cut at CRU4 (R), CRU5 (B), CRU13 (B), sensorY, CRU12 (G):
+  //  T_R = s4+s9+s10 + c4 = 8+13+14+1 = 36
+  //  T_B = (s5+s11 + c5) + (s13 + c13) = 9+15+1 + 17+1 = 43
+  //  T_Y = c_sensorY = 2
+  //  T_G = s12 + c12 = 16+1 = 17
+  //  Host = total_h - h4-h9-h10 - h5-h11 - h13 - h12 = 91 - 64 = 27... computed below.
+  const Assignment a(f.colouring,
+                     {f.tree.by_name("CRU4"), f.tree.by_name("CRU5"),
+                      f.tree.by_name("CRU13"), f.tree.by_name("sensorY"),
+                      f.tree.by_name("CRU12")});
+  const DelayBreakdown d = a.delay();
+  ASSERT_EQ(d.satellite_time.size(), 4u);
+  EXPECT_DOUBLE_EQ(d.satellite_time[0], 36.0);
+  EXPECT_DOUBLE_EQ(d.satellite_time[1], 2.0);
+  EXPECT_DOUBLE_EQ(d.satellite_time[2], 43.0);
+  EXPECT_DOUBLE_EQ(d.satellite_time[3], 17.0);
+  EXPECT_DOUBLE_EQ(d.bottleneck, 43.0);
+  EXPECT_EQ(d.bottleneck_satellite, SatelliteId{2u});
+  const double expected_host = f.tree.total_host_time() - (4 + 9 + 10 + 5 + 11 + 13 + 12);
+  EXPECT_DOUBLE_EQ(d.host_time, expected_host);
+  EXPECT_DOUBLE_EQ(d.end_to_end(), d.host_time + 43.0);
+}
+
+TEST(Assignment, RejectsCutWithGap) {
+  Fixture f;
+  // CRU4 covers sensors {R1,R2} but the rest of the sensor row is uncovered.
+  EXPECT_THROW(Assignment(f.colouring, {f.tree.by_name("CRU4")}), InvalidArgument);
+}
+
+TEST(Assignment, RejectsOverlappingCuts) {
+  Fixture f;
+  std::vector<CruId> cut{f.tree.by_name("CRU4"), f.tree.by_name("CRU9"),
+                         f.tree.by_name("CRU5"), f.tree.by_name("CRU6"),
+                         f.tree.by_name("sensorY"), f.tree.by_name("CRU8")};
+  EXPECT_THROW(Assignment(f.colouring, cut), InvalidArgument);
+}
+
+TEST(Assignment, RejectsConflictNodeInCut) {
+  Fixture f;
+  std::vector<CruId> cut{f.tree.by_name("CRU2"), f.tree.by_name("CRU3")};
+  EXPECT_THROW(Assignment(f.colouring, cut), InvalidArgument);
+}
+
+TEST(Assignment, FromPlacementsRoundTrips) {
+  Fixture f;
+  const Assignment a = Assignment::topmost(f.colouring);
+  std::vector<Placement> placements(f.tree.size());
+  for (std::size_t i = 0; i < f.tree.size(); ++i) {
+    placements[i] = a.placement(CruId{i});
+  }
+  const Assignment b = Assignment::from_placements(f.colouring, placements);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Assignment, FromPlacementsRejectsNonMonotone) {
+  Fixture f;
+  const Assignment a = Assignment::topmost(f.colouring);
+  std::vector<Placement> placements(f.tree.size());
+  for (std::size_t i = 0; i < f.tree.size(); ++i) {
+    placements[i] = a.placement(CruId{i});
+  }
+  // CRU4 on the satellite but its child CRU9 on the host: invalid.
+  placements[f.tree.by_name("CRU9").index()] = Placement::kHost;
+  EXPECT_THROW(Assignment::from_placements(f.colouring, placements), InvalidArgument);
+}
+
+TEST(Assignment, StreamOperatorMentionsEveryNode) {
+  Fixture f;
+  const Assignment a = Assignment::topmost(f.colouring);
+  std::ostringstream oss;
+  oss << a;
+  const std::string s = oss.str();
+  for (std::size_t i = 0; i < f.tree.size(); ++i) {
+    EXPECT_NE(s.find(f.tree.node(CruId{i}).name), std::string::npos);
+  }
+}
+
+TEST(Assignment, SatelliteNodeCountTracksCutSubtrees) {
+  Fixture f;
+  const Assignment top = Assignment::topmost(f.colouring);
+  // Everything except root + CRU2 + CRU3: 20 - 3 = 17 nodes.
+  EXPECT_EQ(top.satellite_node_count(), 17u);
+  const Assignment host = Assignment::all_on_host(f.colouring);
+  EXPECT_EQ(host.satellite_node_count(), f.tree.sensor_count());
+}
+
+}  // namespace
+}  // namespace treesat

@@ -1,0 +1,221 @@
+// Baseline tests: Bokhari's unconstrained tree mapping (A8) and the
+// chain-to-chain partitioner (A9), each validated against brute force.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "baselines/bokhari_tree.hpp"
+#include "baselines/chain.hpp"
+#include "common/rng.hpp"
+#include "core/exhaustive.hpp"
+#include "core/pareto_dp.hpp"
+#include "graph/path_enumeration.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bokhari unconstrained tree -> host-satellites
+// ---------------------------------------------------------------------------
+
+/// Brute-force oracle for the unconstrained problem: every antichain cut
+/// (conflict edges allowed), bottleneck = max over fragments.
+double bokhari_bruteforce(const CruTree& tree) {
+  struct Rec {
+    const CruTree& tree;
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<CruId> cut;
+
+    void decide(std::vector<CruId> frontier, std::size_t idx) {
+      if (idx == frontier.size()) {
+        double host = tree.total_host_time();
+        double bottleneck = 0.0;
+        for (const CruId v : cut) {
+          // Host loses the subtree's h; fragment time includes its uplink.
+          std::vector<CruId> stack{v};
+          while (!stack.empty()) {
+            const CruId u = stack.back();
+            stack.pop_back();
+            host -= tree.node(u).host_time;
+            for (const CruId c : tree.node(u).children) stack.push_back(c);
+          }
+          bottleneck =
+              std::max(bottleneck, tree.subtree_sat_time(v) + tree.node(v).comm_up);
+        }
+        best = std::min(best, std::max(host, bottleneck));
+        return;
+      }
+      const CruId v = frontier[idx];
+      // Option 1: cut above v.
+      cut.push_back(v);
+      decide(frontier, idx + 1);
+      cut.pop_back();
+      // Option 2: v on host, descend (sensors must cut).
+      if (!tree.node(v).is_sensor()) {
+        std::vector<CruId> extended = frontier;
+        extended.erase(extended.begin() + static_cast<std::ptrdiff_t>(idx));
+        for (const CruId c : tree.node(v).children) extended.push_back(c);
+        decide(extended, idx);
+      }
+    }
+  };
+  Rec rec{tree, std::numeric_limits<double>::infinity(), {}};
+  std::vector<CruId> frontier(tree.node(tree.root()).children.begin(),
+                              tree.node(tree.root()).children.end());
+  rec.decide(frontier, 0);
+  return rec.best;
+}
+
+struct BokhariCase {
+  std::uint64_t seed;
+  std::size_t nodes;
+  std::size_t satellites;
+};
+
+class BokhariProperty : public ::testing::TestWithParam<BokhariCase> {};
+
+TEST_P(BokhariProperty, MatchesBruteForceOnUnconstrainedProblem) {
+  const BokhariCase c = GetParam();
+  Rng rng(c.seed);
+  TreeGenOptions o;
+  o.compute_nodes = c.nodes;
+  o.satellites = c.satellites;
+  const CruTree tree = random_tree(rng, o);
+  const BokhariTreeResult got = bokhari_tree_solve(tree);
+  EXPECT_NEAR(got.sb_weight, bokhari_bruteforce(tree), 1e-9) << "seed=" << c.seed;
+  EXPECT_DOUBLE_EQ(got.sb_weight, std::max(got.host_time, got.max_fragment));
+}
+
+TEST_P(BokhariProperty, RepairProducesValidNeverBetterThanOptimal) {
+  const BokhariCase c = GetParam();
+  Rng rng(c.seed ^ 0x8888);
+  TreeGenOptions o;
+  o.compute_nodes = c.nodes;
+  o.satellites = c.satellites;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+
+  const BokhariTreeResult unconstrained = bokhari_tree_solve(tree);
+  const Assignment repaired = repair_to_pinned(colouring, unconstrained);
+  const double optimal = pareto_dp_solve(colouring).objective;
+  EXPECT_GE(repaired.delay().end_to_end(), optimal - 1e-9 * (1.0 + optimal))
+      << "seed=" << c.seed;
+}
+
+std::vector<BokhariCase> bokhari_cases() {
+  std::vector<BokhariCase> cases;
+  std::uint64_t seed = 91;
+  for (const std::size_t n : {2u, 5u, 9u, 12u}) {
+    for (const std::size_t sats : {1u, 2u, 4u}) {
+      cases.push_back({seed++, n, sats});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeded, BokhariProperty, ::testing::ValuesIn(bokhari_cases()));
+
+// ---------------------------------------------------------------------------
+// Chain-to-chain partitioning
+// ---------------------------------------------------------------------------
+
+ChainProblem random_chain(Rng& rng, std::size_t tasks, std::size_t processors) {
+  ChainProblem p;
+  for (std::size_t i = 0; i < tasks; ++i) p.task_work.push_back(rng.uniform_real(1, 20));
+  for (std::size_t i = 0; i + 1 < tasks; ++i) {
+    p.comm_after.push_back(rng.uniform_real(0, 5));
+  }
+  for (std::size_t i = 0; i < processors; ++i) {
+    p.processor_speed.push_back(rng.uniform_real(0.5, 4.0));
+  }
+  return p;
+}
+
+TEST(Chain, HandComputedExample) {
+  // Two processors of speed 1, tasks {4, 2, 6}, comm {1, 1}:
+  //  split after 1: max(4+1, (2+6)+1) = 9
+  //  split after 2: max(4+2+1, 6+1)   = 7   <- optimum
+  ChainProblem p;
+  p.task_work = {4, 2, 6};
+  p.comm_after = {1, 1};
+  p.processor_speed = {1, 1};
+  EXPECT_DOUBLE_EQ(chain_dp_solve(p).bottleneck, 7.0);
+  EXPECT_DOUBLE_EQ(chain_layered_solve(p).bottleneck, 7.0);
+  EXPECT_EQ(chain_dp_solve(p).boundaries, (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Chain, SingleProcessorTakesEverything) {
+  ChainProblem p;
+  p.task_work = {3, 5};
+  p.comm_after = {2};
+  p.processor_speed = {2};
+  EXPECT_DOUBLE_EQ(chain_dp_solve(p).bottleneck, 4.0);  // (3+5)/2, no cuts
+  EXPECT_DOUBLE_EQ(chain_layered_solve(p).bottleneck, 4.0);
+}
+
+TEST(Chain, AsManyProcessorsAsTasks) {
+  ChainProblem p;
+  p.task_work = {1, 1, 1};
+  p.comm_after = {10, 0.5};
+  p.processor_speed = {1, 1, 1};
+  // Blocks are non-empty, so every boundary is used; the 10 is unavoidable.
+  const double expect = chain_bruteforce_solve(p).bottleneck;
+  EXPECT_DOUBLE_EQ(chain_dp_solve(p).bottleneck, expect);
+  EXPECT_DOUBLE_EQ(chain_layered_solve(p).bottleneck, expect);
+}
+
+TEST(Chain, RejectsBadProblems) {
+  ChainProblem p;
+  EXPECT_THROW(chain_dp_solve(p), InvalidArgument);  // no tasks
+  p.task_work = {1};
+  p.processor_speed = {1, 1};
+  EXPECT_THROW(chain_dp_solve(p), InvalidArgument);  // fewer tasks than cpus
+  p.task_work = {1, 2};
+  p.comm_after = {};  // wrong size
+  EXPECT_THROW(chain_dp_solve(p), InvalidArgument);
+}
+
+struct ChainCase {
+  std::uint64_t seed;
+  std::size_t tasks;
+  std::size_t processors;
+};
+
+class ChainProperty : public ::testing::TestWithParam<ChainCase> {};
+
+TEST_P(ChainProperty, ThreeSolversAgree) {
+  const ChainCase c = GetParam();
+  Rng rng(c.seed);
+  const ChainProblem p = random_chain(rng, c.tasks, c.processors);
+  const ChainPartition brute = chain_bruteforce_solve(p);
+  const ChainPartition dp = chain_dp_solve(p);
+  const ChainPartition layered = chain_layered_solve(p);
+  EXPECT_NEAR(dp.bottleneck, brute.bottleneck, 1e-9) << "seed=" << c.seed;
+  EXPECT_NEAR(layered.bottleneck, brute.bottleneck, 1e-9) << "seed=" << c.seed;
+  // Returned boundaries must realize the reported bottleneck.
+  double check = 0.0;
+  std::size_t from = 0;
+  for (std::size_t k = 0; k < p.processor_speed.size(); ++k) {
+    check = std::max(check, chain_block_cost(p, k, from, dp.boundaries[k]));
+    from = dp.boundaries[k];
+  }
+  EXPECT_NEAR(check, dp.bottleneck, 1e-9);
+}
+
+std::vector<ChainCase> chain_cases() {
+  std::vector<ChainCase> cases;
+  std::uint64_t seed = 101;
+  for (const std::size_t m : {2u, 5u, 9u, 12u}) {
+    for (const std::size_t p : {1u, 2u, 3u, 5u}) {
+      if (p <= m) cases.push_back({seed++, m, p});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeded, ChainProperty, ::testing::ValuesIn(chain_cases()));
+
+}  // namespace
+}  // namespace treesat

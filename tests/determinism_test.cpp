@@ -1,0 +1,125 @@
+// Reproducibility guarantees: identical seeds and inputs must yield
+// identical outputs across the whole stack -- the property EXPERIMENTS.md
+// relies on when it archives single-run numbers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "core/coloured_ssb.hpp"
+#include "core/solver.hpp"
+#include "heuristics/annealing.hpp"
+#include "heuristics/genetic.hpp"
+#include "heuristics/local_search.hpp"
+#include "sim/simulator.hpp"
+#include "tree/serialize.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+namespace {
+
+std::string fingerprint(const Assignment& a) {
+  std::ostringstream oss;
+  oss << a;
+  return oss.str();
+}
+
+TEST(Determinism, GeneratorsReproducePerSeed) {
+  for (const std::uint64_t seed : {1ull, 42ull, 31415ull}) {
+    Rng r1(seed), r2(seed);
+    TreeGenOptions o;
+    o.compute_nodes = 20;
+    o.satellites = 3;
+    const CruTree a = random_tree(r1, o);
+    const CruTree b = random_tree(r2, o);
+    EXPECT_EQ(to_text(a), to_text(b));
+
+    Rng d1(seed), d2(seed);
+    DwgGenOptions go;
+    go.vertices = 12;
+    go.edges = 30;
+    const Dwg ga = random_dwg(d1, go);
+    const Dwg gb = random_dwg(d2, go);
+    ASSERT_EQ(ga.edge_count(), gb.edge_count());
+    for (std::size_t e = 0; e < ga.edge_count(); ++e) {
+      EXPECT_EQ(ga.edge(EdgeId{e}).sigma, gb.edge(EdgeId{e}).sigma);
+      EXPECT_EQ(ga.edge(EdgeId{e}).beta, gb.edge(EdgeId{e}).beta);
+    }
+  }
+}
+
+TEST(Determinism, ExactSolversAreInputDeterministic) {
+  Rng rng(2718);
+  TreeGenOptions o;
+  o.compute_nodes = 14;
+  o.satellites = 3;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+  const AssignmentGraph ag(colouring);
+  const ColouredSsbResult first = coloured_ssb_solve(ag);
+  for (int run = 0; run < 3; ++run) {
+    const ColouredSsbResult again = coloured_ssb_solve(ag);
+    EXPECT_EQ(fingerprint(first.assignment), fingerprint(again.assignment));
+    EXPECT_EQ(first.stats.iterations, again.stats.iterations);
+    EXPECT_EQ(first.stats.fallback_nodes, again.stats.fallback_nodes);
+  }
+}
+
+TEST(Determinism, HeuristicsReproducePerSeed) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+
+  GeneticOptions g;
+  g.seed = 99;
+  g.generations = 12;
+  EXPECT_EQ(fingerprint(genetic_solve(colouring, g).assignment),
+            fingerprint(genetic_solve(colouring, g).assignment));
+
+  LocalSearchOptions l;
+  l.seed = 99;
+  EXPECT_EQ(fingerprint(local_search_solve(colouring, l).assignment),
+            fingerprint(local_search_solve(colouring, l).assignment));
+
+  AnnealingOptions a;
+  a.seed = 99;
+  a.steps = 2000;
+  EXPECT_EQ(fingerprint(annealing_solve(colouring, a).assignment),
+            fingerprint(annealing_solve(colouring, a).assignment));
+}
+
+TEST(Determinism, SimulatorIsBitwiseRepeatable) {
+  const Scenario sc = epilepsy_scenario();
+  const CruTree tree = sc.workload.lower(sc.platform);
+  const Colouring colouring(tree);
+  const Assignment a = Assignment::topmost(colouring);
+  SimOptions o;
+  o.frames = 16;
+  o.frame_interval = 0.05;
+  const SimResult r1 = simulate(a, o);
+  const SimResult r2 = simulate(a, o);
+  ASSERT_EQ(r1.frames.size(), r2.frames.size());
+  for (std::size_t f = 0; f < r1.frames.size(); ++f) {
+    EXPECT_EQ(r1.frames[f].completion, r2.frames[f].completion);
+  }
+  EXPECT_EQ(r1.events_processed, r2.events_processed);
+}
+
+TEST(Determinism, SolveFacadeStableAcrossRepeats) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  for (const SolveMethod m : {SolveMethod::kColouredSsb, SolveMethod::kParetoDp,
+                              SolveMethod::kBranchBound, SolveMethod::kGenetic,
+                              SolveMethod::kAnnealing}) {
+    SolveOptions o;
+    o.method = m;
+    o.seed = 5;
+    const SolveSummary s1 = solve(colouring, o);
+    const SolveSummary s2 = solve(colouring, o);
+    EXPECT_EQ(fingerprint(s1.assignment), fingerprint(s2.assignment)) << s1.method;
+    EXPECT_EQ(s1.objective_value, s2.objective_value) << s1.method;
+  }
+}
+
+}  // namespace
+}  // namespace treesat

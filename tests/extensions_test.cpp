@@ -1,0 +1,149 @@
+// Tests for the extension layer: simulated annealing, JSON export, and the
+// solver facade's objective plumbing.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/pareto_dp.hpp"
+#include "core/solver.hpp"
+#include "heuristics/annealing.hpp"
+#include "io/json.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+namespace {
+
+TEST(Annealing, NeverBeatsOptimumAndReturnsConsistentValue) {
+  Rng rng(404);
+  for (int trial = 0; trial < 8; ++trial) {
+    TreeGenOptions o;
+    o.compute_nodes = 10;
+    o.satellites = 3;
+    const CruTree tree = random_tree(rng, o);
+    const Colouring colouring(tree);
+    const double opt = pareto_dp_solve(colouring).objective;
+
+    AnnealingOptions a;
+    a.steps = 4000;
+    a.seed = 7 + static_cast<std::uint64_t>(trial);
+    const AnnealingResult r = annealing_solve(colouring, a);
+    EXPECT_GE(r.objective_value, opt - 1e-9 * (1.0 + opt));
+    EXPECT_NEAR(r.assignment.delay().objective(a.objective), r.objective_value, 1e-9);
+    EXPECT_LE(r.moves_accepted, r.steps_run);
+  }
+}
+
+TEST(Annealing, FindsOptimumOnSmallInstances) {
+  Rng rng(505);
+  TreeGenOptions o;
+  o.compute_nodes = 6;
+  o.satellites = 2;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+  const double opt = pareto_dp_solve(colouring).objective;
+  AnnealingOptions a;
+  a.steps = 20000;
+  const AnnealingResult r = annealing_solve(colouring, a);
+  EXPECT_NEAR(r.objective_value, opt, 1e-9);
+}
+
+TEST(Annealing, RejectsBadOptions) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  AnnealingOptions a;
+  a.steps = 0;
+  EXPECT_THROW(static_cast<void>(annealing_solve(colouring, a)), InvalidArgument);
+  a.steps = 10;
+  a.cooling = 1.5;
+  EXPECT_THROW(static_cast<void>(annealing_solve(colouring, a)), InvalidArgument);
+}
+
+TEST(SolverFacade, AnnealingMethodWired) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  SolveOptions o;
+  o.method = SolveMethod::kAnnealing;
+  const SolveSummary s = solve(colouring, o);
+  EXPECT_EQ(s.method, "annealing");
+  EXPECT_FALSE(s.exact);
+  const double opt = pareto_dp_solve(colouring).objective;
+  EXPECT_GE(s.objective_value, opt - 1e-9);
+}
+
+TEST(SolverFacade, ObjectiveIsForwardedToEveryMethod) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  // λ = 1 makes the topmost assignment optimal; every exact method must
+  // return an assignment with minimal host time under that objective.
+  for (const SolveMethod m : {SolveMethod::kColouredSsb, SolveMethod::kParetoDp,
+                              SolveMethod::kExhaustive, SolveMethod::kBranchBound}) {
+    SolveOptions o;
+    o.method = m;
+    o.objective = SsbObjective::from_lambda(1.0);
+    const SolveSummary s = solve(colouring, o);
+    EXPECT_NEAR(s.delay.host_time, colouring.forced_host_time(), 1e-9) << s.method;
+  }
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, TreeExportContainsEveryNodeOnce) {
+  const CruTree tree = paper_running_example();
+  const std::string json = tree_to_json(tree);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const std::string needle = "\"name\":\"" + tree.node(CruId{i}).name + "\"";
+    const auto first = json.find(needle);
+    ASSERT_NE(first, std::string::npos) << needle;
+    EXPECT_EQ(json.find(needle, first + 1), std::string::npos) << needle;
+  }
+  EXPECT_NE(json.find("\"satellite_count\":4"), std::string::npos);
+}
+
+TEST(Json, AssignmentExportMatchesDelayModel) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  const Assignment a = Assignment::topmost(colouring);
+  const std::string json = assignment_to_json(a);
+  // The exported end_to_end must print the exact value.
+  std::ostringstream expect;
+  expect << "\"end_to_end\":";
+  EXPECT_NE(json.find(expect.str()), std::string::npos);
+  EXPECT_NE(json.find("\"cut\":["), std::string::npos);
+  for (const CruId v : a.cut_nodes()) {
+    EXPECT_NE(json.find('"' + tree.node(v).name + '"'), std::string::npos);
+  }
+}
+
+TEST(Json, SummaryAndSimExportAreWellFormedEnough) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  const SolveSummary s = solve(colouring);
+  const std::string sj = summary_to_json(s);
+  EXPECT_NE(sj.find("\"method\":\"coloured-ssb\""), std::string::npos);
+  EXPECT_NE(sj.find("\"exact\":true"), std::string::npos);
+
+  const SimResult sim = simulate(s.assignment);
+  const std::string mj = sim_to_json(sim);
+  EXPECT_NE(mj.find("\"frames\":[{"), std::string::npos);
+  EXPECT_NE(mj.find("\"throughput\":"), std::string::npos);
+
+  // Balanced braces/brackets (cheap well-formedness proxy without a parser).
+  for (const std::string& json : {sj, mj}) {
+    int braces = 0, brackets = 0;
+    for (const char c : json) {
+      braces += c == '{';
+      braces -= c == '}';
+      brackets += c == '[';
+      brackets -= c == ']';
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+  }
+}
+
+}  // namespace
+}  // namespace treesat

@@ -1,0 +1,173 @@
+// Heuristics tests (paper §6 future work, experiment E9): branch-and-bound
+// must be exact; GA / local search / greedy must always produce valid
+// assignments that never beat the optimum; the GA encoding must decode to
+// valid cuts for arbitrary genomes.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/exhaustive.hpp"
+#include "core/pareto_dp.hpp"
+#include "core/solver.hpp"
+#include "heuristics/branch_bound.hpp"
+#include "heuristics/genetic.hpp"
+#include "heuristics/local_search.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+namespace {
+
+struct HeurCase {
+  std::uint64_t seed;
+  std::size_t nodes;
+  std::size_t satellites;
+  SensorPolicy policy;
+};
+
+class HeuristicsProperty : public ::testing::TestWithParam<HeurCase> {};
+
+TEST_P(HeuristicsProperty, BranchBoundIsExact) {
+  const HeurCase c = GetParam();
+  Rng rng(c.seed);
+  TreeGenOptions o;
+  o.compute_nodes = c.nodes;
+  o.satellites = c.satellites;
+  o.policy = c.policy;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+
+  const double optimum = pareto_dp_solve(colouring).objective;
+  for (const bool greedy_seed : {true, false}) {
+    BranchBoundOptions bopt;
+    bopt.greedy_incumbent = greedy_seed;
+    const BranchBoundResult bb = branch_bound_solve(colouring, bopt);
+    EXPECT_NEAR(bb.objective_value, optimum, 1e-9)
+        << "seed=" << c.seed << " greedy_seed=" << greedy_seed;
+  }
+}
+
+TEST_P(HeuristicsProperty, HeuristicsNeverBeatTheOptimum) {
+  const HeurCase c = GetParam();
+  Rng rng(c.seed ^ 0x777);
+  TreeGenOptions o;
+  o.compute_nodes = c.nodes;
+  o.satellites = c.satellites;
+  o.policy = c.policy;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+  const double optimum = pareto_dp_solve(colouring).objective;
+  const double tol = 1e-9 * (1.0 + optimum);
+
+  const LocalSearchResult ls = local_search_solve(colouring);
+  EXPECT_GE(ls.objective_value, optimum - tol);
+  EXPECT_NEAR(ls.assignment.delay().end_to_end(), ls.objective_value, 1e-9);
+
+  const LocalSearchResult greedy = greedy_solve(colouring);
+  EXPECT_GE(greedy.objective_value, optimum - tol);
+
+  GeneticOptions gopt;
+  gopt.generations = 30;
+  gopt.population = 32;
+  const GeneticResult ga = genetic_solve(colouring, gopt);
+  EXPECT_GE(ga.objective_value, optimum - tol);
+  EXPECT_NEAR(ga.assignment.delay().end_to_end(), ga.objective_value, 1e-9);
+}
+
+TEST_P(HeuristicsProperty, LocalSearchFindsOptimumOnSmallTrees) {
+  // With enough restarts on small instances the climb should reach the
+  // optimum (regression guard against a broken neighbourhood).
+  const HeurCase c = GetParam();
+  if (c.nodes > 8) GTEST_SKIP() << "only asserted for small instances";
+  Rng rng(c.seed ^ 0xaaaa);
+  TreeGenOptions o;
+  o.compute_nodes = c.nodes;
+  o.satellites = c.satellites;
+  o.policy = c.policy;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+  const double optimum = pareto_dp_solve(colouring).objective;
+
+  LocalSearchOptions lopt;
+  lopt.restarts = 32;
+  const LocalSearchResult ls = local_search_solve(colouring, lopt);
+  EXPECT_NEAR(ls.objective_value, optimum, 1e-9) << "seed=" << c.seed;
+}
+
+TEST_P(HeuristicsProperty, GenomeDecodingAlwaysValid) {
+  const HeurCase c = GetParam();
+  Rng rng(c.seed ^ 0xbbbb);
+  TreeGenOptions o;
+  o.compute_nodes = c.nodes;
+  o.satellites = c.satellites;
+  o.policy = c.policy;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<bool> genes(tree.size());
+    for (std::size_t g = 0; g < genes.size(); ++g) genes[g] = rng.bernoulli(0.5);
+    // Assignment's constructor validates; no throw == valid monotone cut.
+    const Assignment a = decode_genome(colouring, genes);
+    EXPECT_GE(a.delay().end_to_end(), 0.0);
+  }
+  // Extremes: all-zero genome == topmost... no: all-zero descends to sensors
+  // == all-on-host; all-one genome cuts at every region root == topmost.
+  EXPECT_TRUE(decode_genome(colouring, std::vector<bool>(tree.size(), false)) ==
+              Assignment::all_on_host(colouring));
+  EXPECT_TRUE(decode_genome(colouring, std::vector<bool>(tree.size(), true)) ==
+              Assignment::topmost(colouring));
+}
+
+std::vector<HeurCase> heur_cases() {
+  std::vector<HeurCase> cases;
+  std::uint64_t seed = 71;
+  for (const SensorPolicy policy : {SensorPolicy::kScattered, SensorPolicy::kClustered}) {
+    for (const std::size_t n : {3u, 6u, 10u, 14u}) {
+      for (const std::size_t sats : {2u, 4u}) {
+        cases.push_back({seed++, n, sats, policy});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeded, HeuristicsProperty, ::testing::ValuesIn(heur_cases()));
+
+TEST(BranchBound, PrunesRelativeToBruteForce) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  const ExhaustiveResult brute = exhaustive_solve(colouring, SsbObjective::end_to_end());
+  const BranchBoundResult bb = branch_bound_solve(colouring);
+  EXPECT_NEAR(bb.objective_value, brute.objective, 1e-9);
+  // The bound must actually bite: strictly fewer nodes than 2x the full
+  // enumeration's leaves would imply.
+  EXPECT_GT(bb.nodes_pruned, 0u);
+}
+
+TEST(SolverFacade, AllMethodsRunAndExactOnesAgree) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  double exact_value = -1.0;
+  for (const SolveMethod m :
+       {SolveMethod::kColouredSsb, SolveMethod::kParetoDp, SolveMethod::kExhaustive,
+        SolveMethod::kBranchBound, SolveMethod::kGenetic, SolveMethod::kLocalSearch,
+        SolveMethod::kGreedy}) {
+    SolveOptions o;
+    o.method = m;
+    const SolveSummary s = solve(colouring, o);
+    EXPECT_EQ(s.method, method_name(m));
+    EXPECT_GE(s.wall_seconds, 0.0);
+    if (s.exact) {
+      if (exact_value < 0) {
+        exact_value = s.objective_value;
+      } else {
+        EXPECT_NEAR(s.objective_value, exact_value, 1e-9) << s.method;
+      }
+    } else {
+      EXPECT_GE(s.objective_value, exact_value - 1e-9) << s.method;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treesat

@@ -1,0 +1,142 @@
+// Platform-model and lowering tests: analytical benchmarking (§5.3), the
+// correspondent-satellite computation, and the scenario library.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/colouring.hpp"
+#include "platform/profiled_tree.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+namespace {
+
+TEST(LinkSpec, TransferTimeIsLatencyPlusSerialization) {
+  const LinkSpec link{0.030, 90e3};
+  EXPECT_DOUBLE_EQ(link.transfer_time(0), 0.030);
+  EXPECT_DOUBLE_EQ(link.transfer_time(9000), 0.030 + 0.1);
+  EXPECT_THROW(link.transfer_time(-1), InvalidArgument);
+}
+
+TEST(HostSatelliteSystem, RejectsBadSpecs) {
+  EXPECT_THROW(HostSatelliteSystem("h", 0.0), InvalidArgument);
+  HostSatelliteSystem sys("h", 1e6);
+  EXPECT_THROW(sys.add_satellite(SatelliteSpec{"s", 0.0, LinkSpec{0, 1}}), InvalidArgument);
+  EXPECT_THROW(sys.add_satellite(SatelliteSpec{"s", 1.0, LinkSpec{0, 0}}), InvalidArgument);
+  EXPECT_THROW(sys.add_satellite(SatelliteSpec{"s", 1.0, LinkSpec{-1, 1}}), InvalidArgument);
+}
+
+TEST(HostSatelliteSystem, HomogeneousFactory) {
+  const auto sys = HostSatelliteSystem::homogeneous(3, 2e6, 5e5, LinkSpec{0.01, 1e5});
+  EXPECT_EQ(sys.satellite_count(), 3u);
+  EXPECT_DOUBLE_EQ(sys.host_exec_time(2e6), 1.0);
+  EXPECT_DOUBLE_EQ(sys.sat_exec_time(SatelliteId{1u}, 5e5), 1.0);
+  EXPECT_DOUBLE_EQ(sys.uplink_time(SatelliteId{2u}, 1e5), 0.01 + 1.0);
+}
+
+TEST(ProfiledTree, CorrespondentSatellites) {
+  ProfiledTree w;
+  const CruId root = w.add_root("root", 10, 1);
+  const CruId a = w.add_compute(root, "a", 10, 1);
+  const CruId b = w.add_compute(root, "b", 10, 1);
+  w.add_sensor(a, "s0", SatelliteId{0u}, 1);
+  w.add_sensor(a, "s1", SatelliteId{0u}, 1);
+  w.add_sensor(b, "s2", SatelliteId{1u}, 1);
+  const auto colour = w.correspondent_satellites();
+  EXPECT_FALSE(colour[root.index()].valid());  // spans both satellites
+  EXPECT_EQ(colour[a.index()], SatelliteId{0u});
+  EXPECT_EQ(colour[b.index()], SatelliteId{1u});
+}
+
+TEST(ProfiledTree, LoweringComputesPaperConstants) {
+  HostSatelliteSystem sys("host", 100.0);  // 100 ops/s host
+  sys.add_satellite(SatelliteSpec{"s0", 10.0, LinkSpec{0.5, 4.0}});
+
+  ProfiledTree w;
+  const CruId root = w.add_root("root", 200.0, 8.0);
+  const CruId a = w.add_compute(root, "a", 50.0, 12.0);
+  w.add_sensor(a, "s", SatelliteId{0u}, 20.0);
+  const CruTree tree = w.lower(sys);
+
+  EXPECT_DOUBLE_EQ(tree.node(tree.by_name("root")).host_time, 2.0);   // 200/100
+  EXPECT_DOUBLE_EQ(tree.node(tree.by_name("a")).host_time, 0.5);      // 50/100
+  EXPECT_DOUBLE_EQ(tree.node(tree.by_name("a")).sat_time, 5.0);       // 50/10
+  EXPECT_DOUBLE_EQ(tree.node(tree.by_name("a")).comm_up, 0.5 + 3.0);  // 12B over link
+  EXPECT_DOUBLE_EQ(tree.node(tree.by_name("s")).comm_up, 0.5 + 5.0);  // raw 20B
+}
+
+TEST(ProfiledTree, ConflictNodesGetZeroSatelliteConstants) {
+  HostSatelliteSystem sys = HostSatelliteSystem::homogeneous(2, 100, 10, LinkSpec{0, 1});
+  ProfiledTree w;
+  const CruId root = w.add_root("root", 100, 4);
+  const CruId fuse = w.add_compute(root, "fuse", 100, 4);
+  const CruId l = w.add_compute(fuse, "l", 100, 4);
+  const CruId r = w.add_compute(fuse, "r", 100, 4);
+  w.add_sensor(l, "s0", SatelliteId{0u}, 4);
+  w.add_sensor(r, "s1", SatelliteId{1u}, 4);
+  const CruTree tree = w.lower(sys);
+  EXPECT_DOUBLE_EQ(tree.node(tree.by_name("fuse")).sat_time, 0.0);
+  EXPECT_DOUBLE_EQ(tree.node(tree.by_name("fuse")).comm_up, 0.0);
+  EXPECT_GT(tree.node(tree.by_name("l")).sat_time, 0.0);
+}
+
+TEST(ProfiledTree, LoweringRejectsMissingSatellite) {
+  HostSatelliteSystem sys("host", 100.0);  // no satellites registered
+  ProfiledTree w;
+  const CruId root = w.add_root("root", 1, 1);
+  const CruId a = w.add_compute(root, "a", 1, 1);
+  w.add_sensor(a, "s", SatelliteId{0u}, 1);
+  EXPECT_THROW(static_cast<void>(w.lower(sys)), InvalidArgument);
+}
+
+TEST(Scenarios, EpilepsyHasTwoBoxesAndLowersCleanly) {
+  const Scenario sc = epilepsy_scenario();
+  EXPECT_EQ(sc.platform.satellite_count(), 2u);
+  const CruTree tree = sc.workload.lower(sc.platform);
+  const Colouring colouring(tree);
+  // The root fuses both boxes: it must be a conflict node; each feature
+  // chain is monochromatic.
+  EXPECT_TRUE(colouring.is_conflict(tree.root()));
+  EXPECT_FALSE(colouring.is_conflict(tree.by_name("qrs_detect")));
+  EXPECT_FALSE(colouring.is_conflict(tree.by_name("accel_filter")));
+  EXPECT_GE(colouring.region_roots().size(), 2u);
+}
+
+TEST(Scenarios, SnmpScalesWithProbeCount) {
+  for (const std::size_t probes : {1u, 3u, 6u}) {
+    const Scenario sc = snmp_scenario(probes);
+    EXPECT_EQ(sc.platform.satellite_count(), probes);
+    const CruTree tree = sc.workload.lower(sc.platform);
+    EXPECT_EQ(tree.sensor_count(), 2 * probes);
+    const Colouring colouring(tree);
+    // Each probe's aggregate chain is monochromatic.
+    EXPECT_EQ(colouring.region_roots().size(), probes);
+  }
+}
+
+TEST(Scenarios, PaperExampleMatchesDocumentedShape) {
+  const CruTree tree = paper_running_example();
+  EXPECT_EQ(tree.size(), 20u);  // 13 CRUs + 7 sensors
+  EXPECT_EQ(tree.sensor_count(), 7u);
+  EXPECT_EQ(tree.satellite_count(), 4u);
+}
+
+TEST(RandomProfiledTree, LowersAndColoursForAllPolicies) {
+  Rng rng(5);
+  for (const SensorPolicy policy :
+       {SensorPolicy::kScattered, SensorPolicy::kClustered, SensorPolicy::kRoundRobin}) {
+    ProfiledGenOptions o;
+    o.compute_nodes = 12;
+    o.satellites = 3;
+    o.policy = policy;
+    const ProfiledTree w = random_profiled_tree(rng, o);
+    const auto sys = HostSatelliteSystem::homogeneous(3, 1e8, 2e7, LinkSpec{0.01, 1e5});
+    const CruTree tree = w.lower(sys);
+    const Colouring colouring(tree);
+    EXPECT_GE(colouring.region_roots().size(), 1u);
+    EXPECT_EQ(tree.size(), w.size());
+  }
+}
+
+}  // namespace
+}  // namespace treesat

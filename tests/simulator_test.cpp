@@ -1,0 +1,177 @@
+// Simulator tests: exact agreement with the §3 analytic model under the
+// paper's assumptions, sane behaviour of the relaxed modes, and pipelining.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/coloured_ssb.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace treesat {
+namespace {
+
+CruTree two_satellite_tree() {
+  // root(h=2) -- a(h=3,s=4,c=1) -- sensorA(sat0, c=2)
+  //           \- b(h=5,s=6,c=3) -- sensorB(sat1, c=4)
+  CruTreeBuilder b;
+  const CruId root = b.root("root", 2.0);
+  const CruId a = b.compute(root, "a", 3.0, 4.0, 1.0);
+  const CruId bb = b.compute(root, "b", 5.0, 6.0, 3.0);
+  b.sensor(a, "sensorA", SatelliteId{0u}, 2.0);
+  b.sensor(bb, "sensorB", SatelliteId{1u}, 4.0);
+  return b.build();
+}
+
+TEST(Simulator, MatchesAnalyticDelayOnHandBuiltTree) {
+  const CruTree tree = two_satellite_tree();
+  const Colouring colouring(tree);
+  // Cut at a and b: sat0 runs a (4) + ships (1) = 5; sat1 runs b (6) +
+  // ships (3) = 9; host runs root (2). Delay = 2 + 9 = 11.
+  const Assignment assignment(colouring, {tree.by_name("a"), tree.by_name("b")});
+  const DelayBreakdown analytic = assignment.delay();
+  EXPECT_DOUBLE_EQ(analytic.end_to_end(), 11.0);
+
+  const SimResult sim = simulate(assignment);
+  ASSERT_EQ(sim.frames.size(), 1u);
+  EXPECT_DOUBLE_EQ(sim.frames[0].latency(), 11.0);
+  EXPECT_DOUBLE_EQ(sim.host_busy, 2.0);
+  EXPECT_DOUBLE_EQ(sim.sat_busy[0], 4.0);
+  EXPECT_DOUBLE_EQ(sim.sat_busy[1], 6.0);
+  EXPECT_DOUBLE_EQ(sim.uplink_busy[0], 1.0);
+  EXPECT_DOUBLE_EQ(sim.uplink_busy[1], 4.0 - 1.0);  // b ships 3
+}
+
+TEST(Simulator, AllOnHostShipsRawFrames) {
+  const CruTree tree = two_satellite_tree();
+  const Colouring colouring(tree);
+  const Assignment assignment = Assignment::all_on_host(colouring);
+  // S = 2+3+5 = 10, B = max(raw sensorA = 2, raw sensorB = 4) = 4.
+  const SimResult sim = simulate(assignment);
+  EXPECT_DOUBLE_EQ(sim.frames[0].latency(), 14.0);
+  EXPECT_DOUBLE_EQ(assignment.delay().end_to_end(), 14.0);
+}
+
+struct SimCase {
+  std::uint64_t seed;
+  std::size_t compute_nodes;
+  std::size_t satellites;
+  SensorPolicy policy;
+};
+
+class SimulatorProperty : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimulatorProperty, BarrierModeEqualsAnalyticModel) {
+  const SimCase c = GetParam();
+  Rng rng(c.seed);
+  TreeGenOptions o;
+  o.compute_nodes = c.compute_nodes;
+  o.satellites = c.satellites;
+  o.policy = c.policy;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+
+  // Check several assignments per tree: the optimum, the extremes, randoms.
+  const AssignmentGraph ag(colouring);
+  std::vector<Assignment> assignments{coloured_ssb_solve(ag).assignment,
+                                      Assignment::all_on_host(colouring),
+                                      Assignment::topmost(colouring)};
+  for (const Assignment& a : assignments) {
+    const double analytic = a.delay().end_to_end();
+    const SimResult sim = simulate(a);
+    EXPECT_NEAR(sim.frames[0].latency(), analytic, 1e-9 * (1.0 + analytic))
+        << "seed=" << c.seed;
+  }
+}
+
+TEST_P(SimulatorProperty, RelaxedModesNeverSlower) {
+  const SimCase c = GetParam();
+  Rng rng(c.seed ^ 0xf00d);
+  TreeGenOptions o;
+  o.compute_nodes = c.compute_nodes;
+  o.satellites = c.satellites;
+  o.policy = c.policy;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+  const Assignment a = Assignment::topmost(colouring);
+
+  SimOptions paper;
+  SimOptions overlap;
+  overlap.transmit_rule = TransmitRule::kOverlapped;
+  SimOptions dataflow;
+  dataflow.host_rule = HostStartRule::kDataflow;
+  SimOptions both = overlap;
+  both.host_rule = HostStartRule::kDataflow;
+
+  const double base = simulate(a, paper).frames[0].latency();
+  const double tol = 1e-9 * (1.0 + base);
+  EXPECT_LE(simulate(a, overlap).frames[0].latency(), base + tol);
+  EXPECT_LE(simulate(a, dataflow).frames[0].latency(), base + tol);
+  EXPECT_LE(simulate(a, both).frames[0].latency(), base + tol);
+}
+
+TEST_P(SimulatorProperty, PipeliningPreservesPerFrameWorkAndOrder) {
+  const SimCase c = GetParam();
+  Rng rng(c.seed ^ 0xbeef);
+  TreeGenOptions o;
+  o.compute_nodes = c.compute_nodes;
+  o.satellites = c.satellites;
+  o.policy = c.policy;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+  const Assignment a = Assignment::topmost(colouring);
+
+  SimOptions options;
+  options.frames = 5;
+  options.frame_interval = 1.0;  // deliberately tighter than the latency
+  const SimResult sim = simulate(a, options);
+  ASSERT_EQ(sim.frames.size(), 5u);
+  const double single = simulate(a).frames[0].latency();
+  for (std::size_t f = 0; f < 5; ++f) {
+    // Later frames can only queue behind earlier ones, never overtake.
+    EXPECT_GE(sim.frames[f].latency(), single - 1e-9);
+    if (f > 0) {
+      EXPECT_GE(sim.frames[f].completion, sim.frames[f - 1].completion - 1e-9);
+    }
+  }
+  // Total CPU work is frame-count times the single-frame work.
+  EXPECT_NEAR(sim.host_busy, 5.0 * simulate(a).host_busy, 1e-9);
+}
+
+TEST_P(SimulatorProperty, WideIntervalDecouplesFrames) {
+  const SimCase c = GetParam();
+  Rng rng(c.seed ^ 0xcafe);
+  TreeGenOptions o;
+  o.compute_nodes = c.compute_nodes;
+  o.satellites = c.satellites;
+  o.policy = c.policy;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+  const Assignment a = Assignment::topmost(colouring);
+
+  const double single = simulate(a).frames[0].latency();
+  SimOptions options;
+  options.frames = 3;
+  options.frame_interval = single + 1.0;  // strictly wider than the latency
+  const SimResult sim = simulate(a, options);
+  for (const FrameTrace& tr : sim.frames) {
+    EXPECT_NEAR(tr.latency(), single, 1e-9 * (1.0 + single));
+  }
+}
+
+std::vector<SimCase> sim_cases() {
+  std::vector<SimCase> cases;
+  std::uint64_t seed = 11;
+  for (const SensorPolicy policy : {SensorPolicy::kScattered, SensorPolicy::kClustered}) {
+    for (const std::size_t n : {3u, 6u, 10u, 16u}) {
+      for (const std::size_t sats : {1u, 2u, 3u}) {
+        cases.push_back({seed++, n, sats, policy});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeded, SimulatorProperty, ::testing::ValuesIn(sim_cases()));
+
+}  // namespace
+}  // namespace treesat

@@ -1,0 +1,231 @@
+// Tests for the §4.2 SSB search and the SB baseline on plain DWGs,
+// anchored on the paper's Fig 4 worked example and cross-checked against
+// exhaustive path enumeration on seeded random graphs.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/sb_search.hpp"
+#include "core/ssb_search.hpp"
+#include "graph/path_enumeration.hpp"
+#include "workload/generator.hpp"
+
+namespace treesat {
+namespace {
+
+/// The doubly weighted graph of paper Fig 4: vertices S, M, T; edges are
+/// <σ,β> pairs. Reconstructed from the three documented iterations.
+struct Fig4 {
+  Dwg g{3};
+  VertexId s{0u};
+  VertexId m{1u};
+  VertexId t{2u};
+
+  Fig4() {
+    g.add_edge(s, m, 5, 10);
+    g.add_edge(s, m, 4, 20);
+    g.add_edge(s, m, 6, 8);
+    g.add_edge(s, m, 15, 10);
+    g.add_edge(s, m, 20, 9);
+    g.add_edge(m, t, 5, 10);
+    g.add_edge(m, t, 6, 12);
+    g.add_edge(m, t, 27, 8);
+  }
+};
+
+TEST(SsbSearch, Fig4FindsOptimum20) {
+  const Fig4 f;
+  const SsbSearchResult r = ssb_search(f.g, f.s, f.t);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_DOUBLE_EQ(r.ssb_weight, 20.0);
+  EXPECT_DOUBLE_EQ(r.best->s_weight, 10.0);
+  EXPECT_DOUBLE_EQ(r.best->b_weight, 10.0);
+  // The optimum is the <5,10>-<5,10> path.
+  ASSERT_EQ(r.best->edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.g.edge(r.best->edges[0]).sigma, 5.0);
+  EXPECT_DOUBLE_EQ(f.g.edge(r.best->edges[1]).sigma, 5.0);
+}
+
+TEST(SsbSearch, Fig4TerminatesInThreeIterations) {
+  // The paper's trace: SSB_can ∞ -> 29 -> 20, stop when the min-S path
+  // reaches S = 33 >= 20.
+  const Fig4 f;
+  const SsbSearchResult r = ssb_search(f.g, f.s, f.t);
+  EXPECT_EQ(r.iterations, 3u);
+  EXPECT_EQ(r.stop, SsbStop::kSumBound);
+}
+
+TEST(SsbSearch, Fig4IterationOneCandidateIs29) {
+  // With a one-iteration cap the candidate must be the first min-S path
+  // <4,20>-<5,10> with SSB = 9 + 20 = 29.
+  const Fig4 f;
+  SsbSearchOptions options;
+  options.iteration_cap = 1;
+  const SsbSearchResult r = ssb_search(f.g, f.s, f.t, options);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_DOUBLE_EQ(r.ssb_weight, 29.0);
+  EXPECT_EQ(r.stop, SsbStop::kIterationCap);
+}
+
+TEST(SsbSearch, Fig4EliminationTrace) {
+  // After iteration 1 exactly the <4,20> edge dies (β = B(P_1) = 20);
+  // after iteration 2 the four edges with β >= 10 follow.
+  const Fig4 f;
+  SsbSearchOptions options;
+  options.iteration_cap = 1;
+  EXPECT_EQ(ssb_search(f.g, f.s, f.t, options).edges_eliminated, 1u);
+  options.iteration_cap = 2;
+  EXPECT_EQ(ssb_search(f.g, f.s, f.t, options).edges_eliminated, 5u);
+}
+
+TEST(SsbSearch, DisconnectedReturnsNoPath) {
+  Dwg g(4);
+  g.add_edge(VertexId{0u}, VertexId{1u}, 1, 1);
+  g.add_edge(VertexId{2u}, VertexId{3u}, 1, 1);
+  const SsbSearchResult r = ssb_search(g, VertexId{0u}, VertexId{3u});
+  EXPECT_FALSE(r.best.has_value());
+  EXPECT_EQ(r.stop, SsbStop::kDisconnected);
+}
+
+TEST(SsbSearch, SourceEqualsTargetIsEmptyOptimal) {
+  Dwg g(2);
+  g.add_edge(VertexId{0u}, VertexId{1u}, 3, 4);
+  const SsbSearchResult r = ssb_search(g, VertexId{0u}, VertexId{0u});
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_TRUE(r.best->empty());
+  EXPECT_DOUBLE_EQ(r.ssb_weight, 0.0);
+}
+
+TEST(SsbSearch, SingleEdgeGraph) {
+  Dwg g(2);
+  g.add_edge(VertexId{0u}, VertexId{1u}, 7, 3);
+  const SsbSearchResult r = ssb_search(g, VertexId{0u}, VertexId{1u});
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_DOUBLE_EQ(r.ssb_weight, 10.0);
+}
+
+TEST(SsbSearch, ZeroBottleneckPathShortCircuits) {
+  // A path with B = 0 and minimal S is optimal outright.
+  Dwg g(3);
+  g.add_edge(VertexId{0u}, VertexId{1u}, 1, 0);
+  g.add_edge(VertexId{1u}, VertexId{2u}, 1, 0);
+  g.add_edge(VertexId{0u}, VertexId{2u}, 10, 5);
+  const SsbSearchResult r = ssb_search(g, VertexId{0u}, VertexId{2u});
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_DOUBLE_EQ(r.ssb_weight, 2.0);
+}
+
+TEST(SsbSearch, MinSPathWithHugeBottleneckIsNotTrapped) {
+  // The min-S path has a huge β; the optimum is the slightly longer path.
+  // (This is the case where the paper's strict '>' elimination stalls; our
+  // '>=' keeps making progress.)
+  Dwg g(3);
+  g.add_edge(VertexId{0u}, VertexId{1u}, 1, 100);
+  g.add_edge(VertexId{1u}, VertexId{2u}, 1, 100);
+  g.add_edge(VertexId{0u}, VertexId{2u}, 5, 1);
+  const SsbSearchResult r = ssb_search(g, VertexId{0u}, VertexId{2u});
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_DOUBLE_EQ(r.ssb_weight, 6.0);
+  ASSERT_EQ(r.best->edges.size(), 1u);
+}
+
+TEST(SbSearch, Fig4SbOptimum) {
+  // Bokhari's objective on the same graph: minimize max(S, B). The
+  // <5,10>-<5,10> path gives max(10,10) = 10; nothing does better since
+  // every S->M edge has β >= 8 and the cheapest S is 9.
+  const Fig4 f;
+  const SbSearchResult r = sb_search(f.g, f.s, f.t);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_DOUBLE_EQ(r.sb_weight, 10.0);
+}
+
+TEST(SbSearch, PrefersBalancedOverMinSum) {
+  Dwg g(2);
+  g.add_edge(VertexId{0u}, VertexId{1u}, 1, 50);   // SSB winner if λ_S large
+  g.add_edge(VertexId{0u}, VertexId{1u}, 30, 30);  // SB winner: max = 30
+  const SbSearchResult r = sb_search(g, VertexId{0u}, VertexId{1u});
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_DOUBLE_EQ(r.sb_weight, 30.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: on seeded random DWGs, the iterative searches must match
+// exhaustive path enumeration for every tested objective.
+// ---------------------------------------------------------------------------
+
+struct RandomDwgCase {
+  std::uint64_t seed;
+  std::size_t vertices;
+  std::size_t edges;
+  bool forward_dag;
+};
+
+class SsbRandomDwg : public ::testing::TestWithParam<RandomDwgCase> {};
+
+TEST_P(SsbRandomDwg, MatchesExhaustiveEnumeration) {
+  const RandomDwgCase c = GetParam();
+  Rng rng(c.seed);
+  DwgGenOptions o;
+  o.vertices = c.vertices;
+  o.edges = c.edges;
+  o.forward_dag = c.forward_dag;
+  const Dwg g = random_dwg(rng, o);
+  const VertexId s{0u};
+  const VertexId t{c.vertices - 1};
+
+  for (const double lambda : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const SsbObjective obj = SsbObjective::from_lambda(lambda);
+    SsbSearchOptions options;
+    options.objective = obj;
+    const SsbSearchResult got = ssb_search(g, s, t, options);
+    const auto want = min_path_exhaustive(
+        g, s, t, g.full_mask(), 1u << 22,
+        [&](std::span<const EdgeId> p) {
+          return obj.value(path_sum_weight(g, p), path_bottleneck_max(g, p));
+        },
+        /*coloured=*/false);
+    ASSERT_TRUE(want.has_value()) << "enumeration overflowed";
+    ASSERT_TRUE(got.best.has_value());
+    EXPECT_NEAR(got.ssb_weight, obj.value(want->s_weight, want->b_weight), 1e-9)
+        << "seed=" << c.seed << " lambda=" << lambda;
+  }
+}
+
+TEST_P(SsbRandomDwg, SbMatchesExhaustiveEnumeration) {
+  const RandomDwgCase c = GetParam();
+  Rng rng(c.seed ^ 0xabcdef);
+  DwgGenOptions o;
+  o.vertices = c.vertices;
+  o.edges = c.edges;
+  o.forward_dag = c.forward_dag;
+  const Dwg g = random_dwg(rng, o);
+  const VertexId s{0u};
+  const VertexId t{c.vertices - 1};
+
+  const SbSearchResult got = sb_search(g, s, t);
+  const auto want = min_path_exhaustive(
+      g, s, t, g.full_mask(), 1u << 22,
+      [&](std::span<const EdgeId> p) {
+        return std::max(path_sum_weight(g, p), path_bottleneck_max(g, p));
+      },
+      /*coloured=*/false);
+  ASSERT_TRUE(want.has_value());
+  ASSERT_TRUE(got.best.has_value());
+  EXPECT_NEAR(got.sb_weight, std::max(want->s_weight, want->b_weight), 1e-9)
+      << "seed=" << c.seed;
+}
+
+std::vector<RandomDwgCase> random_dwg_cases() {
+  std::vector<RandomDwgCase> cases;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    cases.push_back({seed, 6, 14, true});
+    cases.push_back({seed + 100, 8, 18, true});
+    cases.push_back({seed + 200, 7, 14, false});
+    cases.push_back({seed + 300, 5, 20, true});  // heavy parallel edges
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeded, SsbRandomDwg, ::testing::ValuesIn(random_dwg_cases()));
+
+}  // namespace
+}  // namespace treesat

@@ -1,0 +1,226 @@
+// Substrate unit tests: RNG determinism and distribution sanity, DWG
+// invariants, edge masks, shortest paths, path enumeration, exhaustive
+// counting, serialization of tables and DOT output shape.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "core/exhaustive.hpp"
+#include "graph/path_enumeration.hpp"
+#include "graph/shortest_path.hpp"
+#include "io/dot.hpp"
+#include "io/table.hpp"
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c;
+  }
+  Rng d(43);
+  EXPECT_NE(Rng(42)(), d());
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformRealInHalfOpenRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(1.0, 2.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LT(v, 2.0);
+  }
+  EXPECT_DOUBLE_EQ(rng.uniform_real(3.0, 3.0), 3.0);
+}
+
+TEST(Rng, BernoulliExtremesAndErrors) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(1.5), InvalidArgument);
+  EXPECT_THROW(rng.index(0), InvalidArgument);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.fork();
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Dwg, RejectsBadEdges) {
+  Dwg g(2);
+  EXPECT_THROW(g.add_edge(VertexId{0u}, VertexId{5u}, 1, 1), InvalidArgument);
+  EXPECT_THROW(g.add_edge(VertexId{0u}, VertexId{1u}, -1, 1), InvalidArgument);
+  EXPECT_THROW(g.add_edge(VertexId{0u}, VertexId{1u}, 1, -1), InvalidArgument);
+  EXPECT_THROW(g.add_edge(VertexId{0u}, VertexId{1u}, 1, 1, -7), InvalidArgument);
+}
+
+TEST(Dwg, ParallelEdgesAreDistinct) {
+  Dwg g(2);
+  const EdgeId a = g.add_edge(VertexId{0u}, VertexId{1u}, 1, 2);
+  const EdgeId b = g.add_edge(VertexId{0u}, VertexId{1u}, 3, 4);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(g.out_edges(VertexId{0u}).size(), 2u);
+  EXPECT_EQ(g.in_edges(VertexId{1u}).size(), 2u);
+}
+
+TEST(Dwg, ColouredBottleneckSumsPerColour) {
+  Dwg g(4);
+  std::vector<EdgeId> path;
+  path.push_back(g.add_edge(VertexId{0u}, VertexId{1u}, 0, 5, 0));
+  path.push_back(g.add_edge(VertexId{1u}, VertexId{2u}, 0, 4, 1));
+  path.push_back(g.add_edge(VertexId{2u}, VertexId{3u}, 0, 3, 0));
+  // Colour 0 sums to 8, colour 1 to 4; uncoloured max would be 5.
+  EXPECT_DOUBLE_EQ(path_bottleneck_coloured(g, path), 8.0);
+  EXPECT_DOUBLE_EQ(path_bottleneck_max(g, path), 5.0);
+}
+
+TEST(Dwg, UncolouredEdgesActAsSingletons) {
+  Dwg g(3);
+  std::vector<EdgeId> path;
+  path.push_back(g.add_edge(VertexId{0u}, VertexId{1u}, 0, 6));
+  path.push_back(g.add_edge(VertexId{1u}, VertexId{2u}, 0, 6));
+  // Two uncoloured 6s do NOT sum.
+  EXPECT_DOUBLE_EQ(path_bottleneck_coloured(g, path), 6.0);
+}
+
+TEST(EdgeMask, KillAndGrow) {
+  EdgeMask m(3);
+  EXPECT_EQ(m.alive_count(), 3u);
+  EXPECT_TRUE(m.kill(EdgeId{1u}));
+  EXPECT_FALSE(m.kill(EdgeId{1u}));
+  EXPECT_EQ(m.alive_count(), 2u);
+  m.grow(5);
+  EXPECT_EQ(m.alive_count(), 4u);
+  EXPECT_FALSE(m.alive(EdgeId{1u}));
+  EXPECT_TRUE(m.alive(EdgeId{4u}));
+}
+
+TEST(ShortestPath, DijkstraAndDagAgree) {
+  Dwg g(5);
+  g.add_edge(VertexId{0u}, VertexId{1u}, 2, 0);
+  g.add_edge(VertexId{0u}, VertexId{2u}, 1, 0);
+  g.add_edge(VertexId{1u}, VertexId{3u}, 2, 0);
+  g.add_edge(VertexId{2u}, VertexId{3u}, 5, 0);
+  g.add_edge(VertexId{3u}, VertexId{4u}, 1, 0);
+  const auto a = min_sum_path(g, VertexId{0u}, VertexId{4u}, g.full_mask());
+  const auto b = min_sum_path_dag(g, VertexId{0u}, VertexId{4u}, g.full_mask());
+  ASSERT_TRUE(a && b);
+  EXPECT_DOUBLE_EQ(a->s_weight, 5.0);
+  EXPECT_DOUBLE_EQ(b->s_weight, 5.0);
+}
+
+TEST(ShortestPath, RespectsMask) {
+  Dwg g(3);
+  const EdgeId direct = g.add_edge(VertexId{0u}, VertexId{2u}, 1, 0);
+  g.add_edge(VertexId{0u}, VertexId{1u}, 2, 0);
+  g.add_edge(VertexId{1u}, VertexId{2u}, 2, 0);
+  EdgeMask mask = g.full_mask();
+  mask.kill(direct);
+  const auto p = min_sum_path(g, VertexId{0u}, VertexId{2u}, mask);
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->s_weight, 4.0);
+}
+
+TEST(PathEnumeration, CountsAndCaps) {
+  Dwg g(3);
+  g.add_edge(VertexId{0u}, VertexId{1u}, 0, 0);
+  g.add_edge(VertexId{0u}, VertexId{1u}, 0, 0);
+  g.add_edge(VertexId{1u}, VertexId{2u}, 0, 0);
+  g.add_edge(VertexId{0u}, VertexId{2u}, 0, 0);
+  EXPECT_EQ(count_simple_paths(g, VertexId{0u}, VertexId{2u}, g.full_mask(), 100), 3u);
+  EXPECT_EQ(count_simple_paths(g, VertexId{0u}, VertexId{2u}, g.full_mask(), 2), 2u);
+}
+
+TEST(PathEnumeration, SimplePathsOnlyOnCyclicGraphs) {
+  Dwg g(3);
+  g.add_edge(VertexId{0u}, VertexId{1u}, 0, 0);
+  g.add_edge(VertexId{1u}, VertexId{0u}, 0, 0);  // cycle
+  g.add_edge(VertexId{1u}, VertexId{2u}, 0, 0);
+  EXPECT_EQ(count_simple_paths(g, VertexId{0u}, VertexId{2u}, g.full_mask(), 100), 1u);
+}
+
+TEST(Exhaustive, CountMatchesEnumeration) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  std::size_t n = 0;
+  for_each_assignment(colouring, 1u << 20, [&](const Assignment&) { ++n; });
+  EXPECT_EQ(n, count_assignments(colouring, 1u << 20));
+  EXPECT_GT(n, 1u);
+}
+
+TEST(Exhaustive, CapThrows) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  EXPECT_THROW(for_each_assignment(colouring, 1, [](const Assignment&) {}), ResourceLimit);
+}
+
+TEST(Table, AlignedAndCsvOutput) {
+  Table t({"name", "value"});
+  t.add("alpha", 1.5);
+  t.add("beta", std::size_t{7});
+  std::ostringstream text, csv;
+  t.print(text);
+  t.print_csv(csv);
+  EXPECT_NE(text.str().find("alpha"), std::string::npos);
+  EXPECT_NE(text.str().find("----"), std::string::npos);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1.5\nbeta,7\n");
+  EXPECT_THROW(t.add_row({"only-one-cell"}), InvalidArgument);
+}
+
+TEST(Dot, OutputsContainStructure) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  const AssignmentGraph ag(colouring);
+  const Assignment a = Assignment::topmost(colouring);
+
+  const std::string t = tree_to_dot(tree);
+  EXPECT_NE(t.find("digraph"), std::string::npos);
+  EXPECT_NE(t.find("CRU13"), std::string::npos);
+
+  const std::string c = colouring_to_dot(colouring);
+  EXPECT_NE(c.find("style=dashed"), std::string::npos);  // conflict nodes
+  EXPECT_NE(c.find("color=blue"), std::string::npos);    // satellite B edges
+
+  const std::string ad = assignment_to_dot(a);
+  EXPECT_NE(ad.find("cut"), std::string::npos);
+
+  const std::string gd = assignment_graph_to_dot(ag);
+  EXPECT_NE(gd.find("label=\"S\""), std::string::npos);
+  EXPECT_NE(gd.find("label=\"T\""), std::string::npos);
+
+  const std::string dd = dwg_to_dot(ag.graph());
+  EXPECT_NE(dd.find("rankdir=LR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treesat

@@ -9,7 +9,7 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
-#include "core/coloured_ssb.hpp"
+#include "core/assignment_graph.hpp"
 #include "core/ssb_search.hpp"
 #include "graph/shortest_path.hpp"
 #include "io/table.hpp"
@@ -58,28 +58,26 @@ void ablation_fallback() {
     o.policy = SensorPolicy::kScattered;  // multi-region colours galore
     const CruTree tree = random_tree(rng, o);
     const Colouring colouring(tree);
-    const AssignmentGraph ag(colouring);
 
     struct Policy {
       const char* name;
-      ColouredSsbOptions options;
+      const char* spec;  // registry spec of the coloured-ssb variant
     };
-    ColouredSsbOptions lazy;
-    ColouredSsbOptions eager;
-    eager.eager_expansion = true;
-    ColouredSsbOptions none;
-    none.expansion_cap_per_region = 1;  // fallback-only
     double reference = -1.0;
     for (const Policy& policy :
-         {Policy{"lazy expansion", lazy}, Policy{"eager expansion", eager},
-          Policy{"fallback only", none}}) {
-      const ColouredSsbResult r = coloured_ssb_solve(ag, policy.options);
-      if (reference < 0) reference = r.ssb_weight;
-      TS_CHECK(std::abs(r.ssb_weight - reference) < 1e-9, "ablation: optima disagree");
+         {Policy{"lazy expansion", "coloured-ssb"},
+          Policy{"eager expansion", "coloured-ssb:eager_expansion=true"},
+          Policy{"fallback only", "coloured-ssb:expansion_cap=1"}}) {
+      const SolvePlan plan = parse_plan(policy.spec);
+      const SolveReport r = solve(colouring, plan);
+      if (reference < 0) reference = r.objective_value;
+      TS_CHECK(std::abs(r.objective_value - reference) < 1e-9,
+               "ablation: optima disagree");
       const double ms =
-          bench::time_run([&] { (void)coloured_ssb_solve(ag, policy.options); }, 3) * 1e3;
-      t.add(nodes, policy.name, r.stats.iterations, r.stats.composite_edges,
-            r.stats.fallback_nodes, ms);
+          bench::time_run([&] { (void)solve(colouring, plan); }, 3) * 1e3;
+      const ColouredSsbStats& stats = *r.stats_as<ColouredSsbStats>();
+      t.add(nodes, policy.name, stats.iterations, stats.composite_edges,
+            stats.fallback_nodes, ms);
     }
   }
   t.print(std::cout);

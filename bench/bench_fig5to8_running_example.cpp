@@ -6,9 +6,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/coloured_ssb.hpp"
-#include "core/exhaustive.hpp"
-#include "core/pareto_dp.hpp"
+#include "core/assignment_graph.hpp"
 #include "io/table.hpp"
 #include "workload/scenarios.hpp"
 
@@ -58,9 +56,9 @@ void run() {
   labels.print(std::cout);
 
   // §5.4: the optimum, by three independent exact methods.
-  const ColouredSsbResult ssb = coloured_ssb_solve(ag);
-  const ParetoDpResult dp = pareto_dp_solve(colouring);
-  const ExhaustiveResult ex = exhaustive_solve(colouring, SsbObjective::end_to_end());
+  const SolveReport ssb = solve(colouring);
+  const SolveReport dp = solve(colouring, SolvePlan::pareto_dp());
+  const SolveReport ex = solve(colouring, SolvePlan::exhaustive());
 
   Table optimum({"method", "S (host)", "B (bottleneck)", "end-to-end delay"});
   optimum.add("coloured SSB (paper)", ssb.delay.host_time, ssb.delay.bottleneck,
@@ -71,17 +69,19 @@ void run() {
 
   std::cout << "  optimal assignment: " << ssb.assignment << "\n";
   Table stats({"search statistic", "value"});
-  stats.add("iterations", ssb.stats.iterations);
-  stats.add("edges eliminated", ssb.stats.edges_eliminated);
-  stats.add("stalled (needed Fig 9 expansion/fallback)", ssb.stats.stalled);
-  stats.add("regions expanded", ssb.stats.regions_expanded);
-  stats.add("|E'| (expanded graph)", ssb.stats.expanded_edge_count);
-  stats.add("used fallback", ssb.stats.used_fallback);
-  stats.add("assignments in the cut space", ex.assignments_enumerated);
+  const ColouredSsbStats& search = *ssb.stats_as<ColouredSsbStats>();
+  stats.add("iterations", search.iterations);
+  stats.add("edges eliminated", search.edges_eliminated);
+  stats.add("stalled (needed Fig 9 expansion/fallback)", search.stalled);
+  stats.add("regions expanded", search.regions_expanded);
+  stats.add("|E'| (expanded graph)", search.expanded_edge_count);
+  stats.add("used fallback", search.used_fallback);
+  stats.add("assignments in the cut space",
+            ex.stats_as<ExhaustiveStats>()->assignments_enumerated);
   stats.print(std::cout);
 
-  const double secs = bench::time_run([&] { (void)coloured_ssb_solve(ag); }, 20);
-  bench::note("coloured_ssb_solve wall time: " + Table::format_cell(secs * 1e6) + " us");
+  const double secs = bench::time_run([&] { (void)solve(colouring); }, 20);
+  bench::note("coloured-ssb solve wall time: " + Table::format_cell(secs * 1e6) + " us");
 }
 
 }  // namespace

@@ -7,7 +7,6 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
-#include "core/coloured_ssb.hpp"
 #include "core/exhaustive.hpp"
 #include "io/table.hpp"
 #include "workload/generator.hpp"
@@ -24,10 +23,13 @@ CruTree chain_with_side_sensors(std::size_t depth, std::size_t colours, Rng& rng
     CruId at = b.compute(root, "top" + std::to_string(c), rng.uniform_real(1, 5),
                          rng.uniform_real(1, 5), rng.uniform_real(0.1, 2));
     for (std::size_t d = 0; d < depth; ++d) {
-      b.sensor(at, "side" + std::to_string(c) + "_" + std::to_string(d), SatelliteId{c},
-               rng.uniform_real(0.1, 2));
-      at = b.compute(at, "n" + std::to_string(c) + "_" + std::to_string(d),
-                     rng.uniform_real(1, 5), rng.uniform_real(1, 5),
+      // Appended, not concatenated: GCC 12's -Wrestrict misfires on chained
+      // string operator+ under -O2 (GCC bug 105651).
+      std::string suffix = std::to_string(c);
+      suffix += '_';
+      suffix += std::to_string(d);
+      b.sensor(at, "side" + suffix, SatelliteId{c}, rng.uniform_real(0.1, 2));
+      at = b.compute(at, "n" + suffix, rng.uniform_real(1, 5), rng.uniform_real(1, 5),
                      rng.uniform_real(0.1, 2));
     }
     b.sensor(at, "leaf" + std::to_string(c), SatelliteId{c}, rng.uniform_real(0.1, 2));
@@ -45,19 +47,18 @@ void run() {
     for (const std::size_t colours : {1u, 2u}) {
       const CruTree tree = chain_with_side_sensors(depth, colours, rng);
       const Colouring colouring(tree);
-      const AssignmentGraph ag(colouring);
 
-      const ColouredSsbResult got = coloured_ssb_solve(ag);
-      const double want =
-          exhaustive_solve(colouring, SsbObjective::end_to_end()).objective;
+      const SolveReport got = solve(colouring);
+      const ColouredSsbStats& stats = *got.stats_as<ColouredSsbStats>();
+      const double want = solve(colouring, SolvePlan::exhaustive()).objective_value;
       const std::size_t cuts_per_region =
           count_assignments(colouring, 1u << 24) /
           std::max<std::size_t>(1, colouring.region_roots().size());
 
-      t.add(depth, colours, cuts_per_region, got.stats.stalled,
-            got.stats.regions_expanded, got.stats.composite_edges,
-            got.stats.expanded_edge_count, got.stats.used_fallback,
-            std::abs(got.ssb_weight - want) < 1e-9);
+      t.add(depth, colours, cuts_per_region, stats.stalled,
+            stats.regions_expanded, stats.composite_edges,
+            stats.expanded_edge_count, stats.used_fallback,
+            std::abs(got.objective_value - want) < 1e-9);
     }
   }
   t.print(std::cout);
@@ -65,15 +66,16 @@ void run() {
   bench::note("lazy vs eager expansion cost on the deepest instance:");
   const CruTree tree = chain_with_side_sensors(8, 2, rng);
   const Colouring colouring(tree);
-  const AssignmentGraph ag(colouring);
   Table modes({"mode", "composites", "iterations", "wall us"});
   for (const bool eager : {false, true}) {
     ColouredSsbOptions o;
     o.eager_expansion = eager;
-    const ColouredSsbResult r = coloured_ssb_solve(ag, o);
-    const double secs = bench::time_run([&] { (void)coloured_ssb_solve(ag, o); }, 10);
+    const SolvePlan plan = SolvePlan::coloured_ssb(o);
+    const SolveReport r = solve(colouring, plan);
+    const ColouredSsbStats& stats = *r.stats_as<ColouredSsbStats>();
+    const double secs = bench::time_run([&] { (void)solve(colouring, plan); }, 10);
     modes.add(eager ? "eager (paper Fig 10)" : "lazy (on stall)",
-              r.stats.composite_edges, r.stats.iterations, secs * 1e6);
+              stats.composite_edges, stats.iterations, secs * 1e6);
   }
   modes.print(std::cout);
 }

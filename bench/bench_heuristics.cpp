@@ -5,10 +5,6 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
-#include "core/pareto_dp.hpp"
-#include "heuristics/branch_bound.hpp"
-#include "heuristics/genetic.hpp"
-#include "heuristics/local_search.hpp"
 #include "io/table.hpp"
 #include "workload/generator.hpp"
 
@@ -35,14 +31,14 @@ void run() {
       o.policy = SensorPolicy::kClustered;
       const CruTree tree = random_tree(rng, o);
       const Colouring colouring(tree);
-      const double opt = pareto_dp_solve(colouring).objective;
+      const double opt = solve(colouring, SolvePlan::pareto_dp()).objective_value;
 
-      const auto account = [&](Acc& acc, double value, double secs, std::size_t effort) {
-        const double ratio = value / std::max(opt, 1e-12);
+      const auto account = [&](Acc& acc, const SolveReport& r, std::size_t effort) {
+        const double ratio = r.objective_value / std::max(opt, 1e-12);
         acc.ratio_sum += ratio;
         acc.worst = std::max(acc.worst, ratio);
-        acc.optimal += std::abs(value - opt) <= 1e-9 * (1.0 + opt) ? 1 : 0;
-        acc.wall_ms += secs * 1e3;
+        acc.optimal += std::abs(r.objective_value - opt) <= 1e-9 * (1.0 + opt) ? 1 : 0;
+        acc.wall_ms += r.wall_seconds * 1e3;
         acc.effort += effort;
         ++acc.trials;
       };
@@ -51,37 +47,33 @@ void run() {
         // B&B is exact but worst-case exponential; a capped run counts as a
         // DNF (the finding E9 reports: exact search is practical to ~50
         // CRUs, beyond which the polynomial methods are the only option).
-        const Stopwatch w;
         BranchBoundOptions bopt;
         bopt.node_cap = std::size_t{1} << 22;
         try {
-          const BranchBoundResult r = branch_bound_solve(colouring, bopt);
-          account(bb, r.objective_value, w.seconds(), r.nodes_visited);
+          const SolveReport r = solve(colouring, SolvePlan::branch_bound(bopt));
+          account(bb, r, r.stats_as<BranchBoundStats>()->nodes_visited);
         } catch (const ResourceLimit&) {
           ++bb.dnf;
         }
       }
       {
-        const Stopwatch w;
         GeneticOptions go;
         go.seed = 17 + static_cast<std::uint64_t>(trial);
-        const GeneticResult r = genetic_solve(colouring, go);
-        account(ga, r.objective_value, w.seconds(), r.evaluations);
+        const SolveReport r = solve(colouring, SolvePlan::genetic(go));
+        account(ga, r, r.stats_as<GeneticStats>()->evaluations);
       }
       {
-        const Stopwatch w;
         LocalSearchOptions lo;
         lo.seed = 29 + static_cast<std::uint64_t>(trial);
-        const LocalSearchResult r = local_search_solve(colouring, lo);
-        account(ls, r.objective_value, w.seconds(), r.moves_applied);
+        const SolveReport r = solve(colouring, SolvePlan::local_search(lo));
+        account(ls, r, r.stats_as<LocalSearchStats>()->moves_applied);
       }
       {
-        const Stopwatch w;
-        const LocalSearchResult r = greedy_solve(colouring);
-        account(greedy, r.objective_value, w.seconds(), r.moves_applied);
+        const SolveReport r = solve(colouring, SolvePlan::greedy());
+        account(greedy, r, r.stats_as<LocalSearchStats>()->moves_applied);
       }
     }
-    const auto emit = [&](const char* name, const Acc& acc, std::string note) {
+    const auto emit = [&](const std::string& name, const Acc& acc, std::string note) {
       if (acc.dnf > 0) note += "; " + std::to_string(acc.dnf) + " DNF (node cap)";
       if (acc.trials == 0) {
         t.add(nodes, name, "-", "-", "-", "-", note);
@@ -90,11 +82,14 @@ void run() {
       t.add(nodes, name, acc.ratio_sum / acc.trials, acc.worst,
             100.0 * acc.optimal / acc.trials, acc.wall_ms / acc.trials, note);
     };
-    emit("branch-bound", bb,
+    emit(bench::method_label(SolveMethod::kBranchBound), bb,
          bb.trials ? "exact; " + std::to_string(bb.effort / bb.trials) + " nodes" : "exact");
-    emit("genetic", ga, std::to_string(ga.effort / ga.trials) + " evals");
-    emit("local-search", ls, std::to_string(ls.effort / ls.trials) + " moves");
-    emit("greedy", greedy, std::to_string(greedy.effort / greedy.trials) + " moves");
+    emit(bench::method_label(SolveMethod::kGenetic), ga,
+         std::to_string(ga.effort / ga.trials) + " evals");
+    emit(bench::method_label(SolveMethod::kLocalSearch), ls,
+         std::to_string(ls.effort / ls.trials) + " moves");
+    emit(bench::method_label(SolveMethod::kGreedy), greedy,
+         std::to_string(greedy.effort / greedy.trials) + " moves");
   }
   t.print(std::cout);
   bench::note("branch-and-bound stays exact (quality 1) with node counts far below");

@@ -7,7 +7,6 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
-#include "core/pareto_dp.hpp"
 #include "io/table.hpp"
 #include "workload/generator.hpp"
 #include "workload/scenarios.hpp"
@@ -20,9 +19,9 @@ void sweep(const std::string& name, const Colouring& colouring) {
   Table t({"lambda", "S (host) [ms]", "B (bottleneck) [ms]", "S+B [ms]",
            "CRUs on satellites", "cut nodes"});
   for (const double lambda : {0.0, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9, 1.0}) {
-    ParetoDpOptions o;
-    o.objective = SsbObjective::from_lambda(lambda);
-    const ParetoDpResult r = pareto_dp_solve(colouring, o);
+    const SolveReport r = solve(
+        colouring,
+        SolvePlan::pareto_dp().with_objective(SsbObjective::from_lambda(lambda)));
     t.add(lambda, r.delay.host_time * 1e3, r.delay.bottleneck * 1e3,
           r.delay.end_to_end() * 1e3, r.assignment.satellite_node_count(),
           r.assignment.cut_nodes().size());

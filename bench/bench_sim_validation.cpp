@@ -7,7 +7,6 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
-#include "core/coloured_ssb.hpp"
 #include "io/table.hpp"
 #include "sim/simulator.hpp"
 #include "workload/generator.hpp"
@@ -42,8 +41,7 @@ void validate_scenarios() {
   for (const Scenario& sc : {epilepsy_scenario(), snmp_scenario(4)}) {
     const CruTree tree = sc.workload.lower(sc.platform);
     const Colouring colouring(tree);
-    const AssignmentGraph ag(colouring);
-    row(sc.name, colouring, coloured_ssb_solve(ag).assignment, "optimal");
+    row(sc.name, colouring, solve(colouring).assignment, "optimal");
     row(sc.name, colouring, Assignment::all_on_host(colouring), "all-on-host");
     row(sc.name, colouring, Assignment::topmost(colouring), "topmost");
   }
@@ -58,8 +56,7 @@ void validate_scenarios() {
     const auto sys = HostSatelliteSystem::homogeneous(3, 2e8, 4e7, LinkSpec{0.02, 1e5});
     const CruTree tree = w.lower(sys);
     const Colouring colouring(tree);
-    const AssignmentGraph ag(colouring);
-    row("random-" + std::to_string(i), colouring, coloured_ssb_solve(ag).assignment,
+    row("random-" + std::to_string(i), colouring, solve(colouring).assignment,
         "optimal");
   }
   t.print(std::cout);
@@ -72,8 +69,7 @@ void pipelining() {
   const Scenario sc = epilepsy_scenario();
   const CruTree tree = sc.workload.lower(sc.platform);
   const Colouring colouring(tree);
-  const AssignmentGraph ag(colouring);
-  const Assignment best = coloured_ssb_solve(ag).assignment;
+  const Assignment best = solve(colouring).assignment;
 
   const double single = simulate(best).frames[0].latency();
   Table t({"frame interval / latency", "frames", "mean latency [ms]", "max latency [ms]",

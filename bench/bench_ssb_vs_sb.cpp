@@ -6,8 +6,7 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
-#include "core/coloured_ssb.hpp"
-#include "core/pareto_dp.hpp"
+#include "core/assignment_graph.hpp"
 #include "core/sb_search.hpp"
 #include "io/table.hpp"
 #include "workload/generator.hpp"
@@ -41,7 +40,7 @@ void run() {
         const AssignmentGraph ag(colouring);
 
         // Optimal end-to-end delay (the paper's objective).
-        const double ssb_delay = coloured_ssb_solve(ag).delay.end_to_end();
+        const double ssb_delay = solve(colouring).delay.end_to_end();
         // Bokhari's objective on the same coloured graph, then evaluate the
         // end-to-end delay of the SB-optimal assignment.
         const SbSearchResult sb =
@@ -64,11 +63,11 @@ void run() {
 
   // The scenario library, as concrete anchors.
   Table sc({"scenario", "SSB-optimal delay [ms]", "SB-optimal delay [ms]", "ratio"});
-  for (const Scenario& s : {epilepsy_scenario(), snmp_scenario(4), snmp_scenario(8)}) {
+  for (const Scenario& s : standard_scenarios()) {
     const CruTree tree = s.workload.lower(s.platform);
     const Colouring colouring(tree);
     const AssignmentGraph ag(colouring);
-    const double ssb = coloured_ssb_solve(ag).delay.end_to_end();
+    const double ssb = solve(colouring).delay.end_to_end();
     const SbSearchResult sbres =
         sb_search(ag.graph(), ag.source(), ag.target(), /*coloured=*/true);
     const double sb = ag.path_to_assignment(sbres.best->edges).delay().end_to_end();

@@ -9,8 +9,22 @@
 #include <string>
 
 #include "common/stopwatch.hpp"
+#include "core/registry.hpp"
+#include "core/solver.hpp"
 
 namespace treesat::bench {
+
+/// Solves with a registry spec ("genetic:seed=17"): the shared path of the
+/// method-comparison benches, so method names and option spellings come
+/// from core/registry.hpp instead of per-bench string literals.
+inline SolveReport solve_spec(const Colouring& colouring, const std::string& spec) {
+  return solve(colouring, parse_plan(spec));
+}
+
+/// Display label of a method, straight from the registry.
+inline std::string method_label(SolveMethod method) {
+  return method_info(method).name;
+}
 
 inline void banner(const std::string& experiment, const std::string& title) {
   std::cout << "\n=== " << experiment << ": " << title << " ===\n";

@@ -7,7 +7,6 @@
 #include "baselines/bokhari_tree.hpp"
 #include "bench_util.hpp"
 #include "common/rng.hpp"
-#include "core/coloured_ssb.hpp"
 #include "io/table.hpp"
 #include "workload/generator.hpp"
 #include "workload/scenarios.hpp"
@@ -31,9 +30,8 @@ void run() {
         o.policy = policy;
         const CruTree tree = random_tree(rng, o);
         const Colouring colouring(tree);
-        const AssignmentGraph ag(colouring);
 
-        const double optimal = coloured_ssb_solve(ag).delay.end_to_end();
+        const double optimal = solve(colouring).delay.end_to_end();
         const BokhariTreeResult unconstrained = bokhari_tree_solve(tree);
         const Assignment repaired = repair_to_pinned(colouring, unconstrained);
         const double repaired_delay = repaired.delay().end_to_end();
@@ -60,8 +58,7 @@ void run() {
   for (const Scenario& s : {epilepsy_scenario(), snmp_scenario(4)}) {
     const CruTree tree = s.workload.lower(s.platform);
     const Colouring colouring(tree);
-    const AssignmentGraph ag(colouring);
-    const double optimal = coloured_ssb_solve(ag).delay.end_to_end();
+    const double optimal = solve(colouring).delay.end_to_end();
     const BokhariTreeResult un = bokhari_tree_solve(tree);
     const double repaired = repair_to_pinned(colouring, un).delay().end_to_end();
     sc.add(s.name, optimal * 1e3, repaired * 1e3, repaired / optimal, un.sb_weight * 1e3);

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# CI entry point: the tier-1 verify with warnings hardened to errors on
+# every treesat target (-Wall -Wextra -Werror via TREESAT_WERROR).
+#
+#   ./ci.sh [build-dir]   # default build dir: build-ci
+set -eu
+
+BUILD_DIR="${1:-build-ci}"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . -DTREESAT_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+cd "$BUILD_DIR"
+ctest --output-on-failure -j "$JOBS"

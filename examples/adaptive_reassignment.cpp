@@ -5,13 +5,17 @@
 //   $ ./example_adaptive_reassignment
 //
 // The patient walks out of good Bluetooth coverage: the uplink bandwidth of
-// the sensor boxes degrades step by step. At each step the application
-// re-runs the optimizer; the example shows how the optimal cut migrates
-// (shipping raw signals becomes unaffordable, so more reasoning moves onto
-// the boxes) and what sticking to the initial deployment would have cost.
+// the sensor boxes degrades step by step. The example materializes every
+// degraded platform as its own instance, hands the whole ladder to
+// solve_batch() in one call (the re-optimization an adaptation loop runs),
+// and shows how the optimal cut migrates (shipping raw signals becomes
+// unaffordable, so more reasoning moves onto the boxes) and what sticking
+// to the initial deployment would have cost.
+#include <deque>
 #include <iostream>
+#include <vector>
 
-#include "core/coloured_ssb.hpp"
+#include "core/solver.hpp"
 #include "io/table.hpp"
 #include "workload/scenarios.hpp"
 
@@ -19,30 +23,41 @@ int main() {
   using namespace treesat;
 
   const Scenario base = epilepsy_scenario();
+  const std::vector<double> bandwidths = {90e3, 60e3, 40e3, 25e3, 15e3, 8e3};
 
-  Table t({"uplink bandwidth [kB/s]", "optimal [ms]", "CRUs on boxes",
-           "initial deployment now [ms]", "penalty for not adapting"});
-
-  // The deployment chosen under full bandwidth.
-  std::vector<CruId> initial_cut;
-  for (const double bandwidth : {90e3, 60e3, 40e3, 25e3, 15e3, 8e3}) {
-    // Re-derive the platform at the degraded bandwidth.
+  // One instance per degraded platform. Deques, not vectors: colourings and
+  // assignments hold references into their tree, so the storage must never
+  // relocate.
+  std::deque<CruTree> trees;
+  std::deque<Colouring> colourings;
+  std::vector<const Colouring*> instances;
+  for (const double bandwidth : bandwidths) {
     HostSatelliteSystem platform("pda", 200e6);
     for (std::size_t sat = 0; sat < base.platform.satellite_count(); ++sat) {
       SatelliteSpec spec = base.platform.satellite(SatelliteId{sat});
       spec.uplink.bandwidth_bytes_per_s = bandwidth;
       platform.add_satellite(spec);
     }
-    const CruTree tree = base.workload.lower(platform);
-    const Colouring colouring(tree);
-    const AssignmentGraph graph(colouring);
-    const ColouredSsbResult optimal = coloured_ssb_solve(graph);
+    trees.push_back(base.workload.lower(platform));
+    colourings.emplace_back(trees.back());
+    instances.push_back(&colourings.back());
+  }
 
-    if (initial_cut.empty()) initial_cut = optimal.assignment.cut_nodes();
-    const Assignment frozen(colouring, initial_cut);
+  // Re-optimize the whole bandwidth ladder with one batched call.
+  const std::vector<SolveReport> reports = solve_batch(instances);
+
+  Table t({"uplink bandwidth [kB/s]", "optimal [ms]", "CRUs on boxes",
+           "initial deployment now [ms]", "penalty for not adapting"});
+  const std::vector<CruId> initial_cut = reports.front().assignment.cut_nodes();
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const SolveReport& optimal = reports[i];
+    // The full-bandwidth deployment, frozen and re-evaluated on the
+    // degraded platform. (Node ids are stable across the ladder: every
+    // instance lowers the same workload.)
+    const Assignment frozen(colourings[i], initial_cut);
     const double frozen_delay = frozen.delay().end_to_end();
 
-    t.add(bandwidth / 1e3, optimal.delay.end_to_end() * 1e3,
+    t.add(bandwidths[i] / 1e3, optimal.delay.end_to_end() * 1e3,
           optimal.assignment.satellite_node_count(), frozen_delay * 1e3,
           frozen_delay / optimal.delay.end_to_end());
   }

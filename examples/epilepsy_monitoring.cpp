@@ -10,7 +10,8 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/coloured_ssb.hpp"
+#include "core/assignment_graph.hpp"
+#include "core/solver.hpp"
 #include "io/dot.hpp"
 #include "io/table.hpp"
 #include "sim/simulator.hpp"
@@ -29,7 +30,7 @@ int main(int argc, char** argv) {
             << " sensor boxes)\n\n";
 
   // Candidate deployments.
-  const ColouredSsbResult optimal = coloured_ssb_solve(graph);
+  const SolveReport optimal = solve(colouring);
   const Assignment all_host = Assignment::all_on_host(colouring);
   const Assignment all_boxes = Assignment::topmost(colouring);
 

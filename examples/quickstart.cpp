@@ -3,11 +3,13 @@
 //
 //   $ ./example_quickstart
 //
-// Walks the full public API surface in ~60 lines: ProfiledTree (workload),
+// Walks the full public API surface in ~70 lines: ProfiledTree (workload),
 // HostSatelliteSystem (platform), lower() (analytical benchmarking),
-// Colouring (paper §5.1), solve() (paper §5.4) and the delay breakdown.
+// Colouring (paper §5.1), SolvePlan + solve() (paper §5.4) with per-method
+// options, the SolveReport stats, and the method registry.
 #include <iostream>
 
+#include "core/registry.hpp"
 #include "core/solver.hpp"
 #include "platform/profiled_tree.hpp"
 
@@ -42,12 +44,25 @@ int main() {
   }
   std::cout << "\n";
 
-  // The paper's optimizer (adapted coloured SSB search, §5.4).
-  const SolveSummary best = solve(colouring);
+  // A SolvePlan is one method plus exactly its options. The default plan is
+  // the paper's optimizer (adapted coloured SSB search, §5.4); here we also
+  // cap the Fig 9 expansion step to show a per-algorithm knob.
+  ColouredSsbOptions options;
+  options.expansion_cap_per_region = 4096;
+  const SolveReport best = solve(colouring, SolvePlan::coloured_ssb(options));
   std::cout << "optimal assignment: " << best.assignment << "\n";
   std::cout << "host time S        = " << best.delay.host_time * 1e3 << " ms\n";
   std::cout << "bottleneck B       = " << best.delay.bottleneck * 1e3 << " ms\n";
   std::cout << "end-to-end delay   = " << best.objective_value * 1e3 << " ms\n";
+  std::cout << "needed the exact fallback? "
+            << (best.stats_as<ColouredSsbStats>()->used_fallback ? "yes" : "no") << "\n";
+
+  // Not sure which method fits your instance? Let the plan decide, or parse
+  // a spec string ("method:key=value") straight from a config file.
+  const SolveReport picked = solve(colouring, SolvePlan::automatic());
+  std::cout << "automatic() picked: " << picked.method_label() << "\n";
+  const SolveReport tuned = solve(colouring, parse_plan("annealing:steps=5000,seed=7"));
+  std::cout << "annealing found    = " << tuned.objective_value * 1e3 << " ms\n";
 
   // Compare against the naive "ship everything to the host" deployment.
   const Assignment naive = Assignment::all_on_host(colouring);

@@ -2,50 +2,48 @@
 // deployment service serializes its reasoning tree, calls this tool, and
 // consumes the JSON result.
 //
-//   $ ./example_solve_from_file <tree.txt> [method] [lambda]
+//   $ ./example_solve_from_file <tree.txt> [plan] [lambda]
 //   $ ./example_solve_from_file --demo          # writes & solves a sample
+//   $ ./example_solve_from_file --methods       # list the registry
 //
-// Accepts the text format of tree/serialize.hpp; methods: coloured-ssb
-// (default), pareto-dp, exhaustive, branch-bound, genetic, local-search,
-// greedy, annealing.
+// Accepts the text format of tree/serialize.hpp. [plan] is a registry spec,
+// "method" or "method:key=value,...", e.g. "coloured-ssb:expansion_cap=4096"
+// or "genetic:population=128,seed=7"; default "coloured-ssb".
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "core/registry.hpp"
 #include "core/solver.hpp"
 #include "io/json.hpp"
+#include "io/table.hpp"
 #include "tree/serialize.hpp"
 #include "workload/scenarios.hpp"
-
-namespace {
-
-treesat::SolveMethod parse_method(const std::string& name) {
-  using treesat::SolveMethod;
-  for (const SolveMethod m :
-       {SolveMethod::kColouredSsb, SolveMethod::kParetoDp, SolveMethod::kExhaustive,
-        SolveMethod::kBranchBound, SolveMethod::kGenetic, SolveMethod::kLocalSearch,
-        SolveMethod::kGreedy, SolveMethod::kAnnealing}) {
-    if (name == treesat::method_name(m)) return m;
-  }
-  throw treesat::InvalidArgument("unknown method '" + name + "'");
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace treesat;
   if (argc < 2) {
-    std::cerr << "usage: " << argv[0] << " <tree.txt>|--demo [method] [lambda]\n";
+    std::cerr << "usage: " << argv[0] << " <tree.txt>|--demo|--methods [plan] [lambda]\n";
     return 2;
   }
 
   try {
+    if (std::string(argv[1]) == "--methods") {
+      Table t({"method", "paper", "exact", "seeded", "options"});
+      for (const MethodInfo& info : method_registry()) {
+        t.add(info.name, info.paper_ref, info.exact, info.seeded, info.option_keys);
+      }
+      t.print(std::cout);
+      return 0;
+    }
+
     std::string text;
     if (std::string(argv[1]) == "--demo") {
       const CruTree demo = paper_running_example();
       text = to_text(demo);
       std::ofstream("demo_tree.txt") << text;
-      std::cout << "# wrote demo_tree.txt (the paper's Figs 2/5-8 example)\n";
+      // On stderr: stdout carries only the JSON document consumers parse.
+      std::cerr << "# wrote demo_tree.txt (the paper's Figs 2/5-8 example)\n";
     } else {
       std::ifstream in(argv[1]);
       if (!in) {
@@ -60,12 +58,12 @@ int main(int argc, char** argv) {
     const CruTree tree = tree_from_text(text);
     const Colouring colouring(tree);
 
-    SolveOptions options;
-    if (argc > 2) options.method = parse_method(argv[2]);
-    if (argc > 3) options.objective = SsbObjective::from_lambda(std::stod(argv[3]));
+    SolvePlan plan;
+    if (argc > 2) plan = parse_plan(argv[2]);
+    if (argc > 3) plan.with_objective(SsbObjective::from_lambda(std::stod(argv[3])));
 
-    const SolveSummary summary = solve(colouring, options);
-    std::cout << summary_to_json(summary) << "\n";
+    const SolveReport report = solve(colouring, plan);
+    std::cout << report_to_json(report) << "\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,125 @@
+#include "core/plan.hpp"
+
+#include <string>
+
+#include "core/exhaustive.hpp"
+
+namespace treesat {
+
+const char* method_name(SolveMethod method) {
+  switch (method) {
+    case SolveMethod::kColouredSsb: return "coloured-ssb";
+    case SolveMethod::kParetoDp: return "pareto-dp";
+    case SolveMethod::kExhaustive: return "exhaustive";
+    case SolveMethod::kBranchBound: return "branch-bound";
+    case SolveMethod::kGenetic: return "genetic";
+    case SolveMethod::kLocalSearch: return "local-search";
+    case SolveMethod::kGreedy: return "greedy";
+    case SolveMethod::kAnnealing: return "annealing";
+    case SolveMethod::kAutomatic: return "automatic";
+  }
+  return "unknown";
+}
+
+SolveMethod parse_method(std::string_view name) {
+  std::string canonical(name);
+  for (char& c : canonical) {
+    if (c == '_') c = '-';
+  }
+  for (const SolveMethod m :
+       {SolveMethod::kColouredSsb, SolveMethod::kParetoDp, SolveMethod::kExhaustive,
+        SolveMethod::kBranchBound, SolveMethod::kGenetic, SolveMethod::kLocalSearch,
+        SolveMethod::kGreedy, SolveMethod::kAnnealing, SolveMethod::kAutomatic}) {
+    if (canonical == method_name(m)) return m;
+  }
+  throw InvalidArgument("parse_method: unknown method '" + std::string(name) + "'");
+}
+
+SolvePlan SolvePlan::coloured_ssb(ColouredSsbOptions options) {
+  return {SolveMethod::kColouredSsb, std::move(options)};
+}
+SolvePlan SolvePlan::pareto_dp(ParetoDpOptions options) {
+  return {SolveMethod::kParetoDp, std::move(options)};
+}
+SolvePlan SolvePlan::exhaustive(ExhaustiveOptions options) {
+  return {SolveMethod::kExhaustive, std::move(options)};
+}
+SolvePlan SolvePlan::branch_bound(BranchBoundOptions options) {
+  return {SolveMethod::kBranchBound, std::move(options)};
+}
+SolvePlan SolvePlan::genetic(GeneticOptions options) {
+  return {SolveMethod::kGenetic, std::move(options)};
+}
+SolvePlan SolvePlan::local_search(LocalSearchOptions options) {
+  return {SolveMethod::kLocalSearch, std::move(options)};
+}
+SolvePlan SolvePlan::greedy(GreedyOptions options) {
+  return {SolveMethod::kGreedy, std::move(options)};
+}
+SolvePlan SolvePlan::annealing(AnnealingOptions options) {
+  return {SolveMethod::kAnnealing, std::move(options)};
+}
+SolvePlan SolvePlan::automatic(AutomaticOptions options) {
+  return {SolveMethod::kAutomatic, std::move(options)};
+}
+
+SsbObjective SolvePlan::objective() const {
+  return std::visit([](const auto& o) { return o.objective; }, options_);
+}
+
+SolvePlan& SolvePlan::with_objective(const SsbObjective& objective) {
+  TS_REQUIRE(objective.valid(), "with_objective: coefficients must be non-negative");
+  std::visit([&](auto& o) { o.objective = objective; }, options_);
+  return *this;
+}
+
+bool SolvePlan::seeded() const {
+  switch (method_) {
+    case SolveMethod::kGenetic:
+    case SolveMethod::kLocalSearch:
+    case SolveMethod::kAnnealing:
+      return true;
+    default:
+      return false;
+  }
+}
+
+SolvePlan& SolvePlan::with_seed(std::uint64_t seed) {
+  std::visit(
+      [&](auto& o) {
+        if constexpr (requires { o.seed; }) o.seed = seed;
+      },
+      options_);
+  return *this;
+}
+
+SolvePlan SolvePlan::resolve(const Colouring& colouring) const {
+  if (method_ != SolveMethod::kAutomatic) return *this;
+  const auto& a = std::get<AutomaticOptions>(options_);
+
+  if (a.exhaustive_cutoff > 0 &&
+      count_assignments(colouring, a.exhaustive_cutoff) < a.exhaustive_cutoff) {
+    ExhaustiveOptions o;
+    o.objective = a.objective;
+    return exhaustive(o);
+  }
+
+  bool multi_region_colour = false;
+  std::vector<std::size_t> regions_per_colour(colouring.tree().satellite_count(), 0);
+  for (const CruId root : colouring.region_roots()) {
+    if (++regions_per_colour[colouring.colour(root).index()] > 1) {
+      multi_region_colour = true;
+      break;
+    }
+  }
+  if (multi_region_colour) {
+    ParetoDpOptions o;
+    o.objective = a.objective;
+    return pareto_dp(o);
+  }
+  ColouredSsbOptions o;
+  o.objective = a.objective;
+  return coloured_ssb(o);
+}
+
+}  // namespace treesat

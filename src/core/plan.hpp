@@ -1,0 +1,146 @@
+// SolvePlan: the typed per-algorithm entry point of the solver facade.
+//
+// Every solve method in treesat carries its own knobs -- the coloured SSB
+// search has expansion caps and a fallback policy, the annealer has a
+// temperature schedule, the GA has population parameters, branch-and-bound
+// has a node cap. A plan is "one method + exactly its own options", built
+// through a named constructor per algorithm:
+//
+//   solve(colouring, SolvePlan::coloured_ssb({.expansion_cap_per_region = 4096}));
+//   solve(colouring, SolvePlan::genetic());          // defaults
+//   solve(colouring, SolvePlan::automatic());        // pick a method for me
+//
+// `automatic()` defers the choice until the instance is known: resolve()
+// inspects the cut-space size and the colour structure and picks the method
+// a practitioner would (brute force when the space is tiny, the Pareto DP
+// when multi-region colours put the SSB search in its stall regime, the
+// paper's coloured SSB otherwise).
+//
+// The string side of the same surface lives in core/registry.hpp:
+// parse_plan("coloured-ssb:expansion_cap=4096") builds the identical plan,
+// and the registry enumerates every method for CLI-style harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <variant>
+
+#include "core/coloured_ssb.hpp"
+#include "core/colouring.hpp"
+#include "core/objective.hpp"
+#include "core/pareto_dp.hpp"
+#include "heuristics/annealing.hpp"
+#include "heuristics/branch_bound.hpp"
+#include "heuristics/genetic.hpp"
+#include "heuristics/local_search.hpp"
+
+namespace treesat {
+
+enum class SolveMethod : std::uint8_t {
+  kColouredSsb,  ///< the paper's adapted SSB path search (exact)
+  kParetoDp,     ///< Pareto-frontier DP (exact, our extension)
+  kExhaustive,   ///< brute-force cut enumeration (exact, small trees only)
+  kBranchBound,  ///< branch-and-bound over cuts (exact; paper future work)
+  kGenetic,      ///< genetic algorithm (heuristic; paper future work)
+  kLocalSearch,  ///< hill climbing with restarts (heuristic)
+  kGreedy,       ///< greedy bottleneck descent (heuristic baseline)
+  kAnnealing,    ///< simulated annealing (heuristic)
+  kAutomatic,    ///< pick per instance (resolved by SolvePlan::resolve)
+};
+
+/// Canonical method name, e.g. "coloured-ssb". Round-trips with
+/// parse_method().
+[[nodiscard]] const char* method_name(SolveMethod method);
+
+/// Inverse of method_name(). '_' and '-' are interchangeable
+/// ("coloured_ssb" == "coloured-ssb"); throws InvalidArgument on an
+/// unknown name.
+[[nodiscard]] SolveMethod parse_method(std::string_view name);
+
+/// Options of the exhaustive oracle (core/exhaustive.hpp takes these as
+/// loose arguments; the plan bundles them).
+struct ExhaustiveOptions {
+  SsbObjective objective = SsbObjective::end_to_end();
+  /// Enumeration cap; exceeding it throws ResourceLimit.
+  std::size_t cap = std::size_t{1} << 22;
+};
+
+/// Options of the greedy bottleneck descent (deterministic, so only the
+/// objective).
+struct GreedyOptions {
+  SsbObjective objective = SsbObjective::end_to_end();
+};
+
+/// Options of the automatic method choice. No seed: resolution only ever
+/// picks exact (deterministic) methods.
+struct AutomaticOptions {
+  SsbObjective objective = SsbObjective::end_to_end();
+  /// Instances whose full cut space is smaller than this are brute-forced:
+  /// at this size the oracle is instant and trivially exact.
+  std::size_t exhaustive_cutoff = 4096;
+};
+
+/// One solve method plus exactly its option set. Immutable apart from the
+/// two cross-cutting setters (objective, seed) that every harness wants to
+/// thread through uniformly.
+class SolvePlan {
+ public:
+  using Options = std::variant<ColouredSsbOptions, ParetoDpOptions, ExhaustiveOptions,
+                               BranchBoundOptions, GeneticOptions, LocalSearchOptions,
+                               GreedyOptions, AnnealingOptions, AutomaticOptions>;
+
+  /// The default plan is the paper's own algorithm with default options.
+  SolvePlan() : method_(SolveMethod::kColouredSsb), options_(ColouredSsbOptions{}) {}
+
+  [[nodiscard]] static SolvePlan coloured_ssb(ColouredSsbOptions options = {});
+  [[nodiscard]] static SolvePlan pareto_dp(ParetoDpOptions options = {});
+  [[nodiscard]] static SolvePlan exhaustive(ExhaustiveOptions options = {});
+  [[nodiscard]] static SolvePlan branch_bound(BranchBoundOptions options = {});
+  [[nodiscard]] static SolvePlan genetic(GeneticOptions options = {});
+  [[nodiscard]] static SolvePlan local_search(LocalSearchOptions options = {});
+  [[nodiscard]] static SolvePlan greedy(GreedyOptions options = {});
+  [[nodiscard]] static SolvePlan annealing(AnnealingOptions options = {});
+  [[nodiscard]] static SolvePlan automatic(AutomaticOptions options = {});
+
+  [[nodiscard]] SolveMethod method() const { return method_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// The method's option struct; throws std::bad_variant_access when T does
+  /// not match method().
+  template <typename T>
+  [[nodiscard]] const T& options_as() const {
+    return std::get<T>(options_);
+  }
+
+  /// The objective stored in the method's options.
+  [[nodiscard]] SsbObjective objective() const;
+
+  /// Replaces the objective in place (every method has one).
+  SolvePlan& with_objective(const SsbObjective& objective);
+
+  /// True when the method consumes a seed (genetic, local-search,
+  /// annealing).
+  [[nodiscard]] bool seeded() const;
+
+  /// Sets the seed on seeded methods; a documented no-op on the rest, so
+  /// harnesses can thread one seed through a method sweep.
+  SolvePlan& with_seed(std::uint64_t seed);
+
+  /// Resolves kAutomatic against a concrete instance; any other plan is
+  /// returned unchanged. The choice:
+  ///   * cut space smaller than `exhaustive_cutoff` -> exhaustive;
+  ///   * some colour split across >= 2 regions -> pareto-dp (the stall
+  ///     regime of §5.4, where the SSB search would expand or fall back --
+  ///     and its fallback delegates to this same DP anyway);
+  ///   * otherwise -> coloured-ssb (the paper's fast path).
+  [[nodiscard]] SolvePlan resolve(const Colouring& colouring) const;
+
+ private:
+  SolvePlan(SolveMethod method, Options options)
+      : method_(method), options_(std::move(options)) {}
+
+  SolveMethod method_;
+  Options options_;
+};
+
+}  // namespace treesat

@@ -1,0 +1,392 @@
+#include "core/registry.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace treesat {
+
+namespace {
+
+const std::vector<MethodInfo>& registry_storage() {
+  static const std::vector<MethodInfo> kRegistry = {
+      {SolveMethod::kColouredSsb, method_name(SolveMethod::kColouredSsb), "§5.4",
+       "the paper's adapted coloured SSB path search", /*exact=*/true, /*seeded=*/false,
+       "expansion_cap,fallback_node_cap,delegate_on_cap,eager_expansion"},
+      {SolveMethod::kParetoDp, method_name(SolveMethod::kParetoDp), "extension (DESIGN.md §6)",
+       "Pareto-frontier dynamic program", /*exact=*/true, /*seeded=*/false,
+       "max_frontier"},
+      {SolveMethod::kExhaustive, method_name(SolveMethod::kExhaustive), "§3 (oracle)",
+       "brute-force enumeration of every monotone cut", /*exact=*/true,
+       /*seeded=*/false, "cap"},
+      {SolveMethod::kBranchBound, method_name(SolveMethod::kBranchBound), "§6 future work",
+       "branch-and-bound over cuts (exact on trees)", /*exact=*/true,
+       /*seeded=*/false, "node_cap,greedy_incumbent"},
+      {SolveMethod::kGenetic, method_name(SolveMethod::kGenetic), "§6 future work", "genetic algorithm",
+       /*exact=*/false, /*seeded=*/true,
+       "population,generations,tournament,elites,crossover_prob,mutation_prob"},
+      {SolveMethod::kLocalSearch, method_name(SolveMethod::kLocalSearch), "§6 (comparison point)",
+       "hill climbing with random restarts", /*exact=*/false, /*seeded=*/true,
+       "restarts,max_moves"},
+      {SolveMethod::kGreedy, method_name(SolveMethod::kGreedy), "§6 (comparison point)",
+       "greedy bottleneck descent", /*exact=*/false, /*seeded=*/false, ""},
+      {SolveMethod::kAnnealing, method_name(SolveMethod::kAnnealing), "§6 (comparison point)",
+       "simulated annealing with geometric cooling", /*exact=*/false, /*seeded=*/true,
+       "steps,initial_temperature,cooling"},
+      {SolveMethod::kAutomatic, method_name(SolveMethod::kAutomatic), "facade",
+       "inspects the instance and picks one of the above", /*exact=*/false,
+       /*seeded=*/false, "exhaustive_cutoff"},
+  };
+  return kRegistry;
+}
+
+[[noreturn]] void bad_value(std::string_view key, std::string_view value) {
+  throw InvalidArgument("parse_plan: cannot parse value '" + std::string(value) +
+                        "' for key '" + std::string(key) + "'");
+}
+
+double parse_double(std::string_view key, std::string_view value) {
+  double out = 0.0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) bad_value(key, value);
+  return out;
+}
+
+std::uint64_t parse_u64(std::string_view key, std::string_view value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) bad_value(key, value);
+  return out;
+}
+
+std::size_t parse_size(std::string_view key, std::string_view value) {
+  return static_cast<std::size_t>(parse_u64(key, value));
+}
+
+bool parse_bool(std::string_view key, std::string_view value) {
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  bad_value(key, value);
+}
+
+[[noreturn]] void unknown_key(const MethodInfo& info, std::string_view key) {
+  std::ostringstream oss;
+  oss << "parse_plan: unknown key '" << key << "' for method '" << info.name << "'"
+      << " (accepted: lambda,s_coeff,b_coeff" << (info.seeded ? ",seed" : "");
+  if (info.option_keys[0] != '\0') oss << ',' << info.option_keys;
+  oss << ")";
+  throw InvalidArgument(oss.str());
+}
+
+/// The keys every method understands: the §4.1 objective weighting.
+bool apply_objective_key(SsbObjective& objective, std::string_view key,
+                         std::string_view value) {
+  if (key == "lambda") {
+    objective = SsbObjective::from_lambda(parse_double(key, value));
+    return true;
+  }
+  if (key == "s_coeff") {
+    objective.s_coeff = parse_double(key, value);
+    return true;
+  }
+  if (key == "b_coeff") {
+    objective.b_coeff = parse_double(key, value);
+    return true;
+  }
+  return false;
+}
+
+/// Shortest round-trippable formatting, so plan_spec stays readable.
+std::string fmt(double v) {
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+std::string fmt(std::uint64_t v) { return std::to_string(v); }
+std::string fmt(bool v) { return v ? "true" : "false"; }
+
+struct KeyValue {
+  std::string_view key;
+  std::string_view value;
+};
+
+std::vector<KeyValue> split_pairs(std::string_view spec, std::string_view rest) {
+  std::vector<KeyValue> pairs;
+  while (true) {
+    const auto comma = rest.find(',');
+    const std::string_view pair = rest.substr(0, comma);
+    const auto eq = pair.find('=');
+    if (pair.empty() || eq == std::string_view::npos || eq == 0) {
+      throw InvalidArgument("parse_plan: malformed 'key=value' pair '" +
+                            std::string(pair) + "' in '" + std::string(spec) + "'");
+    }
+    pairs.push_back({pair.substr(0, eq), pair.substr(eq + 1)});
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+const std::vector<MethodInfo>& method_registry() { return registry_storage(); }
+
+const MethodInfo& method_info(SolveMethod method) {
+  for (const MethodInfo& info : registry_storage()) {
+    if (info.method == method) return info;
+  }
+  throw LogicError("method_info: unregistered method");
+}
+
+const MethodInfo* find_method(std::string_view name) {
+  std::string canonical(name);
+  for (char& c : canonical) {
+    if (c == '_') c = '-';
+  }
+  for (const MethodInfo& info : registry_storage()) {
+    if (canonical == info.name) return &info;
+  }
+  return nullptr;
+}
+
+SolvePlan parse_plan(std::string_view spec) {
+  const auto colon = spec.find(':');
+  const std::string_view name =
+      colon == std::string_view::npos ? spec : spec.substr(0, colon);
+  const MethodInfo* info = find_method(name);
+  if (info == nullptr) {
+    std::ostringstream oss;
+    oss << "parse_plan: unknown method '" << name << "' (registered:";
+    for (const MethodInfo& m : registry_storage()) oss << ' ' << m.name;
+    oss << ")";
+    throw InvalidArgument(oss.str());
+  }
+
+  std::vector<KeyValue> pairs;
+  if (colon != std::string_view::npos) {
+    pairs = split_pairs(spec, spec.substr(colon + 1));
+  }
+
+  // Reject a seed on methods that would silently ignore it.
+  for (const KeyValue& kv : pairs) {
+    if (kv.key == "seed" && !info->seeded) {
+      throw InvalidArgument("parse_plan: method '" + std::string(info->name) +
+                            "' is deterministic and does not take a seed");
+    }
+  }
+
+  switch (info->method) {
+    case SolveMethod::kColouredSsb: {
+      ColouredSsbOptions o;
+      for (const auto& [key, value] : pairs) {
+        if (apply_objective_key(o.objective, key, value)) continue;
+        if (key == "expansion_cap" || key == "expansion_cap_per_region") {
+          o.expansion_cap_per_region = parse_size(key, value);
+        } else if (key == "fallback_node_cap") {
+          o.fallback_node_cap = parse_size(key, value);
+        } else if (key == "delegate_on_cap") {
+          o.delegate_on_cap = parse_bool(key, value);
+        } else if (key == "eager_expansion") {
+          o.eager_expansion = parse_bool(key, value);
+        } else {
+          unknown_key(*info, key);
+        }
+      }
+      return SolvePlan::coloured_ssb(o);
+    }
+    case SolveMethod::kParetoDp: {
+      ParetoDpOptions o;
+      for (const auto& [key, value] : pairs) {
+        if (apply_objective_key(o.objective, key, value)) continue;
+        if (key == "max_frontier") {
+          o.max_frontier = parse_size(key, value);
+        } else {
+          unknown_key(*info, key);
+        }
+      }
+      return SolvePlan::pareto_dp(o);
+    }
+    case SolveMethod::kExhaustive: {
+      ExhaustiveOptions o;
+      for (const auto& [key, value] : pairs) {
+        if (apply_objective_key(o.objective, key, value)) continue;
+        if (key == "cap") {
+          o.cap = parse_size(key, value);
+        } else {
+          unknown_key(*info, key);
+        }
+      }
+      return SolvePlan::exhaustive(o);
+    }
+    case SolveMethod::kBranchBound: {
+      BranchBoundOptions o;
+      for (const auto& [key, value] : pairs) {
+        if (apply_objective_key(o.objective, key, value)) continue;
+        if (key == "node_cap") {
+          o.node_cap = parse_size(key, value);
+        } else if (key == "greedy_incumbent") {
+          o.greedy_incumbent = parse_bool(key, value);
+        } else {
+          unknown_key(*info, key);
+        }
+      }
+      return SolvePlan::branch_bound(o);
+    }
+    case SolveMethod::kGenetic: {
+      GeneticOptions o;
+      for (const auto& [key, value] : pairs) {
+        if (apply_objective_key(o.objective, key, value)) continue;
+        if (key == "seed") {
+          o.seed = parse_u64(key, value);
+        } else if (key == "population") {
+          o.population = parse_size(key, value);
+        } else if (key == "generations") {
+          o.generations = parse_size(key, value);
+        } else if (key == "tournament") {
+          o.tournament = parse_size(key, value);
+        } else if (key == "elites") {
+          o.elites = parse_size(key, value);
+        } else if (key == "crossover_prob") {
+          o.crossover_prob = parse_double(key, value);
+        } else if (key == "mutation_prob") {
+          o.mutation_prob = parse_double(key, value);
+        } else {
+          unknown_key(*info, key);
+        }
+      }
+      return SolvePlan::genetic(o);
+    }
+    case SolveMethod::kLocalSearch: {
+      LocalSearchOptions o;
+      for (const auto& [key, value] : pairs) {
+        if (apply_objective_key(o.objective, key, value)) continue;
+        if (key == "seed") {
+          o.seed = parse_u64(key, value);
+        } else if (key == "restarts") {
+          o.restarts = parse_size(key, value);
+        } else if (key == "max_moves") {
+          o.max_moves = parse_size(key, value);
+        } else {
+          unknown_key(*info, key);
+        }
+      }
+      return SolvePlan::local_search(o);
+    }
+    case SolveMethod::kGreedy: {
+      GreedyOptions o;
+      for (const auto& [key, value] : pairs) {
+        if (apply_objective_key(o.objective, key, value)) continue;
+        unknown_key(*info, key);
+      }
+      return SolvePlan::greedy(o);
+    }
+    case SolveMethod::kAnnealing: {
+      AnnealingOptions o;
+      for (const auto& [key, value] : pairs) {
+        if (apply_objective_key(o.objective, key, value)) continue;
+        if (key == "seed") {
+          o.seed = parse_u64(key, value);
+        } else if (key == "steps") {
+          o.steps = parse_size(key, value);
+        } else if (key == "initial_temperature") {
+          o.initial_temperature = parse_double(key, value);
+        } else if (key == "cooling") {
+          o.cooling = parse_double(key, value);
+        } else {
+          unknown_key(*info, key);
+        }
+      }
+      return SolvePlan::annealing(o);
+    }
+    case SolveMethod::kAutomatic: {
+      AutomaticOptions o;
+      for (const auto& [key, value] : pairs) {
+        if (apply_objective_key(o.objective, key, value)) continue;
+        if (key == "exhaustive_cutoff") {
+          o.exhaustive_cutoff = parse_size(key, value);
+        } else {
+          unknown_key(*info, key);
+        }
+      }
+      return SolvePlan::automatic(o);
+    }
+  }
+  throw LogicError("parse_plan: unhandled method");
+}
+
+std::string plan_spec(const SolvePlan& plan) {
+  std::ostringstream oss;
+  oss << method_name(plan.method());
+  std::vector<std::string> keys;
+  const auto add = [&](const char* key, const std::string& value) {
+    keys.push_back(std::string(key) + '=' + value);
+  };
+  const SsbObjective objective = plan.objective();
+  if (objective.s_coeff != 1.0) add("s_coeff", fmt(objective.s_coeff));
+  if (objective.b_coeff != 1.0) add("b_coeff", fmt(objective.b_coeff));
+  switch (plan.method()) {
+    case SolveMethod::kColouredSsb: {
+      const auto& o = plan.options_as<ColouredSsbOptions>();
+      add("expansion_cap", fmt(o.expansion_cap_per_region));
+      add("fallback_node_cap", fmt(o.fallback_node_cap));
+      add("delegate_on_cap", fmt(o.delegate_on_cap));
+      add("eager_expansion", fmt(o.eager_expansion));
+      break;
+    }
+    case SolveMethod::kParetoDp:
+      add("max_frontier", fmt(plan.options_as<ParetoDpOptions>().max_frontier));
+      break;
+    case SolveMethod::kExhaustive:
+      add("cap", fmt(plan.options_as<ExhaustiveOptions>().cap));
+      break;
+    case SolveMethod::kBranchBound: {
+      const auto& o = plan.options_as<BranchBoundOptions>();
+      add("node_cap", fmt(o.node_cap));
+      add("greedy_incumbent", fmt(o.greedy_incumbent));
+      break;
+    }
+    case SolveMethod::kGenetic: {
+      const auto& o = plan.options_as<GeneticOptions>();
+      add("population", fmt(o.population));
+      add("generations", fmt(o.generations));
+      add("tournament", fmt(o.tournament));
+      add("elites", fmt(o.elites));
+      add("crossover_prob", fmt(o.crossover_prob));
+      add("mutation_prob", fmt(o.mutation_prob));
+      add("seed", fmt(o.seed));
+      break;
+    }
+    case SolveMethod::kLocalSearch: {
+      const auto& o = plan.options_as<LocalSearchOptions>();
+      add("restarts", fmt(o.restarts));
+      add("max_moves", fmt(o.max_moves));
+      add("seed", fmt(o.seed));
+      break;
+    }
+    case SolveMethod::kGreedy:
+      break;
+    case SolveMethod::kAnnealing: {
+      const auto& o = plan.options_as<AnnealingOptions>();
+      add("steps", fmt(o.steps));
+      add("initial_temperature", fmt(o.initial_temperature));
+      add("cooling", fmt(o.cooling));
+      add("seed", fmt(o.seed));
+      break;
+    }
+    case SolveMethod::kAutomatic:
+      add("exhaustive_cutoff", fmt(plan.options_as<AutomaticOptions>().exhaustive_cutoff));
+      break;
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    oss << (i == 0 ? ':' : ',') << keys[i];
+  }
+  return oss.str();
+}
+
+}  // namespace treesat

@@ -1,6 +1,7 @@
 #include "core/solver.hpp"
 
 #include "common/stopwatch.hpp"
+#include "core/assignment_graph.hpp"
 #include "core/coloured_ssb.hpp"
 #include "core/exhaustive.hpp"
 #include "core/pareto_dp.hpp"
@@ -11,73 +12,102 @@
 
 namespace treesat {
 
-const char* method_name(SolveMethod method) {
-  switch (method) {
-    case SolveMethod::kColouredSsb: return "coloured-ssb";
-    case SolveMethod::kParetoDp: return "pareto-dp";
-    case SolveMethod::kExhaustive: return "exhaustive";
-    case SolveMethod::kBranchBound: return "branch-bound";
-    case SolveMethod::kGenetic: return "genetic";
-    case SolveMethod::kLocalSearch: return "local-search";
-    case SolveMethod::kGreedy: return "greedy";
-    case SolveMethod::kAnnealing: return "annealing";
+SolveReport solve(const Colouring& colouring, const SolvePlan& plan) {
+  const Stopwatch watch;
+  const SolvePlan resolved = plan.resolve(colouring);
+  const SsbObjective objective = resolved.objective();
+
+  const auto finish = [&](Assignment assignment, bool exact, MethodStats stats) {
+    DelayBreakdown delay = assignment.delay();
+    const double value = delay.objective(objective);
+    return SolveReport{std::move(assignment), std::move(delay), value,
+                       watch.seconds(),       exact,            resolved.method(),
+                       plan.method(),         std::move(stats)};
+  };
+
+  switch (resolved.method()) {
+    case SolveMethod::kColouredSsb: {
+      const AssignmentGraph ag(colouring);
+      ColouredSsbResult r =
+          coloured_ssb_solve(ag, resolved.options_as<ColouredSsbOptions>());
+      return finish(std::move(r.assignment), /*exact=*/true, r.stats);
+    }
+    case SolveMethod::kParetoDp: {
+      ParetoDpResult r = pareto_dp_solve(colouring, resolved.options_as<ParetoDpOptions>());
+      return finish(std::move(r.assignment), /*exact=*/true, r.stats);
+    }
+    case SolveMethod::kExhaustive: {
+      const auto& o = resolved.options_as<ExhaustiveOptions>();
+      ExhaustiveResult r = exhaustive_solve(colouring, o.objective, o.cap);
+      return finish(std::move(r.assignment), /*exact=*/true,
+                    ExhaustiveStats{r.assignments_enumerated});
+    }
+    case SolveMethod::kBranchBound: {
+      BranchBoundResult r =
+          branch_bound_solve(colouring, resolved.options_as<BranchBoundOptions>());
+      return finish(std::move(r.assignment), /*exact=*/true,
+                    BranchBoundStats{r.nodes_visited, r.nodes_pruned});
+    }
+    case SolveMethod::kGenetic: {
+      GeneticResult r = genetic_solve(colouring, resolved.options_as<GeneticOptions>());
+      return finish(std::move(r.assignment), /*exact=*/false,
+                    GeneticStats{r.generations_run, r.evaluations});
+    }
+    case SolveMethod::kLocalSearch: {
+      LocalSearchResult r =
+          local_search_solve(colouring, resolved.options_as<LocalSearchOptions>());
+      return finish(std::move(r.assignment), /*exact=*/false,
+                    LocalSearchStats{r.moves_applied, r.restarts_run});
+    }
+    case SolveMethod::kGreedy: {
+      LocalSearchResult r = greedy_solve(colouring, objective);
+      return finish(std::move(r.assignment), /*exact=*/false,
+                    LocalSearchStats{r.moves_applied, r.restarts_run});
+    }
+    case SolveMethod::kAnnealing: {
+      AnnealingResult r = annealing_solve(colouring, resolved.options_as<AnnealingOptions>());
+      return finish(std::move(r.assignment), /*exact=*/false,
+                    AnnealingStats{r.steps_run, r.moves_accepted});
+    }
+    case SolveMethod::kAutomatic:
+      break;  // resolve() never returns kAutomatic
   }
-  return "unknown";
+  throw LogicError("solve: unresolved method");
+}
+
+std::vector<SolveReport> solve_batch(std::span<const Colouring* const> instances,
+                                     const SolvePlan& plan) {
+  std::vector<SolveReport> reports;
+  reports.reserve(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    TS_REQUIRE(instances[i] != nullptr, "solve_batch: instance " << i << " is null");
+    reports.push_back(solve(*instances[i], plan));
+  }
+  return reports;
+}
+
+SolvePlan plan_from(const SolveOptions& options) {
+  SolvePlan plan;
+  switch (options.method) {
+    case SolveMethod::kColouredSsb: plan = SolvePlan::coloured_ssb(); break;
+    case SolveMethod::kParetoDp: plan = SolvePlan::pareto_dp(); break;
+    case SolveMethod::kExhaustive: plan = SolvePlan::exhaustive(); break;
+    case SolveMethod::kBranchBound: plan = SolvePlan::branch_bound(); break;
+    case SolveMethod::kGenetic: plan = SolvePlan::genetic(); break;
+    case SolveMethod::kLocalSearch: plan = SolvePlan::local_search(); break;
+    case SolveMethod::kGreedy: plan = SolvePlan::greedy(); break;
+    case SolveMethod::kAnnealing: plan = SolvePlan::annealing(); break;
+    case SolveMethod::kAutomatic: plan = SolvePlan::automatic(); break;
+  }
+  plan.with_objective(options.objective).with_seed(options.seed);
+  return plan;
 }
 
 SolveSummary solve(const Colouring& colouring, const SolveOptions& options) {
-  const Stopwatch watch;
-  const auto finish = [&](Assignment assignment, bool exact) {
-    DelayBreakdown delay = assignment.delay();
-    const double value = delay.objective(options.objective);
-    return SolveSummary{std::move(assignment), std::move(delay), value, watch.seconds(),
-                        exact, method_name(options.method)};
-  };
-
-  switch (options.method) {
-    case SolveMethod::kColouredSsb: {
-      const AssignmentGraph ag(colouring);
-      ColouredSsbOptions o;
-      o.objective = options.objective;
-      return finish(coloured_ssb_solve(ag, o).assignment, /*exact=*/true);
-    }
-    case SolveMethod::kParetoDp: {
-      ParetoDpOptions o;
-      o.objective = options.objective;
-      return finish(pareto_dp_solve(colouring, o).assignment, /*exact=*/true);
-    }
-    case SolveMethod::kExhaustive: {
-      return finish(exhaustive_solve(colouring, options.objective).assignment,
-                    /*exact=*/true);
-    }
-    case SolveMethod::kBranchBound: {
-      BranchBoundOptions o;
-      o.objective = options.objective;
-      return finish(branch_bound_solve(colouring, o).assignment, /*exact=*/true);
-    }
-    case SolveMethod::kGenetic: {
-      GeneticOptions o;
-      o.objective = options.objective;
-      o.seed = options.seed;
-      return finish(genetic_solve(colouring, o).assignment, /*exact=*/false);
-    }
-    case SolveMethod::kLocalSearch: {
-      LocalSearchOptions o;
-      o.objective = options.objective;
-      o.seed = options.seed;
-      return finish(local_search_solve(colouring, o).assignment, /*exact=*/false);
-    }
-    case SolveMethod::kGreedy: {
-      return finish(greedy_solve(colouring, options.objective).assignment, /*exact=*/false);
-    }
-    case SolveMethod::kAnnealing: {
-      AnnealingOptions o;
-      o.objective = options.objective;
-      o.seed = options.seed;
-      return finish(annealing_solve(colouring, o).assignment, /*exact=*/false);
-    }
-  }
-  throw InvalidArgument("solve: unknown method");
+  SolveReport report = solve(colouring, plan_from(options));
+  return SolveSummary{std::move(report.assignment), std::move(report.delay),
+                      report.objective_value,       report.wall_seconds,
+                      report.exact,                 method_name(report.requested)};
 }
 
 }  // namespace treesat

@@ -113,10 +113,18 @@ std::string assignment_graph_to_dot(const AssignmentGraph& ag) {
   std::ostringstream os;
   os << "digraph assignment_graph {\n  rankdir=LR;\n";
   for (std::size_t v = 0; v < g.vertex_count(); ++v) {
-    std::string label = "F" + std::to_string(v);
-    if (v == ag.source().index()) label = "S";
-    if (v == ag.target().index()) label = "T";
-    os << "  v" << v << " [shape=square,label=\"" << label << "\"];\n";
+    // Streamed rather than assembled with std::string operator+: GCC 12's
+    // -Wrestrict misfires on the temporary concatenation under -O2 (GCC
+    // bug 105651), which breaks the -Werror CI build.
+    os << "  v" << v << " [shape=square,label=\"";
+    if (v == ag.source().index()) {
+      os << 'S';
+    } else if (v == ag.target().index()) {
+      os << 'T';
+    } else {
+      os << 'F' << v;
+    }
+    os << "\"];\n";
   }
   for (std::size_t e = 0; e < g.edge_count(); ++e) {
     const DwgEdge& de = g.edge(EdgeId{e});

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <sstream>
+#include <type_traits>
+#include <variant>
 
 namespace treesat {
 
@@ -105,6 +107,63 @@ std::string assignment_to_json(const Assignment& assignment) {
     os << number(d.satellite_time[c]);
   }
   os << "]}}";
+  return os.str();
+}
+
+namespace {
+
+std::string stats_to_json(const MethodStats& stats) {
+  std::ostringstream os;
+  std::visit(
+      [&](const auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          os << "null";
+        } else if constexpr (std::is_same_v<T, ColouredSsbStats>) {
+          os << "{\"iterations\":" << s.iterations
+             << ",\"edges_eliminated\":" << s.edges_eliminated
+             << ",\"regions_expanded\":" << s.regions_expanded
+             << ",\"composite_edges\":" << s.composite_edges
+             << ",\"expanded_edge_count\":" << s.expanded_edge_count
+             << ",\"fallback_nodes\":" << s.fallback_nodes
+             << ",\"used_fallback\":" << (s.used_fallback ? "true" : "false")
+             << ",\"stalled\":" << (s.stalled ? "true" : "false")
+             << ",\"delegated_to_dp\":" << (s.delegated_to_dp ? "true" : "false") << '}';
+        } else if constexpr (std::is_same_v<T, ParetoDpStats>) {
+          os << "{\"max_region_frontier\":" << s.max_region_frontier
+             << ",\"max_colour_frontier\":" << s.max_colour_frontier
+             << ",\"candidates_swept\":" << s.candidates_swept << '}';
+        } else if constexpr (std::is_same_v<T, ExhaustiveStats>) {
+          os << "{\"assignments_enumerated\":" << s.assignments_enumerated << '}';
+        } else if constexpr (std::is_same_v<T, BranchBoundStats>) {
+          os << "{\"nodes_visited\":" << s.nodes_visited
+             << ",\"nodes_pruned\":" << s.nodes_pruned << '}';
+        } else if constexpr (std::is_same_v<T, GeneticStats>) {
+          os << "{\"generations_run\":" << s.generations_run
+             << ",\"evaluations\":" << s.evaluations << '}';
+        } else if constexpr (std::is_same_v<T, LocalSearchStats>) {
+          os << "{\"moves_applied\":" << s.moves_applied
+             << ",\"restarts_run\":" << s.restarts_run << '}';
+        } else if constexpr (std::is_same_v<T, AnnealingStats>) {
+          os << "{\"steps_run\":" << s.steps_run
+             << ",\"moves_accepted\":" << s.moves_accepted << '}';
+        }
+      },
+      stats);
+  return os.str();
+}
+
+}  // namespace
+
+std::string report_to_json(const SolveReport& report) {
+  std::ostringstream os;
+  os << "{\"method\":\"" << method_name(report.method) << "\",\"requested\":\""
+     << method_name(report.requested) << "\",\"exact\":"
+     << (report.exact ? "true" : "false")
+     << ",\"objective\":" << number(report.objective_value)
+     << ",\"wall_seconds\":" << number(report.wall_seconds)
+     << ",\"stats\":" << stats_to_json(report.stats)
+     << ",\"assignment\":" << assignment_to_json(report.assignment) << '}';
   return os.str();
 }
 

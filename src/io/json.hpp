@@ -21,7 +21,12 @@ namespace treesat {
 /// Placement of every CRU plus the delay breakdown.
 [[nodiscard]] std::string assignment_to_json(const Assignment& assignment);
 
-/// A solver run: method, exactness, value, timing, and the assignment.
+/// A facade solve: method (requested and resolved), exactness, value,
+/// timing, the method-specific stats variant, and the assignment.
+[[nodiscard]] std::string report_to_json(const SolveReport& report);
+
+/// A legacy solver run: method, exactness, value, timing, and the
+/// assignment. Deprecated with the SolveOptions shim; use report_to_json.
 [[nodiscard]] std::string summary_to_json(const SolveSummary& summary);
 
 /// A simulation: per-frame traces and resource busy times.

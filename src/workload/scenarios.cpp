@@ -59,6 +59,14 @@ Scenario snmp_scenario(std::size_t probes) {
                   std::move(platform)};
 }
 
+std::vector<Scenario> standard_scenarios() {
+  std::vector<Scenario> all;
+  all.push_back(epilepsy_scenario());
+  all.push_back(snmp_scenario(4));
+  all.push_back(snmp_scenario(8));
+  return all;
+}
+
 CruTree paper_running_example() {
   // Figs 2/5-8 structure (reconstructed from every numeric clue in §5):
   //   CRU1 (root): children CRU2, CRU3                 -> conflicts

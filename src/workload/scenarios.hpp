@@ -34,6 +34,11 @@ struct Scenario {
 /// per-device counters; the root correlates alarms.
 [[nodiscard]] Scenario snmp_scenario(std::size_t probes = 4);
 
+/// The scenario library as one batch: epilepsy plus the SNMP cases at 4 and
+/// 8 probes -- the instances every method-comparison harness iterates, and
+/// the natural input for the facade's solve_batch seam.
+[[nodiscard]] std::vector<Scenario> standard_scenarios();
+
 /// The 13-CRU running example of paper Figs 2/5-8: four satellites
 /// R(ed), Y(ellow), B(lue), G(reen); CRU5 and CRU13 share satellite B from
 /// different branches, and CRU1/CRU2/CRU3 are the conflict nodes. Costs are

@@ -120,7 +120,7 @@ TEST(CruTreeBuilder, RejectsSecondRootAndEmptyBuild) {
 
 TEST(CruTree, ByNameThrowsOnUnknown) {
   const CruTree t = small_tree();
-  EXPECT_THROW(t.by_name("nope"), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(t.by_name("nope")), InvalidArgument);
 }
 
 TEST(Serialize, RoundTripsSmallTree) {

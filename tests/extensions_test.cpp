@@ -62,11 +62,13 @@ TEST(Annealing, RejectsBadOptions) {
 TEST(SolverFacade, AnnealingMethodWired) {
   const CruTree tree = paper_running_example();
   const Colouring colouring(tree);
-  SolveOptions o;
-  o.method = SolveMethod::kAnnealing;
-  const SolveSummary s = solve(colouring, o);
-  EXPECT_EQ(s.method, "annealing");
+  const SolveReport s = solve(colouring, SolvePlan::annealing());
+  EXPECT_EQ(s.method, SolveMethod::kAnnealing);
+  EXPECT_STREQ(s.method_label(), "annealing");
   EXPECT_FALSE(s.exact);
+  ASSERT_NE(s.stats_as<AnnealingStats>(), nullptr);
+  EXPECT_LE(s.stats_as<AnnealingStats>()->moves_accepted,
+            s.stats_as<AnnealingStats>()->steps_run);
   const double opt = pareto_dp_solve(colouring).objective;
   EXPECT_GE(s.objective_value, opt - 1e-9);
 }
@@ -76,13 +78,12 @@ TEST(SolverFacade, ObjectiveIsForwardedToEveryMethod) {
   const Colouring colouring(tree);
   // λ = 1 makes the topmost assignment optimal; every exact method must
   // return an assignment with minimal host time under that objective.
-  for (const SolveMethod m : {SolveMethod::kColouredSsb, SolveMethod::kParetoDp,
-                              SolveMethod::kExhaustive, SolveMethod::kBranchBound}) {
-    SolveOptions o;
-    o.method = m;
-    o.objective = SsbObjective::from_lambda(1.0);
-    const SolveSummary s = solve(colouring, o);
-    EXPECT_NEAR(s.delay.host_time, colouring.forced_host_time(), 1e-9) << s.method;
+  for (const SolvePlan& plan : {SolvePlan::coloured_ssb(), SolvePlan::pareto_dp(),
+                                SolvePlan::exhaustive(), SolvePlan::branch_bound()}) {
+    const SolveReport s =
+        solve(colouring, SolvePlan(plan).with_objective(SsbObjective::from_lambda(1.0)));
+    EXPECT_NEAR(s.delay.host_time, colouring.forced_host_time(), 1e-9)
+        << s.method_label();
   }
 }
 
@@ -118,13 +119,14 @@ TEST(Json, AssignmentExportMatchesDelayModel) {
   }
 }
 
-TEST(Json, SummaryAndSimExportAreWellFormedEnough) {
+TEST(Json, ReportAndSimExportAreWellFormedEnough) {
   const CruTree tree = paper_running_example();
   const Colouring colouring(tree);
-  const SolveSummary s = solve(colouring);
-  const std::string sj = summary_to_json(s);
+  const SolveReport s = solve(colouring);
+  const std::string sj = report_to_json(s);
   EXPECT_NE(sj.find("\"method\":\"coloured-ssb\""), std::string::npos);
   EXPECT_NE(sj.find("\"exact\":true"), std::string::npos);
+  EXPECT_NE(sj.find("\"used_fallback\":"), std::string::npos);
 
   const SimResult sim = simulate(s.assignment);
   const std::string mj = sim_to_json(sim);

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "core/exhaustive.hpp"
 #include "core/pareto_dp.hpp"
+#include "core/registry.hpp"
 #include "core/solver.hpp"
 #include "heuristics/branch_bound.hpp"
 #include "heuristics/genetic.hpp"
@@ -144,27 +145,28 @@ TEST(BranchBound, PrunesRelativeToBruteForce) {
   EXPECT_GT(bb.nodes_pruned, 0u);
 }
 
-TEST(SolverFacade, AllMethodsRunAndExactOnesAgree) {
+TEST(SolverFacade, EveryRegisteredMethodRunsAndExactOnesAgree) {
   const CruTree tree = paper_running_example();
   const Colouring colouring(tree);
   double exact_value = -1.0;
-  for (const SolveMethod m :
-       {SolveMethod::kColouredSsb, SolveMethod::kParetoDp, SolveMethod::kExhaustive,
-        SolveMethod::kBranchBound, SolveMethod::kGenetic, SolveMethod::kLocalSearch,
-        SolveMethod::kGreedy}) {
-    SolveOptions o;
-    o.method = m;
-    const SolveSummary s = solve(colouring, o);
-    EXPECT_EQ(s.method, method_name(m));
+  // The registry lists the exact methods first, so exact_value is set
+  // before any heuristic is compared against it.
+  for (const MethodInfo& info : method_registry()) {
+    const SolveReport s = solve(colouring, parse_plan(info.name));
+    EXPECT_EQ(s.requested, info.method) << info.name;
     EXPECT_GE(s.wall_seconds, 0.0);
+    if (info.method != SolveMethod::kAutomatic) {
+      EXPECT_EQ(s.method, info.method) << info.name;
+      EXPECT_EQ(s.exact, info.exact) << info.name;
+    }
     if (s.exact) {
       if (exact_value < 0) {
         exact_value = s.objective_value;
       } else {
-        EXPECT_NEAR(s.objective_value, exact_value, 1e-9) << s.method;
+        EXPECT_NEAR(s.objective_value, exact_value, 1e-9) << s.method_label();
       }
     } else {
-      EXPECT_GE(s.objective_value, exact_value - 1e-9) << s.method;
+      EXPECT_GE(s.objective_value, exact_value - 1e-9) << s.method_label();
     }
   }
 }

@@ -23,21 +23,20 @@ TEST(Integration, EpilepsyPipelineEndToEnd) {
 
   // Every exact method returns the same optimum...
   double optimum = -1.0;
-  for (const SolveMethod m : {SolveMethod::kColouredSsb, SolveMethod::kParetoDp,
-                              SolveMethod::kExhaustive, SolveMethod::kBranchBound}) {
-    SolveOptions o;
-    o.method = m;
-    const SolveSummary s = solve(colouring, o);
+  for (const SolvePlan& plan : {SolvePlan::coloured_ssb(), SolvePlan::pareto_dp(),
+                                SolvePlan::exhaustive(), SolvePlan::branch_bound()}) {
+    const SolveReport s = solve(colouring, plan);
+    EXPECT_TRUE(s.exact) << s.method_label();
     if (optimum < 0) optimum = s.objective_value;
-    EXPECT_NEAR(s.objective_value, optimum, 1e-9) << s.method;
+    EXPECT_NEAR(s.objective_value, optimum, 1e-9) << s.method_label();
 
     // ...whose predicted delay the simulator reproduces exactly...
     EXPECT_NEAR(simulate(s.assignment).frames[0].latency(), s.objective_value,
                 1e-9 * (1.0 + optimum))
-        << s.method;
+        << s.method_label();
 
     // ...and which exports as JSON naming the method.
-    EXPECT_NE(summary_to_json(s).find(s.method), std::string::npos);
+    EXPECT_NE(report_to_json(s).find(s.method_label()), std::string::npos);
   }
 
   // The optimum must strictly beat both naive deployments on this scenario
@@ -69,14 +68,15 @@ TEST(Integration, DelegationPathStaysExactOnLargeScatteredTrees) {
   o.policy = SensorPolicy::kScattered;
   const CruTree tree = random_tree(rng, o);
   const Colouring colouring(tree);
-  const AssignmentGraph ag(colouring);
 
   ColouredSsbOptions opt;
   opt.fallback_node_cap = 256;  // force early delegation
-  const ColouredSsbResult ssb = coloured_ssb_solve(ag, opt);
+  const SolveReport ssb = solve(colouring, SolvePlan::coloured_ssb(opt));
   const ParetoDpResult dp = pareto_dp_solve(colouring);
-  EXPECT_NEAR(ssb.ssb_weight, dp.objective, 1e-9);
-  EXPECT_TRUE(ssb.stats.used_fallback);
+  EXPECT_NEAR(ssb.objective_value, dp.objective, 1e-9);
+  // The facade must surface the method-specific stats, not discard them.
+  ASSERT_NE(ssb.stats_as<ColouredSsbStats>(), nullptr);
+  EXPECT_TRUE(ssb.stats_as<ColouredSsbStats>()->used_fallback);
 }
 
 TEST(Integration, SnmpOptimumNeverWorseThanNaiveAcrossScales) {

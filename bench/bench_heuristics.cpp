@@ -1,10 +1,19 @@
 // Experiment E9 (paper §6 future work): branch-and-bound and genetic
 // algorithms, measured against the exact optimum on growing trees --
 // solution quality, runtime, and search-effort statistics.
+//
+// Each size's 15 trials run as one solve_batch through the BatchExecutor
+// (threads=auto), so the whole method comparison uses the parallel path:
+// optima come from one Pareto-DP batch, every heuristic from one batch per
+// method (the executor derives a per-instance seed from the plan seed), and
+// branch-and-bound's node-cap DNFs surface as per-instance failures of a
+// fail_fast=false batch instead of a try/catch per trial.
 #include <iostream>
+#include <deque>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "core/executor.hpp"
 #include "io/table.hpp"
 #include "workload/generator.hpp"
 
@@ -18,61 +27,85 @@ void run() {
 
   Rng rng(60606);
   for (const std::size_t nodes : {12u, 24u, 48u, 96u}) {
+    constexpr int kTrials = 15;
+    std::deque<CruTree> trees;
+    std::deque<Colouring> colourings;
+    std::vector<const Colouring*> instances;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      TreeGenOptions o;
+      o.compute_nodes = nodes;
+      o.satellites = 4;
+      o.policy = SensorPolicy::kClustered;
+      trees.push_back(random_tree(rng, o));
+      colourings.emplace_back(trees.back());
+      instances.push_back(&colourings.back());
+    }
+
+    const ExecutorOptions pool{.threads = 0};  // one worker per hardware thread
+    SolvePlan opt_plan = SolvePlan::pareto_dp();
+    opt_plan.with_executor(pool);
+    const std::vector<SolveReport> optima = solve_batch(instances, opt_plan);
+
     struct Acc {
       double ratio_sum = 0, worst = 1.0, wall_ms = 0;
       int optimal = 0, trials = 0, dnf = 0;
       std::size_t effort = 0;
     };
-    Acc bb, ga, ls, greedy;
-    for (int trial = 0; trial < 15; ++trial) {
-      TreeGenOptions o;
-      o.compute_nodes = nodes;
-      o.satellites = 4;
-      o.policy = SensorPolicy::kClustered;
-      const CruTree tree = random_tree(rng, o);
-      const Colouring colouring(tree);
-      const double opt = solve(colouring, SolvePlan::pareto_dp()).objective_value;
-
-      const auto account = [&](Acc& acc, const SolveReport& r, std::size_t effort) {
+    const auto account = [&](Acc& acc, const BatchReport& batch,
+                             const auto& effort_of) {
+      for (std::size_t i = 0; i < batch.results.size(); ++i) {
+        if (!batch.results[i].has_value()) {
+          ++acc.dnf;
+          continue;
+        }
+        const SolveReport& r = *batch.results[i];
+        const double opt = optima[i].objective_value;
         const double ratio = r.objective_value / std::max(opt, 1e-12);
         acc.ratio_sum += ratio;
         acc.worst = std::max(acc.worst, ratio);
         acc.optimal += std::abs(r.objective_value - opt) <= 1e-9 * (1.0 + opt) ? 1 : 0;
         acc.wall_ms += r.wall_seconds * 1e3;
-        acc.effort += effort;
+        acc.effort += effort_of(r);
         ++acc.trials;
-      };
+      }
+    };
+    const auto batched = [&](SolvePlan plan, bool tolerate_dnf) {
+      ExecutorOptions exec = pool;
+      exec.fail_fast = !tolerate_dnf;
+      plan.with_executor(exec);
+      return solve_batch_report(instances, plan);
+    };
 
-      {
-        // B&B is exact but worst-case exponential; a capped run counts as a
-        // DNF (the finding E9 reports: exact search is practical to ~50
-        // CRUs, beyond which the polynomial methods are the only option).
-        BranchBoundOptions bopt;
-        bopt.node_cap = std::size_t{1} << 22;
-        try {
-          const SolveReport r = solve(colouring, SolvePlan::branch_bound(bopt));
-          account(bb, r, r.stats_as<BranchBoundStats>()->nodes_visited);
-        } catch (const ResourceLimit&) {
-          ++bb.dnf;
-        }
-      }
-      {
-        GeneticOptions go;
-        go.seed = 17 + static_cast<std::uint64_t>(trial);
-        const SolveReport r = solve(colouring, SolvePlan::genetic(go));
-        account(ga, r, r.stats_as<GeneticStats>()->evaluations);
-      }
-      {
-        LocalSearchOptions lo;
-        lo.seed = 29 + static_cast<std::uint64_t>(trial);
-        const SolveReport r = solve(colouring, SolvePlan::local_search(lo));
-        account(ls, r, r.stats_as<LocalSearchStats>()->moves_applied);
-      }
-      {
-        const SolveReport r = solve(colouring, SolvePlan::greedy());
-        account(greedy, r, r.stats_as<LocalSearchStats>()->moves_applied);
-      }
+    Acc bb, ga, ls, greedy;
+    {
+      // B&B is exact but worst-case exponential; a capped run counts as a
+      // DNF (the finding E9 reports: exact search is practical to ~50
+      // CRUs, beyond which the polynomial methods are the only option).
+      BranchBoundOptions bopt;
+      bopt.node_cap = std::size_t{1} << 22;
+      account(bb, batched(SolvePlan::branch_bound(bopt), /*tolerate_dnf=*/true),
+              [](const SolveReport& r) {
+                return r.stats_as<BranchBoundStats>()->nodes_visited;
+              });
     }
+    {
+      GeneticOptions go;
+      go.seed = 17;  // per-trial seeds derive from this in the executor
+      account(ga, batched(SolvePlan::genetic(go), false),
+              [](const SolveReport& r) { return r.stats_as<GeneticStats>()->evaluations; });
+    }
+    {
+      LocalSearchOptions lo;
+      lo.seed = 29;
+      account(ls, batched(SolvePlan::local_search(lo), false),
+              [](const SolveReport& r) {
+                return r.stats_as<LocalSearchStats>()->moves_applied;
+              });
+    }
+    account(greedy, batched(SolvePlan::greedy(), false), [](const SolveReport& r) {
+      return r.stats_as<LocalSearchStats>()->moves_applied;
+    });
+
     const auto emit = [&](const std::string& name, const Acc& acc, std::string note) {
       if (acc.dnf > 0) note += "; " + std::to_string(acc.dnf) + " DNF (node cap)";
       if (acc.trials == 0) {

@@ -1,15 +1,26 @@
 #!/usr/bin/env sh
 # CI entry point: the tier-1 verify with warnings hardened to errors on
-# every treesat target (-Wall -Wextra -Werror via TREESAT_WERROR).
+# every treesat target (-Wall -Wextra -Werror via TREESAT_WERROR), followed
+# by a ThreadSanitizer build of the suites that exercise the batch executor
+# (-fsanitize=thread via TREESAT_TSAN), so the worker pool is race-checked
+# on every run.
 #
-#   ./ci.sh [build-dir]   # default build dir: build-ci
+#   ./ci.sh [build-dir]   # default build dir: build-ci (TSan: <build-dir>-tsan)
 set -eu
 
 BUILD_DIR="${1:-build-ci}"
+TSAN_DIR="${BUILD_DIR}-tsan"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cmake -B "$BUILD_DIR" -S . -DTREESAT_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
-cd "$BUILD_DIR"
-ctest --output-on-failure -j "$JOBS"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+# TSan stage: only the threaded suites, benches/examples skipped for speed.
+cmake -B "$TSAN_DIR" -S . -DTREESAT_WERROR=ON -DTREESAT_TSAN=ON \
+  -DTREESAT_BUILD_BENCHES=OFF -DTREESAT_BUILD_EXAMPLES=OFF
+cmake --build "$TSAN_DIR" -j "$JOBS" \
+  --target batch_executor_test determinism_test plan_test
+(cd "$TSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
+  -R 'batch_executor_test|determinism_test|plan_test')

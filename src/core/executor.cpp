@@ -1,0 +1,157 @@
+#include "core/executor.hpp"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "common/stopwatch.hpp"
+
+namespace treesat {
+
+std::uint64_t derive_instance_seed(std::uint64_t plan_seed, std::uint64_t instance_index) {
+  // splitmix64 (Steele et al.), seeded at plan_seed plus the golden-ratio
+  // stride per instance -- the same finalizer Rng uses to decorrelate
+  // low-entropy seeds, so adjacent instances get independent streams.
+  std::uint64_t z = plan_seed + 0x9e3779b97f4a7c15ULL * (instance_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+SolvePlan instance_plan(const SolvePlan& plan, std::size_t index) {
+  SolvePlan derived = plan;
+  if (plan.seeded()) {
+    derived.with_seed(derive_instance_seed(plan.seed(), static_cast<std::uint64_t>(index)));
+  }
+  return derived;
+}
+
+std::string describe(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+}  // namespace
+
+void BatchReport::rethrow_if_failed() const {
+  if (failures.empty()) return;
+  const BatchFailure& first = failures.front();
+  if (first.error) std::rethrow_exception(first.error);
+  throw ResourceLimit("solve_batch: instance " + std::to_string(first.index) + " " +
+                      first.message + " (" + std::to_string(failures.size()) + " of " +
+                      std::to_string(results.size()) + " instances unfinished)");
+}
+
+std::vector<SolveReport> BatchReport::take_reports() {
+  rethrow_if_failed();
+  std::vector<SolveReport> reports;
+  reports.reserve(results.size());
+  for (std::optional<SolveReport>& result : results) {
+    reports.push_back(std::move(*result));
+  }
+  results.clear();
+  return reports;
+}
+
+BatchExecutor::BatchExecutor(ExecutorOptions options) : options_(std::move(options)) {
+  TS_REQUIRE(options_.deadline_seconds >= 0.0,
+             "BatchExecutor: deadline must be non-negative, got "
+                 << options_.deadline_seconds);
+}
+
+BatchReport BatchExecutor::run(std::span<const Colouring* const> instances,
+                               const SolvePlan& plan, std::stop_token cancel) const {
+  const Stopwatch watch;
+  const std::size_t count = instances.size();
+  // Validate the whole span before any work starts: a bad batch must not
+  // burn solves (or, under fail_fast, leave the caller guessing how far it
+  // got) before the precondition fires.
+  for (std::size_t i = 0; i < count; ++i) {
+    TS_REQUIRE(instances[i] != nullptr, "solve_batch: instance " << i << " is null");
+  }
+
+  BatchReport report;
+  report.results.resize(count);
+
+  std::size_t threads =
+      options_.threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : options_.threads;
+  threads = std::min(threads, std::max<std::size_t>(count, 1));
+  report.threads_used = threads;
+
+  // The queue is one atomic cursor: claiming an instance is a fetch_add, so
+  // idle workers drain whatever remains no matter how uneven the costs.
+  std::atomic<std::size_t> next{0};
+  std::stop_source abort;  // fail-fast fuse, shared by all workers
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<bool> deadline_hit{false};
+
+  const auto worker = [&]() {
+    while (!abort.stop_requested() && !cancel.stop_requested()) {
+      if (options_.deadline_seconds > 0.0 && watch.seconds() > options_.deadline_seconds) {
+        deadline_hit.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        report.results[i].emplace(solve(*instances[i], instance_plan(plan, i)));
+      } catch (...) {
+        errors[i] = std::current_exception();
+        if (options_.fail_fast) abort.request_stop();
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    // ~jthread joins every worker; results/errors are safe to read after.
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if (report.results[i].has_value()) continue;
+    std::string message;
+    if (errors[i]) {
+      message = describe(errors[i]);
+    } else if (deadline_hit.load(std::memory_order_relaxed)) {
+      message = "not started: batch deadline expired";
+    } else if (cancel.stop_requested()) {
+      message = "not started: batch cancelled";
+    } else {
+      message = "not started: batch aborted after an earlier failure";
+    }
+    report.failures.push_back({i, std::move(message), errors[i]});
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!report.results[i].has_value()) continue;
+    const SolveReport& solved = *report.results[i];
+    ++report.method_counts[static_cast<std::size_t>(solved.method)];
+    report.total_solve_seconds += solved.wall_seconds;
+    if (solved.wall_seconds > report.slowest_seconds) {
+      report.slowest_seconds = solved.wall_seconds;
+      report.slowest_index = i;
+    }
+  }
+  report.wall_seconds = watch.seconds();
+  return report;
+}
+
+BatchReport solve_batch_report(std::span<const Colouring* const> instances,
+                               const SolvePlan& plan) {
+  return BatchExecutor(plan.executor()).run(instances, plan);
+}
+
+}  // namespace treesat

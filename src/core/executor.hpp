@@ -1,0 +1,126 @@
+// The batch executor: the worker pool behind solve_batch().
+//
+// A BatchExecutor solves a span of instances under one plan on a fixed pool
+// of std::jthread workers that pull work from an atomic index queue (the
+// work-stealing-friendly shape for irregular solve costs: a worker that
+// finishes a cheap instance immediately claims the next one, so stragglers
+// never serialize the batch). Three guarantees shape the design:
+//
+//   * Determinism. Results are a pure function of (instances, plan): for
+//     seeded plans every instance i solves under
+//     derive_instance_seed(plan.seed(), i), so reports are byte-identical
+//     regardless of thread count, scheduling, or completion order --
+//     threads=8 reproduces threads=1 exactly (asserted by
+//     tests/batch_executor_test.cpp).
+//   * Bounded work. An optional wall-clock deadline is checked between
+//     instances (a running solve is never interrupted); instances not yet
+//     started when it expires are reported as failures. An external
+//     std::stop_token cancels the same way.
+//   * Explicit failure. fail_fast (default) stops claiming new instances
+//     after the first failure; fail_fast=false finishes the rest. Either
+//     way run() itself only throws on caller errors (null instances) --
+//     per-instance outcomes land in BatchReport, and solve_batch() rethrows
+//     the first failure to keep its all-or-nothing contract.
+//
+// The knobs travel on the plan (SolvePlan::with_executor, or
+// parse_plan("pareto-dp:threads=8,deadline_ms=500")), so string-driven
+// harnesses reach the pool without new plumbing.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <span>
+#include <stop_token>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+
+namespace treesat {
+
+/// The seed instance i solves under when a seeded plan with seed s is
+/// batched: splitmix64 of s offset by the golden-ratio stride per index.
+/// Decorrelates the per-instance heuristic streams (a batch no longer runs
+/// every instance on the literal same seed) while keeping each instance's
+/// result reproducible in isolation: solve(instance, plan.with_seed(
+/// derive_instance_seed(s, i))) equals batch result i.
+[[nodiscard]] std::uint64_t derive_instance_seed(std::uint64_t plan_seed,
+                                                 std::uint64_t instance_index);
+
+/// One instance that did not produce a report.
+struct BatchFailure {
+  std::size_t index;      ///< instance index within the batch
+  std::string message;    ///< what went wrong (exception text, deadline, ...)
+  /// The instance's exception; null when it was never started (deadline,
+  /// cancellation, or a fail-fast abort after an earlier failure).
+  std::exception_ptr error;
+};
+
+/// Result of one batch run: per-instance reports plus the aggregate
+/// statistics a scheduling layer wants (wall time, per-method counts, the
+/// straggler).
+struct BatchReport {
+  /// results[i] belongs to *instances[i]; disengaged when instance i failed
+  /// or was never started (see failures).
+  std::vector<std::optional<SolveReport>> results;
+  /// Failed / unstarted instances, ascending by index. Empty == complete.
+  std::vector<BatchFailure> failures;
+
+  double wall_seconds = 0.0;        ///< whole-batch wall time
+  std::size_t threads_used = 1;     ///< workers actually spawned
+  /// Solves per method that ran, indexed by SolveMethod (automatic plans
+  /// spread across the methods resolution picked).
+  std::array<std::size_t, kSolveMethodCount> method_counts{};
+  double total_solve_seconds = 0.0; ///< sum of per-instance wall times
+  double slowest_seconds = 0.0;     ///< the straggler's wall time
+  std::size_t slowest_index = 0;    ///< ...and its instance index
+
+  [[nodiscard]] bool complete() const { return failures.empty(); }
+  [[nodiscard]] std::size_t solved() const { return results.size() - failures.size(); }
+  [[nodiscard]] std::size_t count_of(SolveMethod method) const {
+    return method_counts[static_cast<std::size_t>(method)];
+  }
+
+  /// Re-throws the first failure by instance index: its own exception when
+  /// it has one, otherwise ResourceLimit describing the unstarted instance.
+  /// No-op when complete.
+  void rethrow_if_failed() const;
+
+  /// Moves the reports out as the plain vector solve_batch returns.
+  /// Calls rethrow_if_failed() first, so it only succeeds when complete.
+  [[nodiscard]] std::vector<SolveReport> take_reports();
+};
+
+/// The worker pool. Stateless between runs -- construction just captures the
+/// options, so one executor can serve many batches.
+class BatchExecutor {
+ public:
+  BatchExecutor() = default;
+  explicit BatchExecutor(ExecutorOptions options);
+
+  [[nodiscard]] const ExecutorOptions& options() const { return options_; }
+
+  /// Solves every instance with `plan` (seeded plans get per-instance
+  /// derived seeds). Throws InvalidArgument up front when any instance is
+  /// null -- the whole span is validated before any work starts. `cancel`
+  /// stops the batch between instances; cancelled instances become
+  /// failures.
+  [[nodiscard]] BatchReport run(std::span<const Colouring* const> instances,
+                                const SolvePlan& plan = {},
+                                std::stop_token cancel = {}) const;
+
+ private:
+  ExecutorOptions options_;
+};
+
+/// One-shot convenience: runs a BatchExecutor configured from
+/// plan.executor(). This is what solve_batch() routes through; call it
+/// directly when the aggregate statistics (or partial results under
+/// fail_fast=false) matter.
+[[nodiscard]] BatchReport solve_batch_report(std::span<const Colouring* const> instances,
+                                             const SolvePlan& plan = {});
+
+}  // namespace treesat

@@ -93,15 +93,41 @@ SolvePlan& SolvePlan::with_seed(std::uint64_t seed) {
   return *this;
 }
 
+std::uint64_t SolvePlan::seed() const {
+  return std::visit(
+      [](const auto& o) -> std::uint64_t {
+        if constexpr (requires { o.seed; }) {
+          return o.seed;
+        } else {
+          return 0;
+        }
+      },
+      options_);
+}
+
+SolvePlan& SolvePlan::with_executor(const ExecutorOptions& executor) {
+  TS_REQUIRE(executor.deadline_seconds >= 0.0,
+             "with_executor: deadline must be non-negative, got "
+                 << executor.deadline_seconds);
+  executor_ = executor;
+  return *this;
+}
+
 SolvePlan SolvePlan::resolve(const Colouring& colouring) const {
   if (method_ != SolveMethod::kAutomatic) return *this;
   const auto& a = std::get<AutomaticOptions>(options_);
+
+  // The resolved plan keeps the cross-cutting executor knobs.
+  const auto resolved = [&](SolvePlan plan) {
+    plan.executor_ = executor_;
+    return plan;
+  };
 
   if (a.exhaustive_cutoff > 0 &&
       count_assignments(colouring, a.exhaustive_cutoff) < a.exhaustive_cutoff) {
     ExhaustiveOptions o;
     o.objective = a.objective;
-    return exhaustive(o);
+    return resolved(exhaustive(o));
   }
 
   bool multi_region_colour = false;
@@ -115,11 +141,11 @@ SolvePlan SolvePlan::resolve(const Colouring& colouring) const {
   if (multi_region_colour) {
     ParetoDpOptions o;
     o.objective = a.objective;
-    return pareto_dp(o);
+    return resolved(pareto_dp(o));
   }
   ColouredSsbOptions o;
   o.objective = a.objective;
-  return coloured_ssb(o);
+  return resolved(coloured_ssb(o));
 }
 
 }  // namespace treesat

@@ -48,6 +48,32 @@ enum class SolveMethod : std::uint8_t {
   kAutomatic,    ///< pick per instance (resolved by SolvePlan::resolve)
 };
 
+/// Number of SolveMethod values (kAutomatic included); sized for dense
+/// per-method arrays such as BatchReport::method_counts. Derived from the
+/// last enumerator so the enum cannot silently outgrow it.
+inline constexpr std::size_t kSolveMethodCount =
+    static_cast<std::size_t>(SolveMethod::kAutomatic) + 1;
+
+/// Cross-cutting batch-execution knobs, carried by every plan alongside the
+/// objective and the seed. They only take effect when the plan is handed to
+/// solve_batch() / BatchExecutor (core/executor.hpp); a single solve()
+/// ignores them. The spec grammar spells them threads= / deadline_ms= /
+/// fail_fast= on every method.
+struct ExecutorOptions {
+  /// Worker threads for a batch. 1 (default) solves inline on the calling
+  /// thread; 0 means one worker per hardware thread. parse_plan rejects 0 --
+  /// the auto value is for programmatic use only.
+  std::size_t threads = 1;
+  /// Wall-clock budget for the whole batch in seconds; 0 = none. Checked
+  /// between instances: a running solve is never interrupted, but instances
+  /// not yet started when the budget expires fail with a deadline message.
+  double deadline_seconds = 0.0;
+  /// Stop claiming new instances after the first failure (default). When
+  /// false the executor finishes the remaining instances and reports every
+  /// failure in BatchReport::failures.
+  bool fail_fast = true;
+};
+
 /// Canonical method name, e.g. "coloured-ssb". Round-trips with
 /// parse_method().
 [[nodiscard]] const char* method_name(SolveMethod method);
@@ -126,6 +152,17 @@ class SolvePlan {
   /// harnesses can thread one seed through a method sweep.
   SolvePlan& with_seed(std::uint64_t seed);
 
+  /// The seed stored in the method's options; 0 for unseeded methods. The
+  /// batch executor derives per-instance seeds from this value.
+  [[nodiscard]] std::uint64_t seed() const;
+
+  /// The batch-execution knobs carried by this plan (threads, deadline,
+  /// fail-fast). Only solve_batch()/BatchExecutor reads them.
+  [[nodiscard]] const ExecutorOptions& executor() const { return executor_; }
+
+  /// Replaces the batch-execution knobs. Deadline must be non-negative.
+  SolvePlan& with_executor(const ExecutorOptions& executor);
+
   /// Resolves kAutomatic against a concrete instance; any other plan is
   /// returned unchanged. The choice:
   ///   * cut space smaller than `exhaustive_cutoff` -> exhaustive;
@@ -141,6 +178,7 @@ class SolvePlan {
 
   SolveMethod method_;
   Options options_;
+  ExecutorOptions executor_;
 };
 
 }  // namespace treesat

@@ -1,6 +1,7 @@
 #include "core/registry.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -72,10 +73,24 @@ bool parse_bool(std::string_view key, std::string_view value) {
 [[noreturn]] void unknown_key(const MethodInfo& info, std::string_view key) {
   std::ostringstream oss;
   oss << "parse_plan: unknown key '" << key << "' for method '" << info.name << "'"
-      << " (accepted: lambda,s_coeff,b_coeff" << (info.seeded ? ",seed" : "");
+      << " (accepted: lambda,s_coeff,b_coeff,threads,deadline_ms,fail_fast"
+      << (info.seeded ? ",seed" : "");
   if (info.option_keys[0] != '\0') oss << ',' << info.option_keys;
   oss << ")";
   throw InvalidArgument(oss.str());
+}
+
+/// Objective coefficients must stay in the model's domain: silently
+/// accepting nan or a negative weight would corrupt every comparison the
+/// solvers make.
+double parse_coefficient(std::string_view key, std::string_view value) {
+  const double out = parse_double(key, value);
+  if (!std::isfinite(out) || out < 0.0) {
+    throw InvalidArgument("parse_plan: key '" + std::string(key) +
+                          "' must be a finite non-negative number, got '" +
+                          std::string(value) + "'");
+  }
+  return out;
 }
 
 /// The keys every method understands: the §4.1 objective weighting.
@@ -86,11 +101,45 @@ bool apply_objective_key(SsbObjective& objective, std::string_view key,
     return true;
   }
   if (key == "s_coeff") {
-    objective.s_coeff = parse_double(key, value);
+    objective.s_coeff = parse_coefficient(key, value);
     return true;
   }
   if (key == "b_coeff") {
-    objective.b_coeff = parse_double(key, value);
+    objective.b_coeff = parse_coefficient(key, value);
+    return true;
+  }
+  return false;
+}
+
+/// The other common key family: the batch-execution knobs of
+/// core/executor.hpp, accepted by every method and carried on the plan.
+bool apply_executor_key(ExecutorOptions& executor, std::string_view key,
+                        std::string_view value) {
+  if (key == "threads") {
+    if (value == "auto") {  // one worker per hardware thread
+      executor.threads = 0;
+      return true;
+    }
+    executor.threads = parse_size(key, value);
+    if (executor.threads == 0) {
+      throw InvalidArgument(
+          "parse_plan: key 'threads' must be >= 1 or 'auto', got '" +
+          std::string(value) + "' (omit the key for the single-threaded default)");
+    }
+    return true;
+  }
+  if (key == "deadline_ms") {
+    const double ms = parse_double(key, value);
+    if (!std::isfinite(ms) || ms < 0.0) {
+      throw InvalidArgument("parse_plan: key 'deadline_ms' must be a finite "
+                            "non-negative number, got '" +
+                            std::string(value) + "'");
+    }
+    executor.deadline_seconds = ms / 1e3;
+    return true;
+  }
+  if (key == "fail_fast") {
+    executor.fail_fast = parse_bool(key, value);
     return true;
   }
   return false;
@@ -155,32 +204,11 @@ const MethodInfo* find_method(std::string_view name) {
   return nullptr;
 }
 
-SolvePlan parse_plan(std::string_view spec) {
-  const auto colon = spec.find(':');
-  const std::string_view name =
-      colon == std::string_view::npos ? spec : spec.substr(0, colon);
-  const MethodInfo* info = find_method(name);
-  if (info == nullptr) {
-    std::ostringstream oss;
-    oss << "parse_plan: unknown method '" << name << "' (registered:";
-    for (const MethodInfo& m : registry_storage()) oss << ' ' << m.name;
-    oss << ")";
-    throw InvalidArgument(oss.str());
-  }
+namespace {
 
-  std::vector<KeyValue> pairs;
-  if (colon != std::string_view::npos) {
-    pairs = split_pairs(spec, spec.substr(colon + 1));
-  }
-
-  // Reject a seed on methods that would silently ignore it.
-  for (const KeyValue& kv : pairs) {
-    if (kv.key == "seed" && !info->seeded) {
-      throw InvalidArgument("parse_plan: method '" + std::string(info->name) +
-                            "' is deterministic and does not take a seed");
-    }
-  }
-
+/// The per-method half of parse_plan: `pairs` holds only the objective and
+/// per-method keys (executor keys were already peeled off).
+SolvePlan build_method_plan(const MethodInfo* info, const std::vector<KeyValue>& pairs) {
   switch (info->method) {
     case SolveMethod::kColouredSsb: {
       ColouredSsbOptions o;
@@ -320,6 +348,62 @@ SolvePlan parse_plan(std::string_view spec) {
   throw LogicError("parse_plan: unhandled method");
 }
 
+}  // namespace
+
+SolvePlan parse_plan(std::string_view spec) {
+  const auto colon = spec.find(':');
+  const std::string_view name =
+      colon == std::string_view::npos ? spec : spec.substr(0, colon);
+  const MethodInfo* info = find_method(name);
+  if (info == nullptr) {
+    std::ostringstream oss;
+    oss << "parse_plan: unknown method '" << name << "' (registered:";
+    for (const MethodInfo& m : registry_storage()) oss << ' ' << m.name;
+    oss << ")";
+    throw InvalidArgument(oss.str());
+  }
+
+  std::vector<KeyValue> pairs;
+  if (colon != std::string_view::npos) {
+    pairs = split_pairs(spec, spec.substr(colon + 1));
+  }
+
+  // A repeated key is a confused spec, not a harmless override: reject it
+  // instead of silently keeping whichever copy lands last. Aliases count as
+  // the same key -- they set the same field.
+  const auto canonical_key = [](std::string_view key) {
+    return key == "expansion_cap_per_region" ? std::string_view("expansion_cap") : key;
+  };
+  for (std::size_t a = 0; a < pairs.size(); ++a) {
+    for (std::size_t b = a + 1; b < pairs.size(); ++b) {
+      if (canonical_key(pairs[a].key) == canonical_key(pairs[b].key)) {
+        throw InvalidArgument("parse_plan: duplicate key '" + std::string(pairs[b].key) +
+                              "' in '" + std::string(spec) + "'");
+      }
+    }
+  }
+
+  // Reject a seed on methods that would silently ignore it.
+  for (const KeyValue& kv : pairs) {
+    if (kv.key == "seed" && !info->seeded) {
+      throw InvalidArgument("parse_plan: method '" + std::string(info->name) +
+                            "' is deterministic and does not take a seed");
+    }
+  }
+
+  // Peel off the batch-execution keys; the rest go to the method parser.
+  ExecutorOptions executor;
+  std::vector<KeyValue> method_pairs;
+  method_pairs.reserve(pairs.size());
+  for (const KeyValue& kv : pairs) {
+    if (!apply_executor_key(executor, kv.key, kv.value)) method_pairs.push_back(kv);
+  }
+
+  SolvePlan plan = build_method_plan(info, method_pairs);
+  plan.with_executor(executor);
+  return plan;
+}
+
 std::string plan_spec(const SolvePlan& plan) {
   std::ostringstream oss;
   oss << method_name(plan.method());
@@ -330,6 +414,16 @@ std::string plan_spec(const SolvePlan& plan) {
   const SsbObjective objective = plan.objective();
   if (objective.s_coeff != 1.0) add("s_coeff", fmt(objective.s_coeff));
   if (objective.b_coeff != 1.0) add("b_coeff", fmt(objective.b_coeff));
+  const ExecutorOptions& executor = plan.executor();
+  if (executor.threads != 1) {
+    add("threads", executor.threads == 0
+                       ? std::string("auto")
+                       : fmt(static_cast<std::uint64_t>(executor.threads)));
+  }
+  if (executor.deadline_seconds != 0.0) {
+    add("deadline_ms", fmt(executor.deadline_seconds * 1e3));
+  }
+  if (!executor.fail_fast) add("fail_fast", fmt(false));
   switch (plan.method()) {
     case SolveMethod::kColouredSsb: {
       const auto& o = plan.options_as<ColouredSsbOptions>();

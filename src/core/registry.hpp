@@ -8,11 +8,13 @@
 //
 // Spec grammar:  method[:key=value[,key=value...]]
 // Method names accept '-' and '_' interchangeably. Every method accepts
-// "lambda" (the §4.1 objective weighting, SsbObjective::from_lambda);
+// "lambda" (the §4.1 objective weighting, SsbObjective::from_lambda) and
+// the batch-execution knobs "threads" (>= 1, or "auto" for one worker per
+// hardware thread), "deadline_ms" and "fail_fast" (core/executor.hpp);
 // seeded methods accept "seed"; the remaining keys are per-method (see
-// MethodInfo::option_keys). Unknown methods, unknown keys, malformed
-// pairs and unparseable values all throw InvalidArgument naming the
-// offending token.
+// MethodInfo::option_keys). Unknown methods, unknown keys, duplicate keys,
+// malformed pairs and unparseable values all throw InvalidArgument naming
+// the offending token.
 #pragma once
 
 #include <string>

@@ -3,6 +3,7 @@
 #include "common/stopwatch.hpp"
 #include "core/assignment_graph.hpp"
 #include "core/coloured_ssb.hpp"
+#include "core/executor.hpp"
 #include "core/exhaustive.hpp"
 #include "core/pareto_dp.hpp"
 #include "heuristics/annealing.hpp"
@@ -77,13 +78,7 @@ SolveReport solve(const Colouring& colouring, const SolvePlan& plan) {
 
 std::vector<SolveReport> solve_batch(std::span<const Colouring* const> instances,
                                      const SolvePlan& plan) {
-  std::vector<SolveReport> reports;
-  reports.reserve(instances.size());
-  for (std::size_t i = 0; i < instances.size(); ++i) {
-    TS_REQUIRE(instances[i] != nullptr, "solve_batch: instance " << i << " is null");
-    reports.push_back(solve(*instances[i], plan));
-  }
-  return reports;
+  return solve_batch_report(instances, plan).take_reports();
 }
 
 SolvePlan plan_from(const SolveOptions& options) {

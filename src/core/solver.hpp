@@ -89,10 +89,17 @@ struct SolveReport {
 [[nodiscard]] SolveReport solve(const Colouring& colouring, const SolvePlan& plan = {});
 
 /// Solves every instance with the same plan and returns per-instance
-/// reports (results[i] belongs to *instances[i]). This is the batching seam
-/// for the scaling roadmap: today a sequential loop, later the place where
-/// sharding / worker pools slot in without touching callers. Instances must
-/// be non-null; each report references its own instance's colouring/tree.
+/// reports (results[i] belongs to *instances[i]). Routed through the
+/// BatchExecutor worker pool (core/executor.hpp), configured by the plan's
+/// ExecutorOptions: plan.with_executor({.threads = 8}) or
+/// parse_plan("...:threads=8") parallelizes the batch. Results are
+/// byte-identical regardless of thread count -- seeded plans solve instance
+/// i under derive_instance_seed(plan.seed(), i) at every thread count,
+/// including the default threads=1. Instances are validated non-null up
+/// front (before any work starts); on any per-instance failure the first
+/// failure's exception is rethrown. Use solve_batch_report() when partial
+/// results or the aggregate batch statistics matter. Each report references
+/// its own instance's colouring/tree.
 [[nodiscard]] std::vector<SolveReport> solve_batch(
     std::span<const Colouring* const> instances, const SolvePlan& plan = {});
 

@@ -1,0 +1,109 @@
+// Fuzz-style negative tests for parse_plan: a table of malformed specs,
+// each of which must throw InvalidArgument with a descriptive message (the
+// expected fragment pins the diagnosis, not just "an error happened").
+// Anything else escaping -- a crash, a different exception type, or a
+// silent accept -- fails the test. The table drove three fixes: duplicate
+// keys used to be last-one-wins, s_coeff/b_coeff accepted nan and negative
+// weights, and the executor keys needed their own range checks.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/registry.hpp"
+
+namespace treesat {
+namespace {
+
+struct BadSpec {
+  const char* spec;
+  const char* expect;  ///< required substring of the error message
+};
+
+const BadSpec kBadSpecs[] = {
+    // Unknown or mangled method names.
+    {"", "unknown method"},
+    {"dijkstra", "unknown method"},
+    {"coloured ssb", "unknown method"},
+    {" genetic", "unknown method"},
+    {"genetic ", "unknown method"},
+    // Malformed key=value structure.
+    {"genetic:", "malformed"},
+    {"genetic:population", "malformed"},
+    {"genetic:=64", "malformed"},
+    {"genetic:population=64,", "malformed"},
+    {"genetic:population=64,,seed=2", "malformed"},
+    {"genetic:,population=64", "malformed"},
+    // Duplicate keys (used to be silently last-one-wins).
+    {"genetic:population=64,population=65", "duplicate key"},
+    {"genetic:seed=1,seed=1", "duplicate key"},
+    {"coloured-ssb:threads=2,threads=4", "duplicate key"},
+    // ...including via a key alias (both spell the same option).
+    {"coloured-ssb:expansion_cap=1024,expansion_cap_per_region=4096", "duplicate key"},
+    // Unparseable or overflowing values.
+    {"genetic:population=", "cannot parse value"},
+    {"genetic:population=lots", "cannot parse value"},
+    {"genetic:population=3.5", "cannot parse value"},
+    {"genetic:population=-1", "cannot parse value"},
+    {"genetic:population=18446744073709551616", "cannot parse value"},  // 2^64
+    {"exhaustive:cap=0x10", "cannot parse value"},
+    {"annealing:cooling=fast", "cannot parse value"},
+    {"annealing:cooling=0.5x", "cannot parse value"},
+    {"coloured-ssb:eager_expansion=maybe", "cannot parse value"},
+    {"coloured-ssb:fail_fast=2", "cannot parse value"},
+    // Seeds on deterministic methods.
+    {"greedy:seed=1", "does not take a seed"},
+    {"exhaustive:seed=7", "does not take a seed"},
+    {"automatic:seed=7", "does not take a seed"},
+    // Unknown keys (including near-misses; keys are case-sensitive).
+    {"greedy:population=3", "unknown key"},
+    {"coloured-ssb:max_frontier=4", "unknown key"},
+    {"genetic:Population=3", "unknown key"},
+    // Objective weights outside the model's domain.
+    {"exhaustive:lambda=2.0", "lambda"},
+    {"exhaustive:lambda=-0.25", "lambda"},
+    {"exhaustive:lambda=nan", "lambda"},
+    {"pareto-dp:s_coeff=-1", "finite non-negative"},
+    {"pareto-dp:b_coeff=nan", "finite non-negative"},
+    {"pareto-dp:b_coeff=inf", "finite non-negative"},
+    // Executor knobs out of range (threads=0 is spelled 'auto').
+    {"pareto-dp:threads=0", "threads"},
+    {"pareto-dp:threads=-2", "cannot parse value"},
+    {"pareto-dp:threads=many", "cannot parse value"},
+    {"pareto-dp:deadline_ms=-5", "deadline_ms"},
+    {"pareto-dp:deadline_ms=nan", "deadline_ms"},
+};
+
+TEST(ParsePlanFuzz, MalformedSpecsThrowDescriptiveErrors) {
+  for (const BadSpec& bad : kBadSpecs) {
+    try {
+      const SolvePlan plan = parse_plan(bad.spec);
+      FAIL() << "spec '" << bad.spec << "' was accepted as method '"
+             << method_name(plan.method()) << "'";
+    } catch (const InvalidArgument& e) {
+      const std::string what = e.what();
+      EXPECT_GE(what.size(), 10u) << "terse error for '" << bad.spec << "': " << what;
+      EXPECT_NE(what.find(bad.expect), std::string::npos)
+          << "error for '" << bad.spec << "' lacks '" << bad.expect << "': " << what;
+    }
+    // Any other exception type (or a crash) escapes and fails the test.
+  }
+}
+
+TEST(ParsePlanFuzz, NearMissesOfValidSpecsStillParse) {
+  // The negative table must not overshoot: these look odd but are legal.
+  EXPECT_EQ(parse_plan("genetic:population=0064").options_as<GeneticOptions>().population,
+            64u);
+  EXPECT_EQ(parse_plan("coloured_ssb").method(), SolveMethod::kColouredSsb);
+  EXPECT_EQ(parse_plan("branch_bound:greedy_incumbent=no")
+                .options_as<BranchBoundOptions>()
+                .greedy_incumbent,
+            false);
+  EXPECT_EQ(parse_plan("annealing:seed=18446744073709551615")  // 2^64 - 1: still fits
+                .options_as<AnnealingOptions>()
+                .seed,
+            18446744073709551615ull);
+  EXPECT_EQ(parse_plan("pareto-dp:threads=auto").executor().threads, 0u);
+}
+
+}  // namespace
+}  // namespace treesat

@@ -1,0 +1,120 @@
+// Property-based cross-validation of the whole solve-method family, through
+// the plan facade, on ~200 seeded random small instances:
+//   * the three exact solvers (coloured SSB, Pareto DP, branch-and-bound)
+//     must match the exhaustive oracle's optimal objective exactly;
+//   * every heuristic must return a *feasible* result -- an assignment of
+//     this instance whose reported objective is the delay its assignment
+//     actually achieves -- and can never beat the optimum.
+// Small trees keep the oracle instant, so the suite sweeps sizes, satellite
+// counts, sensor policies and objective weightings in one pass. The
+// generator is seeded: every failure message carries the iteration, so a
+// counterexample replays deterministically.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "core/solver.hpp"
+#include "workload/generator.hpp"
+
+namespace treesat {
+namespace {
+
+struct Drawn {
+  std::size_t compute_nodes;
+  std::size_t satellites;
+  SensorPolicy policy;
+  double lambda;
+};
+
+Drawn draw_config(Rng& rng) {
+  const SensorPolicy policies[] = {SensorPolicy::kClustered, SensorPolicy::kScattered,
+                                   SensorPolicy::kRoundRobin};
+  const double lambdas[] = {0.2, 0.5, 0.8};
+  return Drawn{2 + rng.index(8), 1 + rng.index(4), policies[rng.index(3)],
+               lambdas[rng.index(3)]};
+}
+
+TEST(PropertyCrossValidation, ExactSolversMatchOracleAndHeuristicsStayFeasible) {
+  Rng rng(0xC0FFEE);
+  std::size_t oracle_assignments = 0;
+
+  for (int iter = 0; iter < 200; ++iter) {
+    const Drawn cfg = draw_config(rng);
+    TreeGenOptions gen;
+    gen.compute_nodes = cfg.compute_nodes;
+    gen.satellites = cfg.satellites;
+    gen.policy = cfg.policy;
+    const CruTree tree = random_tree(rng, gen);
+    const Colouring colouring(tree);
+    const SsbObjective objective = SsbObjective::from_lambda(cfg.lambda);
+    const auto ctx = [&](const char* method) {
+      std::ostringstream oss;
+      oss << method << " iter=" << iter << " n=" << cfg.compute_nodes
+          << " sats=" << cfg.satellites << " lambda=" << cfg.lambda;
+      return oss.str();
+    };
+
+    ExhaustiveOptions eo;
+    eo.objective = objective;
+    const SolveReport truth = solve(colouring, SolvePlan::exhaustive(eo));
+    oracle_assignments += truth.stats_as<ExhaustiveStats>()->assignments_enumerated;
+    const double optimum = truth.objective_value;
+    const double tol = 1e-9 * (1.0 + optimum);
+
+    // Exact methods: equal to the oracle, not merely feasible.
+    ColouredSsbOptions so;
+    so.objective = objective;
+    ParetoDpOptions po;
+    po.objective = objective;
+    BranchBoundOptions bo;
+    bo.objective = objective;
+    const SolvePlan exact_plans[] = {SolvePlan::coloured_ssb(so), SolvePlan::pareto_dp(po),
+                                     SolvePlan::branch_bound(bo)};
+    for (const SolvePlan& plan : exact_plans) {
+      const SolveReport r = solve(colouring, plan);
+      EXPECT_TRUE(r.exact) << ctx(r.method_label());
+      EXPECT_NEAR(r.objective_value, optimum, tol) << ctx(r.method_label());
+    }
+
+    // Heuristics: feasible and never better than the optimum. Budgets are
+    // deliberately tiny -- the property is soundness, not quality.
+    GeneticOptions ga;
+    ga.objective = objective;
+    ga.population = 12;
+    ga.generations = 6;
+    ga.seed = static_cast<std::uint64_t>(iter) + 1;
+    LocalSearchOptions ls;
+    ls.objective = objective;
+    ls.restarts = 2;
+    ls.max_moves = 200;
+    ls.seed = static_cast<std::uint64_t>(iter) + 1;
+    AnnealingOptions sa;
+    sa.objective = objective;
+    sa.steps = 300;
+    sa.seed = static_cast<std::uint64_t>(iter) + 1;
+    GreedyOptions gr;
+    gr.objective = objective;
+    const SolvePlan heuristic_plans[] = {SolvePlan::genetic(ga), SolvePlan::local_search(ls),
+                                         SolvePlan::annealing(sa), SolvePlan::greedy(gr)};
+    for (const SolvePlan& plan : heuristic_plans) {
+      const SolveReport r = solve(colouring, plan);
+      EXPECT_FALSE(r.exact) << ctx(r.method_label());
+      // Feasibility: the report's assignment belongs to this instance (the
+      // Assignment constructor already enforced cut validity), and the
+      // reported value is the delay that assignment actually achieves.
+      EXPECT_EQ(&r.assignment.colouring(), &colouring) << ctx(r.method_label());
+      EXPECT_NEAR(r.assignment.delay().objective(objective), r.objective_value, tol)
+          << ctx(r.method_label());
+      // Soundness: a heuristic can match but never beat the optimum.
+      EXPECT_GE(r.objective_value, optimum - tol) << ctx(r.method_label());
+    }
+  }
+
+  // The sweep exercised real search spaces, not 200 degenerate one-cut
+  // instances.
+  EXPECT_GT(oracle_assignments, 2000u);
+}
+
+}  // namespace
+}  // namespace treesat

@@ -3,9 +3,13 @@
 # every treesat target (-Wall -Wextra -Werror via TREESAT_WERROR), followed
 # by a ThreadSanitizer build of the suites that exercise the batch executor
 # (-fsanitize=thread via TREESAT_TSAN), so the worker pool is race-checked
-# on every run.
+# on every run. Setting TREESAT_COV=1 adds a coverage stage: the test
+# suites rebuilt with --coverage and a per-file line-coverage summary over
+# src/ (gcovr when installed, plain gcov otherwise), so the serialization /
+# simulator / IO / incremental test walls stay measurable.
 #
-#   ./ci.sh [build-dir]   # default build dir: build-ci (TSan: <build-dir>-tsan)
+#   ./ci.sh [build-dir]   # default build dir: build-ci
+#                         # (TSan: <build-dir>-tsan, coverage: <build-dir>-cov)
 set -eu
 
 BUILD_DIR="${1:-build-ci}"
@@ -24,3 +28,42 @@ cmake --build "$TSAN_DIR" -j "$JOBS" \
   --target batch_executor_test determinism_test plan_test
 (cd "$TSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
   -R 'batch_executor_test|determinism_test|plan_test')
+
+# Coverage stage (opt-in: TREESAT_COV=1). Debug + --coverage, full ctest,
+# then a line-coverage summary restricted to src/ (headers included via the
+# per-object gcov reports).
+if [ -n "${TREESAT_COV:-}" ]; then
+  COV_DIR="${BUILD_DIR}-cov"
+  cmake -B "$COV_DIR" -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="--coverage" \
+    -DTREESAT_BUILD_BENCHES=OFF -DTREESAT_BUILD_EXAMPLES=OFF
+  cmake --build "$COV_DIR" -j "$JOBS"
+  (cd "$COV_DIR" && ctest --output-on-failure -j "$JOBS")
+  if command -v gcovr >/dev/null 2>&1; then
+    gcovr --root . --filter 'src/' "$COV_DIR" --print-summary
+  else
+    # Plain-gcov fallback: aggregate "Lines executed" over the library's
+    # objects (their .gcda accumulate counts across every test binary).
+    # Restricted to .cpp files -- a header appears once per including TU in
+    # gcov output and would be inclusion-count-weighted; gcovr merges
+    # per-line data and is the tool for header-inclusive numbers.
+    (cd "$COV_DIR" && find CMakeFiles/treesat.dir -name '*.gcda' \
+        -exec gcov -n {} + 2>/dev/null) | \
+    awk '/^File /{ gsub("\047", ""); f = $2 }
+         /^Lines executed:/ {
+           # Only the line directly under a File header counts; gcov also
+           # prints a per-invocation footer with no header, which must not
+           # be attributed to the last file (or double-counted).
+           if (f ~ /src\/.*\.cpp$/) {
+             split($0, a, ":"); split(a[2], b, "% of ")
+             covered += b[2] * b[1] / 100.0; total += b[2]
+             printf "  %7.2f%% %6d  %s\n", b[1], b[2], f
+           }
+           f = ""
+         }
+         END {
+           if (total) printf "TOTAL line coverage: %.2f%% of %d lines\n",
+                             100.0 * covered / total, total
+         }'
+  fi
+fi

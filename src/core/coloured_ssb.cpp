@@ -396,6 +396,15 @@ ColouredSsbResult coloured_ssb_solve(const AssignmentGraph& ag,
     }
   };
 
+  if (options.warm_cut) {
+    // Seed the incumbent with the warm cut's value (validated against this
+    // instance by the Assignment constructor) so the very first shortest
+    // path can already terminate the iteration.
+    const Assignment warm(ag.colouring(), *options.warm_cut);
+    remember(make_path(ag.graph(), ag.assignment_to_path(warm), s, t, /*coloured=*/true));
+    stats.warm_started = true;
+  }
+
   bool fallback_needed = false;
   // Iteration cap: each non-stalled round kills >= 1 edge, and each stall
   // expands >= 1 region; both are finite.

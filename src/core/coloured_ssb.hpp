@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "core/assignment_graph.hpp"
 #include "core/objective.hpp"
@@ -53,6 +54,17 @@ struct ColouredSsbOptions {
   /// paper's presentation (expansion before elimination); the lazy default
   /// only pays for expansion when a stall actually occurs.
   bool eager_expansion = false;
+  /// Known-feasible warm-start cut -- e.g. a ResolveSession's previous
+  /// optimum re-evaluated after a perturbation (core/incremental.hpp). Its
+  /// value becomes the initial SSB incumbent, so the threshold iteration
+  /// terminates (and the fallback prunes) against a tight bound from round
+  /// one instead of descending from +inf. Exactness is preserved: the search
+  /// only discards paths that cannot strictly beat a value the warm cut
+  /// already achieves. Among equal-valued optima the returned cut may be the
+  /// warm one rather than a cold run's tie-break; stats.warm_started reports
+  /// that the bound was applied. Not expressible in the registry spec
+  /// grammar (it names concrete nodes).
+  std::optional<std::vector<CruId>> warm_cut;
 };
 
 struct ColouredSsbStats {
@@ -65,6 +77,7 @@ struct ColouredSsbStats {
   bool used_fallback = false;
   bool stalled = false;                ///< a stall occurred (expansion or fallback engaged)
   bool delegated_to_dp = false;        ///< fallback cap hit; finished via Pareto DP
+  bool warm_started = false;           ///< options.warm_cut seeded the incumbent
 };
 
 struct ColouredSsbResult {

@@ -1,0 +1,617 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <optional>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+
+#include "common/stopwatch.hpp"
+#include "core/coloured_ssb.hpp"
+#include "heuristics/branch_bound.hpp"
+#include "tree/serialize.hpp"
+
+namespace treesat {
+
+namespace {
+
+void require_scale(const char* what, double scale) {
+  TS_REQUIRE(std::isfinite(scale) && scale > 0.0,
+             "apply_perturbation: " << what << " must be finite and positive, got " << scale);
+}
+
+/// Re-adds one source node on `builder`: root when `parent` is invalid,
+/// otherwise sensor/compute, with the (possibly transformed) costs. The one
+/// copy loop every perturbation kind shares.
+CruId add_copy(CruTreeBuilder& builder, const CruNode& nd, CruId parent, double host_time,
+               double sat_time, double comm_up) {
+  if (!parent.valid()) return builder.root(nd.name, host_time);
+  if (nd.is_sensor()) return builder.sensor(parent, nd.name, nd.satellite, comm_up);
+  return builder.compute(parent, nd.name, host_time, sat_time, comm_up);
+}
+
+CruTree apply_drift(const CruTree& tree, const ProfileDrift& d, const Colouring* colouring) {
+  require_scale("host_scale", d.host_scale);
+  require_scale("sat_scale", d.sat_scale);
+  require_scale("comm_scale", d.comm_scale);
+  if (d.satellite.valid()) {
+    TS_REQUIRE(d.satellite.index() < tree.satellite_count(),
+               "apply_perturbation: drift names satellite " << d.satellite << " but the tree has "
+                                                            << tree.satellite_count());
+  }
+  // Per-satellite drift reaches exactly the nodes of the satellite's
+  // propagated colour (its sensors and the monochromatic compute above
+  // them) and needs a colouring -- the caller's when it already holds one
+  // (the session's hot path), otherwise built here. Global drift reaches
+  // every node and needs none.
+  std::optional<Colouring> own;
+  if (d.satellite.valid() && colouring == nullptr) {
+    own.emplace(tree);
+    colouring = &*own;
+  }
+  const auto touched = [&](CruId v) {
+    return !d.satellite.valid() || colouring->colour(v) == d.satellite;
+  };
+
+  CruTreeBuilder builder;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const CruId v{i};
+    const CruNode& nd = tree.node(v);
+    const bool scale = touched(v);
+    add_copy(builder, nd, nd.parent, scale ? nd.host_time * d.host_scale : nd.host_time,
+             scale ? nd.sat_time * d.sat_scale : nd.sat_time,
+             scale ? nd.comm_up * d.comm_scale : nd.comm_up);
+  }
+  return builder.build();
+}
+
+CruTree apply_loss(const CruTree& tree, const SatelliteLoss& loss) {
+  TS_REQUIRE(loss.satellite.valid() && loss.satellite.index() < tree.satellite_count(),
+             "apply_perturbation: loss names satellite " << loss.satellite
+                                                         << " but the tree has "
+                                                         << tree.satellite_count());
+  // A node vanishes when it is a sensor of the lost satellite, or a compute
+  // node whose every child vanished (postorder: children decided first).
+  std::vector<bool> removed(tree.size(), false);
+  for (const CruId v : tree.postorder()) {
+    const CruNode& nd = tree.node(v);
+    if (nd.is_sensor()) {
+      removed[v.index()] = nd.satellite == loss.satellite;
+      continue;
+    }
+    bool all_gone = true;
+    for (const CruId c : nd.children) {
+      if (!removed[c.index()]) {
+        all_gone = false;
+        break;
+      }
+    }
+    removed[v.index()] = all_gone;
+  }
+  TS_REQUIRE(!removed[tree.root().index()],
+             "apply_perturbation: losing satellite " << loss.satellite
+                                                     << " removes the whole workload");
+
+  CruTreeBuilder builder;
+  std::vector<CruId> remap(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (removed[i]) continue;
+    const CruNode& nd = tree.node(CruId{i});
+    const CruId parent = nd.parent.valid() ? remap[nd.parent.index()] : CruId{};
+    remap[i] = add_copy(builder, nd, parent, nd.host_time, nd.sat_time, nd.comm_up);
+  }
+  return builder.build();
+}
+
+CruTree apply_insert(const CruTree& tree, const SubtreeInsert& ins) {
+  TS_REQUIRE(ins.parent.valid() && ins.parent.index() < tree.size(),
+             "apply_perturbation: insert parent " << ins.parent << " is not a node");
+  TS_REQUIRE(!tree.node(ins.parent).is_sensor(),
+             "apply_perturbation: cannot insert under sensor '" << tree.node(ins.parent).name
+                                                                << "'");
+  TS_REQUIRE(!ins.nodes.empty(), "apply_perturbation: empty insertion");
+  std::unordered_set<std::string_view> names;
+  names.reserve(tree.size() + ins.nodes.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    names.insert(tree.node(CruId{i}).name);
+  }
+  for (std::size_t k = 0; k < ins.nodes.size(); ++k) {
+    const SubtreeInsert::Node& nd = ins.nodes[k];
+    TS_REQUIRE(serializable_name(nd.name),
+               "apply_perturbation: inserted node " << k << " has an unserializable name '"
+                                                    << nd.name << "'");
+    TS_REQUIRE(nd.parent == SubtreeInsert::kAttach || nd.parent < k,
+               "apply_perturbation: inserted node '" << nd.name
+                                                     << "' references a later parent");
+    TS_REQUIRE(names.insert(nd.name).second,
+               "apply_perturbation: inserted name '" << nd.name << "' already exists");
+  }
+
+  CruTreeBuilder builder;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const CruNode& nd = tree.node(CruId{i});
+    add_copy(builder, nd, nd.parent, nd.host_time, nd.sat_time, nd.comm_up);
+  }
+  const std::size_t base = tree.size();
+  for (std::size_t k = 0; k < ins.nodes.size(); ++k) {
+    const SubtreeInsert::Node& nd = ins.nodes[k];
+    const CruId parent =
+        nd.parent == SubtreeInsert::kAttach ? ins.parent : CruId{base + nd.parent};
+    if (nd.kind == CruKind::kSensor) {
+      builder.sensor(parent, nd.name, nd.satellite, nd.comm_up);
+    } else {
+      builder.compute(parent, nd.name, nd.host_time, nd.sat_time, nd.comm_up);
+    }
+  }
+  return builder.build();
+}
+
+/// The subtree of `root` in preorder, children left to right -- the
+/// canonical node enumeration region caches are keyed and rebound by.
+std::vector<CruId> region_nodes(const CruTree& tree, CruId root) {
+  std::vector<CruId> out;
+  std::vector<CruId> stack{root};
+  while (!stack.empty()) {
+    const CruId v = stack.back();
+    stack.pop_back();
+    out.push_back(v);
+    const std::vector<CruId>& ch = tree.node(v).children;
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+}  // namespace
+
+Perturbation Perturbation::drift(ProfileDrift drift) { return Perturbation(Change{drift}); }
+
+Perturbation Perturbation::global_drift(double host_scale, double sat_scale,
+                                        double comm_scale) {
+  return drift(ProfileDrift{SatelliteId{}, host_scale, sat_scale, comm_scale});
+}
+
+Perturbation Perturbation::satellite_drift(SatelliteId satellite, double host_scale,
+                                           double sat_scale, double comm_scale) {
+  TS_REQUIRE(satellite.valid(), "satellite_drift: invalid satellite id");
+  return drift(ProfileDrift{satellite, host_scale, sat_scale, comm_scale});
+}
+
+Perturbation Perturbation::satellite_loss(SatelliteId satellite) {
+  TS_REQUIRE(satellite.valid(), "satellite_loss: invalid satellite id");
+  return Perturbation(Change{SatelliteLoss{satellite}});
+}
+
+Perturbation Perturbation::insert_subtree(SubtreeInsert insert) {
+  return Perturbation(Change{std::move(insert)});
+}
+
+Perturbation Perturbation::insert_probe(CruId parent, const std::string& name,
+                                        SatelliteId satellite, double host_time,
+                                        double sat_time, double comm_up,
+                                        double sensor_comm_up) {
+  SubtreeInsert ins;
+  ins.parent = parent;
+  ins.nodes.push_back({SubtreeInsert::kAttach, CruKind::kCompute, name, host_time, sat_time,
+                       comm_up, SatelliteId{}});
+  ins.nodes.push_back({0, CruKind::kSensor, name + "_sensor", 0.0, 0.0, sensor_comm_up,
+                       satellite});
+  return insert_subtree(std::move(ins));
+}
+
+const char* Perturbation::kind_name() const {
+  if (std::holds_alternative<ProfileDrift>(change_)) return "drift";
+  if (std::holds_alternative<SatelliteLoss>(change_)) return "loss";
+  return "insert";
+}
+
+CruTree apply_perturbation(const CruTree& tree, const Perturbation& p,
+                           const Colouring* colouring) {
+  TS_REQUIRE(colouring == nullptr || &colouring->tree() == &tree,
+             "apply_perturbation: colouring does not describe this tree");
+  return std::visit(
+      [&](const auto& change) -> CruTree {
+        using T = std::decay_t<decltype(change)>;
+        if constexpr (std::is_same_v<T, ProfileDrift>) {
+          return apply_drift(tree, change, colouring);
+        } else if constexpr (std::is_same_v<T, SatelliteLoss>) {
+          return apply_loss(tree, change);
+        } else {
+          return apply_insert(tree, change);
+        }
+      },
+      p.change());
+}
+
+const char* resolve_path_name(ResolvePath path) {
+  switch (path) {
+    case ResolvePath::kInitial: return "initial";
+    case ResolvePath::kWarm: return "warm";
+    case ResolvePath::kCold: return "cold";
+  }
+  return "unknown";
+}
+
+ResolveSession::ResolveSession(CruTree tree, SolvePlan plan)
+    : plan_(std::move(plan)),
+      tree_(std::make_unique<CruTree>(std::move(tree))),
+      colouring_(std::make_unique<Colouring>(*tree_)) {
+  solve_current(nullptr);
+}
+
+namespace {
+
+/// The previous optimal cut, when it is still a valid cut of `colouring`
+/// (drift keeps it valid; loss and insertion usually do not).
+std::optional<std::vector<CruId>> surviving_cut(const Colouring& colouring,
+                                                const SolveReport* previous) {
+  if (previous == nullptr) return std::nullopt;
+  const std::vector<CruId>& cut = previous->assignment.cut_nodes();
+  for (const CruId v : cut) {
+    if (!v.valid() || v.index() >= colouring.tree().size()) return std::nullopt;
+  }
+  try {
+    const Assignment probe(colouring, cut);
+    (void)probe;
+  } catch (const InvalidArgument&) {
+    return std::nullopt;
+  }
+  return cut;
+}
+
+}  // namespace
+
+void ResolveSession::solve_current(const Perturbation* p) {
+  const Stopwatch watch;
+  // Attempts advance even when this solve later throws and resolve() rolls
+  // back: stamps left by the aborted attempt must read as *older* than the
+  // retry, or genuine cache hits would be misreported as fresh work.
+  ++attempt_;
+  ResolveStats fresh;
+  fresh.step = p == nullptr ? 0 : stats_.step + 1;
+  fresh.path = p == nullptr ? ResolvePath::kInitial : ResolvePath::kCold;
+  fresh.regions_total = colouring_->region_roots().size();
+
+  const SolvePlan resolved = plan_.resolve(*colouring_);
+  std::unique_ptr<SolveReport> report;
+  switch (resolved.method()) {
+    case SolveMethod::kParetoDp: {
+      report = std::make_unique<SolveReport>(solve_warm_dp(resolved, fresh));
+      if (p != nullptr) {
+        if (fresh.regions_reused > 0) {
+          fresh.path = ResolvePath::kWarm;
+        } else {
+          fresh.cold_reason = "no cached region state survived the perturbation";
+        }
+      }
+      break;
+    }
+    case SolveMethod::kColouredSsb:
+    case SolveMethod::kBranchBound: {
+      // The incumbent warm start reuses the previous optimum's cut *ids*,
+      // which only denote the same nodes while ids are stable -- drift and
+      // insertion preserve them, satellite loss compacts them, and a
+      // compacted id set could name a valid but semantically unrelated cut.
+      const bool ids_stable = p == nullptr || p->as<SatelliteLoss>() == nullptr;
+      std::optional<std::vector<CruId>> cut;
+      if (ids_stable) {
+        cut = surviving_cut(*colouring_, report_.get());
+      }
+      SolvePlan warm = resolved;
+      if (cut) {
+        if (resolved.method() == SolveMethod::kColouredSsb) {
+          ColouredSsbOptions o = resolved.options_as<ColouredSsbOptions>();
+          o.warm_cut = std::move(*cut);
+          warm = SolvePlan::coloured_ssb(std::move(o));
+        } else {
+          BranchBoundOptions o = resolved.options_as<BranchBoundOptions>();
+          o.incumbent_cut = std::move(*cut);
+          warm = SolvePlan::branch_bound(std::move(o));
+        }
+        fresh.incumbent_used = true;
+        fresh.path = ResolvePath::kWarm;
+      } else if (p != nullptr) {
+        fresh.cold_reason = ids_stable
+                                ? "previous optimum is no longer a valid cut"
+                                : "satellite loss remapped node ids; previous optimum discarded";
+      }
+      report = std::make_unique<SolveReport>(solve(*colouring_, warm));
+      break;
+    }
+    default: {
+      if (p != nullptr) {
+        fresh.cold_reason = std::string("method '") + method_name(resolved.method()) +
+                            "' has no reusable search state";
+      }
+      report = std::make_unique<SolveReport>(solve(*colouring_, resolved));
+      break;
+    }
+  }
+  // The incumbent paths re-solve through rebuilt concrete plans, which
+  // would report themselves as the requested method; the facade contract is
+  // that `requested` names what the *session's* plan asked for (kAutomatic
+  // when resolution chose).
+  report->requested = plan_.method();
+
+  // Age out cache entries that no recent instance matched; a long drift
+  // stream would otherwise accumulate one generation of frontiers per step.
+  constexpr std::size_t kRetainSteps = 16;
+  for (FrontierCache* cache : {&colour_cache_, &region_cache_}) {
+    for (auto it = cache->begin(); it != cache->end();) {
+      if (it->second.last_used + kRetainSteps < attempt_) {
+        it = cache->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  fresh.cache_entries = colour_cache_.size() + region_cache_.size();
+  fresh.wall_seconds = watch.seconds();
+
+  report_ = std::move(report);
+  stats_ = std::move(fresh);
+}
+
+namespace {
+
+/// Exact content encoding of one region subtree: region-relative structure
+/// plus the bit patterns of every cost (the words are independent of where
+/// the region sits in a concatenation, so identical regions encode
+/// identically everywhere). Also records each node's *offset-shifted*
+/// position in `position` (absolute id -> canonical position), which is how
+/// cached cuts are relativized. A key match guarantees the frontier
+/// machinery would recompute bit-identical values -- reuse can never change
+/// the result.
+void encode_region(const CruTree& tree, const std::vector<CruId>& nodes, std::size_t offset,
+                   std::vector<std::uint64_t>& words,
+                   std::unordered_map<std::uint32_t, std::uint64_t>& position) {
+  for (std::size_t pos = 0; pos < nodes.size(); ++pos) {
+    const CruNode& nd = tree.node(nodes[pos]);
+    position.emplace(nodes[pos].value(), offset + pos);
+    const std::uint64_t parent_pos =
+        pos == 0 ? ~std::uint64_t{0} : position.at(nd.parent.value()) - offset;
+    words.push_back(parent_pos);
+    words.push_back(nd.is_sensor() ? 1 : 0);
+    words.push_back(bits(nd.host_time));
+    words.push_back(bits(nd.sat_time));
+    words.push_back(bits(nd.comm_up));
+  }
+}
+
+std::size_t fnv1a(const std::vector<std::uint64_t>& words) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint64_t w : words) {
+    h = (h ^ w) * 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace
+
+SolveReport ResolveSession::solve_warm_dp(const SolvePlan& resolved, ResolveStats& fresh) {
+  const Stopwatch watch;
+  const auto& options = resolved.options_as<ParetoDpOptions>();
+  const std::size_t colours = tree_->satellite_count();
+
+  std::vector<std::vector<ParetoPoint>> per_colour(colours);
+  for (std::size_t c = 0; c < colours; ++c) {
+    const std::vector<CruId> regions = colouring_->regions_of(SatelliteId{c});
+    if (regions.empty()) {
+      per_colour[c] = {ParetoPoint{}};  // neutral: nothing to place, as cold
+      continue;
+    }
+    ++fresh.colours_total;
+
+    // Canonical enumeration of the colour's content: each region's preorder
+    // in regions_of order. The colour key is the regions' keys in sequence,
+    // every region prefixed by its size so distinct region splits cannot
+    // encode identically; the per-region keys double as the region-cache
+    // keys (their words are offset-independent).
+    std::vector<std::vector<CruId>> region_node_lists;
+    std::vector<std::size_t> region_offsets;
+    std::vector<ContentKey> region_keys;
+    std::vector<CruId> concat;
+    std::unordered_map<std::uint32_t, std::uint64_t> position;
+    ContentKey colour_key;
+    for (const CruId r : regions) {
+      std::vector<CruId> nodes = region_nodes(*tree_, r);
+      ContentKey region_key;
+      encode_region(*tree_, nodes, concat.size(), region_key.words, position);
+      region_key.hash = fnv1a(region_key.words);
+      colour_key.words.push_back(nodes.size());
+      colour_key.words.insert(colour_key.words.end(), region_key.words.begin(),
+                              region_key.words.end());
+      region_offsets.push_back(concat.size());
+      region_keys.push_back(std::move(region_key));
+      concat.insert(concat.end(), nodes.begin(), nodes.end());
+      region_node_lists.push_back(std::move(nodes));
+    }
+    colour_key.hash = fnv1a(colour_key.words);
+
+    const auto colour_hit = colour_cache_.find(colour_key);
+    if (colour_hit != colour_cache_.end()) {
+      // The whole merged frontier is served from cache: skip every region
+      // frontier and the Minkowski chain. Rebind canonical positions to
+      // this tree's ids, and keep the colour's region entries warm too -- a
+      // later localized change (e.g. a probe insertion) falls back to them,
+      // so a colour hit must not let aging evict what it still depends on.
+      // Only an entry from an *earlier* step counts as reuse; hitting an
+      // entry cached seconds ago in this same step (two content-identical
+      // colours) is deduplicated fresh work, not state that survived the
+      // perturbation.
+      const bool survived = colour_hit->second.last_used < attempt_;
+      std::vector<ParetoPoint> frontier = colour_hit->second.frontier;
+      for (ParetoPoint& point : frontier) {
+        for (CruId& v : point.cut) v = concat[v.index()];
+      }
+      per_colour[c] = std::move(frontier);
+      colour_hit->second.last_used = attempt_;
+      for (const ContentKey& region_key : region_keys) {
+        const auto region_hit = region_cache_.find(region_key);
+        if (region_hit != region_cache_.end()) {
+          region_hit->second.last_used = attempt_;
+        }
+      }
+      if (survived) {
+        fresh.regions_reused += regions.size();
+        ++fresh.colours_reused;
+      } else {
+        fresh.regions_recomputed += regions.size();
+      }
+      continue;
+    }
+
+    // Colour miss: rebuild the merge chain, serving single regions from the
+    // region-level cache where their content survived (e.g. the untouched
+    // siblings of an inserted probe's region).
+    std::vector<ParetoPoint> acc{ParetoPoint{}};
+    for (std::size_t k = 0; k < regions.size(); ++k) {
+      const std::vector<CruId>& nodes = region_node_lists[k];
+
+      std::vector<ParetoPoint> frontier;
+      const auto region_hit = region_cache_.find(region_keys[k]);
+      if (region_hit != region_cache_.end()) {
+        const bool survived = region_hit->second.last_used < attempt_;
+        frontier = region_hit->second.frontier;
+        for (ParetoPoint& point : frontier) {
+          for (CruId& v : point.cut) v = nodes[v.index()];
+        }
+        region_hit->second.last_used = attempt_;
+        if (survived) {
+          ++fresh.regions_reused;
+        } else {
+          ++fresh.regions_recomputed;  // same-step duplicate: fresh work deduplicated
+        }
+      } else {
+        frontier = region_frontier(*colouring_, regions[k], options.max_frontier);
+        CachedFrontier entry;
+        entry.frontier = frontier;
+        for (ParetoPoint& point : entry.frontier) {
+          for (CruId& v : point.cut) {
+            // Absolute id -> region-relative position.
+            v = CruId{position.at(v.value()) - region_offsets[k]};
+          }
+        }
+        entry.last_used = attempt_;
+        region_cache_.emplace(region_keys[k], std::move(entry));
+        ++fresh.regions_recomputed;
+      }
+      acc = minkowski_frontiers(acc, frontier, options.max_frontier);
+    }
+
+    CachedFrontier merged;
+    merged.frontier = acc;
+    for (ParetoPoint& point : merged.frontier) {
+      for (CruId& v : point.cut) {
+        v = CruId{position.at(v.value())};  // absolute -> canonical position
+      }
+    }
+    merged.last_used = attempt_;
+    colour_cache_.emplace(std::move(colour_key), std::move(merged));
+    per_colour[c] = std::move(acc);
+  }
+
+  ParetoDpResult r =
+      pareto_dp_solve_from_colour_frontiers(*colouring_, std::move(per_colour), options);
+  DelayBreakdown delay = r.assignment.delay();
+  const double value = delay.objective(options.objective);
+  return SolveReport{std::move(r.assignment), std::move(delay), value,
+                     watch.seconds(),         /*exact=*/true,   SolveMethod::kParetoDp,
+                     plan_.method(),          r.stats};
+}
+
+const SolveReport& ResolveSession::resolve(const Perturbation& p) {
+  const Stopwatch watch;  // documented to cover the perturbation too
+  // Validate-then-commit: an invalid perturbation throws here, leaving the
+  // session on its previous instance.
+  auto new_tree =
+      std::make_unique<CruTree>(apply_perturbation(*tree_, p, colouring_.get()));
+  auto new_colouring = std::make_unique<Colouring>(*new_tree);
+  std::unique_ptr<CruTree> old_tree = std::move(tree_);
+  std::unique_ptr<Colouring> old_colouring = std::move(colouring_);
+  tree_ = std::move(new_tree);
+  colouring_ = std::move(new_colouring);
+  try {
+    solve_current(&p);
+  } catch (...) {
+    // A solver failure (e.g. ResourceLimit) must not leave current()'s
+    // assignment referencing a destroyed colouring: roll back to the
+    // previous instance, which the previous report belongs to.
+    tree_ = std::move(old_tree);
+    colouring_ = std::move(old_colouring);
+    throw;
+  }
+  stats_.wall_seconds = watch.seconds();
+  return *report_;
+}
+
+StreamResult solve_stream(const CruTree& base, std::span<const Perturbation> stream,
+                          const SolvePlan& plan) {
+  StreamResult out;
+  out.warm = plan.executor().warm_start;
+
+  if (out.warm) {
+    // Same deadline contract as the BatchExecutor: checked between steps, a
+    // running solve is never interrupted. A warm stream is inherently
+    // sequential and fail-fast (step i's state feeds step i+1), so the
+    // first failure -- deadline included -- propagates as an exception,
+    // mirroring the cold path's take_reports() rethrow.
+    const double deadline = plan.executor().deadline_seconds;
+    // The deadline bounds the whole call, the initial base solve included;
+    // the *reported* wall clock starts after it, because the cold baseline
+    // never solves the unperturbed base and wall_seconds is what
+    // bench_incremental's warm-vs-cold comparison reads.
+    const Stopwatch deadline_watch;
+    ResolveSession session(base, plan);
+    const Stopwatch watch;
+    for (const Perturbation& p : stream) {
+      if (deadline > 0.0 && deadline_watch.seconds() >= deadline) {
+        throw ResourceLimit("solve_stream: deadline expired after " +
+                            std::to_string(out.reports.size()) + " of " +
+                            std::to_string(stream.size()) + " warm steps");
+      }
+      session.resolve(p);
+      out.trees.push_back(session.tree());
+      out.colourings.emplace_back(out.trees.back());
+      const SolveReport& r = session.current();
+      out.reports.push_back(SolveReport{
+          Assignment(out.colourings.back(), r.assignment.cut_nodes()), r.delay,
+          r.objective_value, r.wall_seconds, r.exact, r.method, r.requested, r.stats});
+      out.stats.push_back(session.last_stats());
+    }
+    out.threads_used = 1;
+    out.wall_seconds = watch.seconds();
+  } else {
+    const Stopwatch watch;
+    CruTree current = base;
+    for (const Perturbation& p : stream) {
+      current = apply_perturbation(current, p);
+      out.trees.push_back(current);
+    }
+    std::vector<const Colouring*> instances;
+    instances.reserve(out.trees.size());
+    for (const CruTree& t : out.trees) {
+      out.colourings.emplace_back(t);
+      instances.push_back(&out.colourings.back());
+    }
+    BatchReport batch = solve_batch_report(instances, plan);
+    out.threads_used = batch.threads_used;
+    out.reports = batch.take_reports();
+    for (std::size_t i = 0; i < out.reports.size(); ++i) {
+      ResolveStats s;
+      s.path = ResolvePath::kCold;
+      s.step = i + 1;
+      s.regions_total = out.colourings[i].region_roots().size();
+      s.wall_seconds = out.reports[i].wall_seconds;
+      s.cold_reason = "warm_start=false";
+      out.stats.push_back(std::move(s));
+    }
+    out.wall_seconds = watch.seconds();
+  }
+  return out;
+}
+
+}  // namespace treesat

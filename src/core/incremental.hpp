@@ -1,0 +1,287 @@
+// Incremental re-solving for drifting workloads.
+//
+// The paper's motivating deployments are long-running: a tele-monitoring
+// patient walks in and out of coverage, probe boxes join and leave an SNMP
+// mesh, reasoning profiles drift as signals change. Every solve in the
+// facade is cold -- it rebuilds the colouring, recomputes every colour
+// region's search state and starts its bounds from +inf. This module is the
+// warm path: a ResolveSession keeps a solved instance *live* and re-solves
+// perturbed versions of it by re-processing only what the perturbation can
+// reach.
+//
+// Three pieces:
+//
+//   * Perturbation -- one change to the live instance: profile drift
+//     (scaled sigma/beta costs, globally or per satellite), satellite loss
+//     (the device and its sensors drop out), or subtree insertion (a probe
+//     joins). apply_perturbation() is the pure-function form.
+//   * ResolveSession -- holds the current tree/colouring/optimum plus the
+//     reusable search state: the per-region Pareto frontiers and the merged
+//     per-colour frontiers (the surviving colour-region composite
+//     expansions of the DP engine -- the Minkowski chains dominate the cold
+//     solve, so whole-colour reuse is the big win), keyed by exact region
+//     content so a frontier is reused only when a cold solve would have
+//     recomputed bit-identical values, and the previous optimum, which
+//     warm-starts the SSB threshold (ColouredSsbOptions::warm_cut) and the
+//     branch-and-bound incumbent (BranchBoundOptions::incumbent_cut) when
+//     the session's plan runs those engines. resolve(p) applies a
+//     perturbation and re-solves, reporting in ResolveStats which path ran
+//     (warm, or cold with the reason) and how much state survived.
+//   * solve_stream() -- runs a whole perturbation stream. With
+//     plan.executor().warm_start (spec key warm_start=) the session is
+//     threaded along the sequence; without it every step is materialized
+//     and cold-solved on the BatchExecutor worker pool, which is the
+//     apples-to-apples baseline bench_incremental measures against.
+//
+// Identity guarantee: with a pareto-dp plan the warm result is byte-
+// identical to a cold solve of the same plan on the perturbed instance --
+// cached frontiers are reused only on an exact content match (bit patterns
+// of every cost included), so the merge/sweep consumes the same values a
+// cold run would compute. For coloured-ssb and branch-bound plans the warm
+// start preserves exactness (same optimal value) but may return the
+// previous cut among equal-valued optima.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/pareto_dp.hpp"
+#include "core/solver.hpp"
+#include "tree/cru_tree.hpp"
+
+namespace treesat {
+
+/// Profile drift: the per-frame cost profile of one satellite's colour
+/// region(s) -- or of the whole workload -- changes by multiplicative
+/// factors. Scales are applied to the propagated-colour node set: compute
+/// nodes scale h (the sigma side) by host_scale and s by sat_scale, every
+/// node of the colour scales comm_up (the beta side) by comm_scale. A
+/// global drift (invalid satellite) additionally reaches the conflict nodes
+/// and the root, whose h is part of every assignment's S.
+struct ProfileDrift {
+  SatelliteId satellite;     ///< invalid = the whole workload drifts
+  double host_scale = 1.0;   ///< multiplies h (sigma)
+  double sat_scale = 1.0;    ///< multiplies s (beta, compute side)
+  double comm_scale = 1.0;   ///< multiplies comm_up (beta, link side)
+};
+
+/// Satellite loss: the device fails. Its sensors stop producing and leave
+/// the tree; compute nodes whose whole subtree vanished are pruned with
+/// them. Node ids are compacted (parents still precede children); the
+/// remaining satellites keep their ids. Losing the workload's last sensors
+/// is rejected with InvalidArgument.
+struct SatelliteLoss {
+  SatelliteId satellite;
+};
+
+/// Subtree insertion: a probe joins. `nodes` are appended under `parent`
+/// (a compute node of the current tree) in parent-before-child order;
+/// existing node ids are unchanged, new nodes get the next ids in order.
+/// New sensors may name a brand-new satellite id (the platform grew).
+struct SubtreeInsert {
+  /// Sentinel parent index: attach directly under SubtreeInsert::parent.
+  static constexpr std::size_t kAttach = static_cast<std::size_t>(-1);
+
+  struct Node {
+    std::size_t parent = kAttach;  ///< index of an earlier Node, or kAttach
+    CruKind kind = CruKind::kCompute;
+    std::string name;              ///< unique, whitespace-free
+    double host_time = 0.0;
+    double sat_time = 0.0;
+    double comm_up = 0.0;
+    SatelliteId satellite;         ///< sensors only
+  };
+
+  CruId parent;                    ///< attach point in the current tree
+  std::vector<Node> nodes;
+};
+
+/// One change to a live instance. Build with the named factories.
+class Perturbation {
+ public:
+  using Change = std::variant<ProfileDrift, SatelliteLoss, SubtreeInsert>;
+
+  [[nodiscard]] static Perturbation drift(ProfileDrift drift);
+  /// Global drift over the whole workload.
+  [[nodiscard]] static Perturbation global_drift(double host_scale, double sat_scale,
+                                                double comm_scale);
+  /// Drift of one satellite's colour region(s).
+  [[nodiscard]] static Perturbation satellite_drift(SatelliteId satellite, double host_scale,
+                                                    double sat_scale, double comm_scale);
+  [[nodiscard]] static Perturbation satellite_loss(SatelliteId satellite);
+  [[nodiscard]] static Perturbation insert_subtree(SubtreeInsert insert);
+  /// Convenience: one compute CRU with one sensor under it -- the shape of
+  /// a probe joining an SNMP mesh.
+  [[nodiscard]] static Perturbation insert_probe(CruId parent, const std::string& name,
+                                                 SatelliteId satellite, double host_time,
+                                                 double sat_time, double comm_up,
+                                                 double sensor_comm_up);
+
+  [[nodiscard]] const Change& change() const { return change_; }
+  /// "drift", "loss" or "insert" (for tables and logs).
+  [[nodiscard]] const char* kind_name() const;
+
+  template <typename T>
+  [[nodiscard]] const T* as() const {
+    return std::get_if<T>(&change_);
+  }
+
+ private:
+  explicit Perturbation(Change change) : change_(std::move(change)) {}
+  Change change_;
+};
+
+/// Applies one perturbation to a tree, returning the perturbed tree.
+/// Throws InvalidArgument when the perturbation is invalid against `tree`
+/// (unknown satellite, non-positive scale, attach point on a sensor,
+/// loss of the whole workload, ...). `colouring`, when given, must be a
+/// colouring of `tree`: a caller that already holds one (the session's hot
+/// path) saves the per-satellite-drift path rebuilding it.
+[[nodiscard]] CruTree apply_perturbation(const CruTree& tree, const Perturbation& p,
+                                         const Colouring* colouring = nullptr);
+
+/// Which path a resolve took.
+enum class ResolvePath : std::uint8_t {
+  kInitial,  ///< the session's constructor solve
+  kWarm,     ///< cached state survived and was reused
+  kCold,     ///< nothing reusable -- equivalent to a fresh facade solve
+};
+
+[[nodiscard]] const char* resolve_path_name(ResolvePath path);
+
+/// What one ResolveSession::resolve() did and what it cost.
+struct ResolveStats {
+  ResolvePath path = ResolvePath::kInitial;
+  std::size_t step = 0;               ///< 0 = initial solve, then 1, 2, ...
+  std::size_t regions_total = 0;      ///< colour regions of the instance
+  /// Region frontiers served from state that survived from an *earlier*
+  /// step. Same-step duplicates (two content-identical regions in one
+  /// instance) count as recomputed: they are deduplicated fresh work, not
+  /// survival, so a fully-invalidated re-solve is never reported warm.
+  std::size_t regions_reused = 0;
+  std::size_t regions_recomputed = 0; ///< frontiers computed (or deduplicated) this step
+  std::size_t colours_total = 0;      ///< colours with at least one region
+  std::size_t colours_reused = 0;     ///< whole merged colour frontiers reused
+  std::size_t cache_entries = 0;      ///< cache size after the step
+  bool incumbent_used = false;        ///< previous optimum seeded the engine
+  double wall_seconds = 0.0;          ///< this resolve, perturbation included
+  std::string cold_reason;            ///< why the cold path ran; empty when warm
+};
+
+/// A live solved instance with reusable search state.
+///
+///   ResolveSession session(std::move(tree));            // initial solve
+///   session.resolve(Perturbation::satellite_drift(...)); // warm re-solve
+///   session.current().delay.end_to_end();
+///
+/// The session owns its tree; the colouring, the report's assignment and
+/// the cached state all reference session-owned storage, so the session
+/// must outlive any reference taken from it. Warm capability by plan
+/// method: pareto-dp reuses per-region frontiers (byte-identical to cold);
+/// coloured-ssb and branch-bound warm-start their incumbent from the
+/// previous optimum (exact, may tie-break differently); everything else
+/// (oracle, heuristics) cold-solves each step.
+class ResolveSession {
+ public:
+  explicit ResolveSession(CruTree tree, SolvePlan plan = SolvePlan::pareto_dp());
+
+  ResolveSession(ResolveSession&&) noexcept = default;
+  ResolveSession& operator=(ResolveSession&&) noexcept = default;
+
+  [[nodiscard]] const CruTree& tree() const { return *tree_; }
+  [[nodiscard]] const Colouring& colouring() const { return *colouring_; }
+  [[nodiscard]] const SolvePlan& plan() const { return plan_; }
+  /// The optimum of the current (most recently perturbed) instance.
+  [[nodiscard]] const SolveReport& current() const { return *report_; }
+  [[nodiscard]] const ResolveStats& last_stats() const { return stats_; }
+  /// Perturbations applied so far.
+  [[nodiscard]] std::size_t step() const { return stats_.step; }
+
+  /// Applies `p` to the live instance and re-solves, warm when the cache
+  /// allows. Returns the new optimum (also available as current()).
+  /// Strong guarantee: on any throw (invalid perturbation, or a solver
+  /// resource cap) the session rolls back to its previous instance and
+  /// current() stays valid. Cache insertions made before the failure are
+  /// kept -- they are content-keyed, so stale entries can never be matched
+  /// incorrectly, only evicted.
+  const SolveReport& resolve(const Perturbation& p);
+
+ private:
+  struct CachedFrontier {
+    /// Frontier with cuts as *preorder positions* into the canonical node
+    /// enumeration the entry was keyed by (one region's preorder, or the
+    /// concatenation of a colour's regions' preorders), so a structurally
+    /// identical region set of a later tree can rebind them.
+    std::vector<ParetoPoint> frontier;
+    /// Stamp of the last solve *attempt* that touched the entry. Attempts
+    /// advance even when a resolve throws and rolls back, so a retry can
+    /// never confuse the aborted attempt's stamps with its own fresh work.
+    std::size_t last_used = 0;
+  };
+  struct ContentKey {
+    std::vector<std::uint64_t> words;  ///< exact content encoding
+    std::size_t hash = 0;
+    friend bool operator==(const ContentKey& a, const ContentKey& b) {
+      return a.words == b.words;
+    }
+  };
+  struct ContentKeyHash {
+    std::size_t operator()(const ContentKey& k) const { return k.hash; }
+  };
+  using FrontierCache = std::unordered_map<ContentKey, CachedFrontier, ContentKeyHash>;
+
+  void solve_current(const Perturbation* p);
+  [[nodiscard]] SolveReport solve_warm_dp(const SolvePlan& resolved, ResolveStats& fresh);
+
+  SolvePlan plan_;
+  std::unique_ptr<CruTree> tree_;
+  std::unique_ptr<Colouring> colouring_;
+  std::unique_ptr<SolveReport> report_;
+  ResolveStats stats_;
+  /// Solve attempts, rolled-back failures included (cache stamp domain).
+  std::size_t attempt_ = 0;
+  /// Two reuse granularities: whole merged colour frontiers (the expensive
+  /// Minkowski chains) and single region frontiers (useful when only one
+  /// region of a colour changed, e.g. a probe insertion).
+  FrontierCache colour_cache_;
+  FrontierCache region_cache_;
+};
+
+/// Result of solving a whole perturbation stream: step i's instance is the
+/// base with perturbations [0..i] applied cumulatively, and reports[i] /
+/// stats[i] belong to colourings[i] / trees[i] (deques: the reports hold
+/// references into them).
+struct StreamResult {
+  std::deque<CruTree> trees;
+  std::deque<Colouring> colourings;
+  std::vector<SolveReport> reports;
+  std::vector<ResolveStats> stats;
+  /// Wall time of the stream's steps. On the warm path this excludes the
+  /// session's initial solve of the unperturbed base (work the cold
+  /// baseline never performs), so warm and cold values compare like for
+  /// like -- bench_incremental's speedup gate depends on that.
+  double wall_seconds = 0.0;
+  std::size_t threads_used = 1;
+  bool warm = false;  ///< which path ran (plan.executor().warm_start)
+};
+
+/// Solves every step of a perturbation stream. plan.executor().warm_start
+/// picks the engine: warm threads a ResolveSession along the sequence
+/// (inherently sequential and fail-fast -- step i's state feeds step i+1,
+/// so the first failure throws, and the plan's deadline is checked between
+/// steps exactly like the executor checks it between instances); cold
+/// materializes every instance and solves them on the BatchExecutor worker
+/// pool under the plan's threads/deadline/fail-fast knobs (failures
+/// rethrown by take_reports, keeping the two paths' contracts aligned).
+[[nodiscard]] StreamResult solve_stream(const CruTree& base,
+                                        std::span<const Perturbation> stream,
+                                        const SolvePlan& plan = SolvePlan::pareto_dp());
+
+}  // namespace treesat

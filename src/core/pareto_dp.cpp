@@ -89,24 +89,25 @@ std::vector<ParetoPoint> region_frontier(const Colouring& colouring, CruId regio
   return node_frontier(colouring, region_root, max_frontier);
 }
 
-ParetoDpResult pareto_dp_solve(const Colouring& colouring, const ParetoDpOptions& options) {
-  TS_REQUIRE(options.objective.valid(), "pareto_dp_solve: bad objective");
-  const CruTree& tree = colouring.tree();
-  ParetoDpStats stats;
+std::vector<ParetoPoint> minkowski_frontiers(const std::vector<ParetoPoint>& a,
+                                             const std::vector<ParetoPoint>& b,
+                                             std::size_t max_frontier) {
+  return minkowski(a, b, max_frontier);
+}
 
-  // Per-colour frontiers: Minkowski-combine the frontiers of the colour's
-  // regions (their loads land on the same satellite).
-  const std::size_t colours = tree.satellite_count();
-  std::vector<std::vector<ParetoPoint>> per_colour(colours);
-  for (std::size_t c = 0; c < colours; ++c) {
-    std::vector<ParetoPoint> acc{ParetoPoint{}};
-    for (const CruId r : colouring.regions_of(SatelliteId{c})) {
-      std::vector<ParetoPoint> f = region_frontier(colouring, r, options.max_frontier);
-      stats.max_region_frontier = std::max(stats.max_region_frontier, f.size());
-      acc = minkowski(acc, f, options.max_frontier);
-    }
-    stats.max_colour_frontier = std::max(stats.max_colour_frontier, acc.size());
-    per_colour[c] = std::move(acc);
+ParetoDpResult pareto_dp_solve_from_colour_frontiers(
+    const Colouring& colouring, std::vector<std::vector<ParetoPoint>> per_colour,
+    const ParetoDpOptions& options) {
+  TS_REQUIRE(options.objective.valid(), "pareto_dp_solve: bad objective");
+  const std::size_t colours = colouring.tree().satellite_count();
+  TS_REQUIRE(per_colour.size() == colours,
+             "pareto_dp_solve_from_colour_frontiers: got " << per_colour.size()
+                                                           << " frontiers for " << colours
+                                                           << " colours");
+  ParetoDpStats stats;
+  for (const std::vector<ParetoPoint>& f : per_colour) {
+    TS_REQUIRE(!f.empty(), "pareto_dp_solve_from_colour_frontiers: empty colour frontier");
+    stats.max_colour_frontier = std::max(stats.max_colour_frontier, f.size());
   }
 
   // Sweep candidate bottleneck values: all per-colour loads, ascending. Every
@@ -159,6 +160,32 @@ ParetoDpResult pareto_dp_solve(const Colouring& colouring, const ParetoDpOptions
   DelayBreakdown delay = assignment.delay();
   const double objective = delay.objective(options.objective);
   return ParetoDpResult{std::move(assignment), std::move(delay), objective, stats};
+}
+
+ParetoDpResult pareto_dp_solve(const Colouring& colouring, const ParetoDpOptions& options) {
+  TS_REQUIRE(options.objective.valid(), "pareto_dp_solve: bad objective");
+  // Per-colour frontiers: Minkowski-combine the frontiers of the colour's
+  // regions (their loads land on the same satellite), folding each frontier
+  // as it is computed so peak memory stays one frontier plus the
+  // accumulator. This is the exact merge the incremental engine replays
+  // through minkowski_frontiers, which is what keeps its warm re-solves
+  // byte-identical to this cold path.
+  const std::size_t colours = colouring.tree().satellite_count();
+  std::size_t max_region_frontier = 0;
+  std::vector<std::vector<ParetoPoint>> per_colour(colours);
+  for (std::size_t c = 0; c < colours; ++c) {
+    std::vector<ParetoPoint> acc{ParetoPoint{}};
+    for (const CruId r : colouring.regions_of(SatelliteId{c})) {
+      const std::vector<ParetoPoint> f = region_frontier(colouring, r, options.max_frontier);
+      max_region_frontier = std::max(max_region_frontier, f.size());
+      acc = minkowski(acc, f, options.max_frontier);
+    }
+    per_colour[c] = std::move(acc);
+  }
+  ParetoDpResult result =
+      pareto_dp_solve_from_colour_frontiers(colouring, std::move(per_colour), options);
+  result.stats.max_region_frontier = max_region_frontier;
+  return result;
 }
 
 }  // namespace treesat

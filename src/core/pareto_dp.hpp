@@ -73,4 +73,29 @@ struct ParetoPoint {
                                                        CruId region_root,
                                                        std::size_t max_frontier);
 
+/// The seam the incremental re-solve engine (core/incremental.hpp) injects
+/// its cached state through: completes a solve from per-colour *merged*
+/// frontiers (`colour_frontiers[c]` for satellite c, as produced by folding
+/// the colour's region frontiers left-to-right with minkowski_frontiers --
+/// a colour without regions contributes the single neutral point). The
+/// merge chains are the expensive part of the DP on multi-region
+/// colourings, so the engine caches at this level; when every supplied
+/// frontier equals the fold of `region_frontier` outputs a cold solve
+/// performs, the result is byte-identical to `pareto_dp_solve` -- the sweep
+/// runs the same code on the same values in the same order.
+/// stats.max_region_frontier is 0 on this path (the per-region inputs are
+/// not visible here).
+[[nodiscard]] ParetoDpResult pareto_dp_solve_from_colour_frontiers(
+    const Colouring& colouring, std::vector<std::vector<ParetoPoint>> colour_frontiers,
+    const ParetoDpOptions& options = {});
+
+/// The Minkowski product-and-prune the DP combines frontiers with (loads
+/// add, hosts add, cuts concatenate; dominated points dropped). Exposed so
+/// the incremental engine's colour-level merges are the byte-identical
+/// operation the cold solve performs. Throws ResourceLimit past
+/// max_frontier.
+[[nodiscard]] std::vector<ParetoPoint> minkowski_frontiers(const std::vector<ParetoPoint>& a,
+                                                           const std::vector<ParetoPoint>& b,
+                                                           std::size_t max_frontier);
+
 }  // namespace treesat

@@ -72,6 +72,12 @@ struct ExecutorOptions {
   /// false the executor finishes the remaining instances and reports every
   /// failure in BatchReport::failures.
   bool fail_fast = true;
+  /// Carry search state across the instances of a perturbation stream
+  /// (core/incremental.hpp): solve_stream() threads a ResolveSession along
+  /// the sequence instead of cold-solving every step on the worker pool.
+  /// Ignored by plain solve()/solve_batch(), whose instances are unrelated.
+  /// The spec grammar spells it warm_start=.
+  bool warm_start = false;
 };
 
 /// Canonical method name, e.g. "coloured-ssb". Round-trips with

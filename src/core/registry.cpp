@@ -73,7 +73,7 @@ bool parse_bool(std::string_view key, std::string_view value) {
 [[noreturn]] void unknown_key(const MethodInfo& info, std::string_view key) {
   std::ostringstream oss;
   oss << "parse_plan: unknown key '" << key << "' for method '" << info.name << "'"
-      << " (accepted: lambda,s_coeff,b_coeff,threads,deadline_ms,fail_fast"
+      << " (accepted: lambda,s_coeff,b_coeff,threads,deadline_ms,fail_fast,warm_start"
       << (info.seeded ? ",seed" : "");
   if (info.option_keys[0] != '\0') oss << ',' << info.option_keys;
   oss << ")";
@@ -140,6 +140,10 @@ bool apply_executor_key(ExecutorOptions& executor, std::string_view key,
   }
   if (key == "fail_fast") {
     executor.fail_fast = parse_bool(key, value);
+    return true;
+  }
+  if (key == "warm_start") {
+    executor.warm_start = parse_bool(key, value);
     return true;
   }
   return false;
@@ -424,6 +428,7 @@ std::string plan_spec(const SolvePlan& plan) {
     add("deadline_ms", fmt(executor.deadline_seconds * 1e3));
   }
   if (!executor.fail_fast) add("fail_fast", fmt(false));
+  if (executor.warm_start) add("warm_start", fmt(true));
   switch (plan.method()) {
     case SolveMethod::kColouredSsb: {
       const auto& o = plan.options_as<ColouredSsbOptions>();

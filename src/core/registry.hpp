@@ -10,8 +10,9 @@
 // Method names accept '-' and '_' interchangeably. Every method accepts
 // "lambda" (the §4.1 objective weighting, SsbObjective::from_lambda) and
 // the batch-execution knobs "threads" (>= 1, or "auto" for one worker per
-// hardware thread), "deadline_ms" and "fail_fast" (core/executor.hpp);
-// seeded methods accept "seed"; the remaining keys are per-method (see
+// hardware thread), "deadline_ms", "fail_fast" (core/executor.hpp) and
+// "warm_start" (stream re-solving, core/incremental.hpp); seeded methods
+// accept "seed"; the remaining keys are per-method (see
 // MethodInfo::option_keys). Unknown methods, unknown keys, duplicate keys,
 // malformed pairs and unparseable values all throw InvalidArgument naming
 // the offending token.
@@ -52,7 +53,9 @@ struct MethodInfo {
 [[nodiscard]] SolvePlan parse_plan(std::string_view spec);
 
 /// Canonical spec of a plan, listing every per-method option:
-/// parse_plan(plan_spec(p)) reconstructs p exactly.
+/// parse_plan(plan_spec(p)) reconstructs p exactly. (The warm-start cuts of
+/// ColouredSsbOptions/BranchBoundOptions name concrete nodes and are not
+/// spec-expressible; plans built by parse_plan never carry them.)
 [[nodiscard]] std::string plan_spec(const SolvePlan& plan);
 
 }  // namespace treesat

@@ -147,6 +147,17 @@ BranchBoundResult branch_bound_solve(const Colouring& colouring,
     searcher.best = greedy.objective_value;
     searcher.best_cut = greedy.assignment.cut_nodes();
   }
+  if (options.incumbent_cut) {
+    // The Assignment constructor validates the warm cut against *this*
+    // colouring, so a stale incumbent fails loudly instead of corrupting
+    // the bound.
+    const Assignment warm(colouring, *options.incumbent_cut);
+    const double value = warm.delay().objective(options.objective);
+    if (value < searcher.best) {
+      searcher.best = value;
+      searcher.best_cut = warm.cut_nodes();
+    }
+  }
   searcher.run(0);
 
   TS_CHECK(!searcher.best_cut.empty() || colouring.tree().sensor_count() == 0,

@@ -14,6 +14,9 @@
 // (remaining forced-host h is precomputed per preorder suffix).
 #pragma once
 
+#include <optional>
+#include <vector>
+
 #include "core/assignment.hpp"
 #include "core/objective.hpp"
 
@@ -26,6 +29,13 @@ struct BranchBoundOptions {
   /// Seed the incumbent with greedy descent before searching (cheap and
   /// typically tightens the bound dramatically).
   bool greedy_incumbent = true;
+  /// Externally supplied incumbent cut -- e.g. a ResolveSession's previous
+  /// optimum re-evaluated after a perturbation (core/incremental.hpp). Must
+  /// be a valid cut of the instance; applied alongside greedy_incumbent,
+  /// keeping whichever bound is tighter. The search stays exact: a warm
+  /// incumbent only prunes branches that cannot strictly improve on it.
+  /// Not expressible in the registry spec grammar (it names concrete nodes).
+  std::optional<std::vector<CruId>> incumbent_cut;
 };
 
 struct BranchBoundResult {

@@ -2,25 +2,41 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <sstream>
 
 namespace treesat {
 
 namespace {
 
-bool has_whitespace(const std::string& s) {
-  return std::any_of(s.begin(), s.end(),
-                     [](unsigned char c) { return std::isspace(c) != 0; });
+/// Shortest decimal that parses back to exactly `v`, so that
+/// tree_from_text(to_text(t)) is the identity on every cost (the property
+/// tests/serialize_round_trip_test.cpp asserts).
+std::string number(double v) {
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
 }
 
 }  // namespace
+
+bool serializable_name(const std::string& name) {
+  return !name.empty() && std::none_of(name.begin(), name.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
 
 void write_text(std::ostream& os, const CruTree& tree) {
   os << "cru_tree v1\n";
   os << "# id parent kind name host_time sat_time comm_up satellite\n";
   for (std::size_t i = 0; i < tree.size(); ++i) {
     const CruNode& nd = tree.node(CruId{i});
-    TS_REQUIRE(!nd.name.empty() && !has_whitespace(nd.name),
+    TS_REQUIRE(serializable_name(nd.name),
                "write_text: node " << i << " has an unserializable name '" << nd.name << "'");
     os << i << ' ';
     if (nd.parent.valid()) {
@@ -29,7 +45,8 @@ void write_text(std::ostream& os, const CruTree& tree) {
       os << '-';
     }
     os << ' ' << (nd.is_sensor() ? "sensor" : "compute") << ' ' << nd.name << ' '
-       << nd.host_time << ' ' << nd.sat_time << ' ' << nd.comm_up << ' ';
+       << number(nd.host_time) << ' ' << number(nd.sat_time) << ' ' << number(nd.comm_up)
+       << ' ';
     if (nd.satellite.valid()) {
       os << nd.satellite.value();
     } else {

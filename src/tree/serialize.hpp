@@ -21,6 +21,12 @@
 
 namespace treesat {
 
+/// True when `name` can appear in the v1 text format: non-empty and free of
+/// whitespace. write_text enforces this; anything that manufactures node
+/// names (e.g. subtree insertion, core/incremental.hpp) should too, so
+/// perturbed trees stay serializable.
+[[nodiscard]] bool serializable_name(const std::string& name);
+
 /// Serializes `tree` to the v1 text format.
 [[nodiscard]] std::string to_text(const CruTree& tree);
 void write_text(std::ostream& os, const CruTree& tree);

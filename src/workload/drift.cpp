@@ -1,0 +1,110 @@
+#include "workload/drift.hpp"
+
+#include <string>
+
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+
+namespace {
+
+/// Satellites whose loss keeps the workload alive (some other satellite's
+/// sensor survives under the root).
+std::vector<SatelliteId> losable_satellites(const CruTree& tree) {
+  std::vector<std::size_t> sensors_per(tree.satellite_count(), 0);
+  for (const CruId leaf : tree.sensors_left_to_right()) {
+    ++sensors_per[tree.node(leaf).satellite.index()];
+  }
+  std::size_t pinned_colours = 0;
+  for (const std::size_t n : sensors_per) {
+    if (n > 0) ++pinned_colours;
+  }
+  std::vector<SatelliteId> out;
+  if (pinned_colours < 2) return out;  // losing the only colour kills the tree
+  for (std::size_t c = 0; c < sensors_per.size(); ++c) {
+    if (sensors_per[c] > 0) out.push_back(SatelliteId{c});
+  }
+  return out;
+}
+
+std::vector<CruId> compute_nodes(const CruTree& tree) {
+  std::vector<CruId> out;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (!tree.node(CruId{i}).is_sensor()) out.push_back(CruId{i});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Perturbation> drift_stream(Rng& rng, const CruTree& base,
+                                       const DriftOptions& o) {
+  TS_REQUIRE(o.scale_min > 0.0 && o.scale_min <= o.scale_max,
+             "drift_stream: bad scale range [" << o.scale_min << ", " << o.scale_max << "]");
+  TS_REQUIRE(o.p_global >= 0.0 && o.p_global <= 1.0, "drift_stream: bad p_global");
+  TS_REQUIRE(o.p_loss >= 0.0 && o.p_insert >= 0.0 && o.p_loss + o.p_insert <= 1.0,
+             "drift_stream: bad event probabilities");
+
+  const auto scale = [&] { return rng.uniform_real(o.scale_min, o.scale_max); };
+  // Draws are hoisted into named locals before every Perturbation factory
+  // call: sibling function arguments are indeterminately sequenced in C++,
+  // and the "same seed, same stream" promise must hold across compilers.
+  const auto three_scales = [&] {
+    const double host = scale();
+    const double sat = scale();
+    const double comm = scale();
+    return ProfileDrift{SatelliteId{}, host, sat, comm};
+  };
+
+  std::vector<Perturbation> stream;
+  stream.reserve(o.steps);
+  CruTree current = base;  // evolved copy: keeps every generated step valid
+  for (std::size_t step = 0; step < o.steps; ++step) {
+    const double event = rng.uniform_real(0.0, 1.0);
+    Perturbation p = Perturbation::global_drift(1.0, 1.0, 1.0);
+    if (event < o.p_loss) {
+      const std::vector<SatelliteId> losable = losable_satellites(current);
+      if (!losable.empty()) {
+        p = Perturbation::satellite_loss(losable[rng.index(losable.size())]);
+      } else {
+        p = Perturbation::drift(three_scales());
+      }
+    } else if (event < o.p_loss + o.p_insert) {
+      const std::vector<CruId> parents = compute_nodes(current);
+      const CruId parent = parents[rng.index(parents.size())];
+      const bool grow = rng.bernoulli(o.p_new_satellite);
+      const SatelliteId satellite{grow ? current.satellite_count()
+                                       : rng.index(current.satellite_count())};
+      const double host_time = rng.uniform_real(0.5, 5.0);
+      const double sat_time = rng.uniform_real(0.5, 5.0);
+      const double comm_up = rng.uniform_real(0.1, 2.0);
+      const double sensor_comm = rng.uniform_real(0.1, 2.0);
+      p = Perturbation::insert_probe(parent, "drift_probe" + std::to_string(step), satellite,
+                                     host_time, sat_time, comm_up, sensor_comm);
+    } else if (rng.bernoulli(o.p_global)) {
+      p = Perturbation::drift(three_scales());
+    } else {
+      const SatelliteId satellite{rng.index(current.satellite_count())};
+      ProfileDrift drift = three_scales();
+      drift.satellite = satellite;
+      p = Perturbation::drift(drift);
+    }
+    current = apply_perturbation(current, p);
+    stream.push_back(std::move(p));
+  }
+  return stream;
+}
+
+std::vector<DriftStream> standard_drift_streams(std::uint64_t seed, const DriftOptions& options) {
+  Rng rng(seed);
+  std::vector<DriftStream> out;
+  for (const Scenario& scenario : standard_scenarios()) {
+    CruTree base = scenario.workload.lower(scenario.platform);
+    Rng fork = rng.fork();
+    std::vector<Perturbation> stream = drift_stream(fork, base, options);
+    out.push_back(DriftStream{scenario.name, std::move(base), std::move(stream)});
+  }
+  return out;
+}
+
+}  // namespace treesat

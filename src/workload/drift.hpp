@@ -1,0 +1,63 @@
+// Deterministic perturbation streams: the workload side of the incremental
+// re-solve engine (core/incremental.hpp).
+//
+// A drift stream models what the paper's deployments actually experience
+// over a session: per-frame cost profiles wander (mostly one satellite at a
+// time -- a noisy ECG strap, one congested probe link), a satellite
+// occasionally drops out, a probe occasionally joins. Streams are generated
+// against an evolving copy of the base tree, so every perturbation is valid
+// at the step it fires (satellite ids exist, attach points are compute
+// nodes, a loss never removes the whole workload), and they are a pure
+// function of the Rng seed -- the same seed replays the same stream, which
+// is what lets bench_incremental assert warm/cold byte-identity step by
+// step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/incremental.hpp"
+#include "tree/cru_tree.hpp"
+
+namespace treesat {
+
+struct DriftOptions {
+  std::size_t steps = 32;
+  /// Per-step scale factors are drawn uniformly from [scale_min, scale_max].
+  double scale_min = 0.8;
+  double scale_max = 1.25;
+  /// A drift step touches the whole workload with this probability;
+  /// otherwise it touches one uniformly drawn satellite's colour regions.
+  double p_global = 0.1;
+  /// Probability that a step is a satellite loss (skipped when no satellite
+  /// can be lost without removing the whole workload).
+  double p_loss = 0.04;
+  /// Probability that a step is a probe insertion.
+  double p_insert = 0.08;
+  /// Probability that an inserted probe pins a brand-new satellite id
+  /// (the platform grows) instead of an existing one.
+  double p_new_satellite = 0.25;
+};
+
+/// One scenario's drift stream: the base instance plus the perturbations to
+/// replay on it (cumulatively -- step i applies stream[i] to the result of
+/// step i-1).
+struct DriftStream {
+  std::string name;
+  CruTree base;
+  std::vector<Perturbation> stream;
+};
+
+/// Generates a deterministic perturbation stream over `base`.
+[[nodiscard]] std::vector<Perturbation> drift_stream(Rng& rng, const CruTree& base,
+                                                     const DriftOptions& options = {});
+
+/// The standard scenario library (workload/scenarios.hpp) as drift streams:
+/// each scenario's workload lowered against its platform, with a stream
+/// generated from `seed` (one independent Rng fork per scenario).
+[[nodiscard]] std::vector<DriftStream> standard_drift_streams(std::uint64_t seed,
+                                                              const DriftOptions& options = {});
+
+}  // namespace treesat

@@ -1,0 +1,108 @@
+// Golden-file wall for the IO writers (io/dot.hpp, io/json.hpp,
+// io/table.hpp): the rendered output of one fixed solved instance -- the
+// epilepsy tele-monitoring scenario under the default pareto-dp plan -- is
+// checked byte for byte against files under tests/golden/. Formatting is
+// part of these modules' contract (diffable scenario archives, dashboards
+// parsing the JSON), so an accidental change must fail a test, not ship
+// silently.
+//
+// To regenerate after an *intentional* format change:
+//   TREESAT_UPDATE_GOLDEN=1 ./io_golden_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/solver.hpp"
+#include "io/dot.hpp"
+#include "io/json.hpp"
+#include "io/table.hpp"
+#include "sim/simulator.hpp"
+#include "tree/serialize.hpp"
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(TREESAT_SOURCE_DIR) + "/tests/golden/" + name;
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (std::getenv("TREESAT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with TREESAT_UPDATE_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << name << " drifted from its golden; if the change is intentional, "
+                 "regenerate with TREESAT_UPDATE_GOLDEN=1";
+}
+
+/// The fixed instance every golden renders: epilepsy scenario, default
+/// pareto-dp plan. Deterministic end to end (fixed costs, exact solver).
+/// Members initialize in declaration order, each referencing the previous
+/// (the library-wide lifetime contract), so the fixture must stay in place.
+struct Fixture {
+  Scenario scenario = epilepsy_scenario();
+  CruTree tree = scenario.workload.lower(scenario.platform);
+  Colouring colouring{tree};
+  SolveReport report = solve(colouring, SolvePlan::pareto_dp());
+
+  Fixture() { report.wall_seconds = 0.0; }  // the only nondeterministic field
+  Fixture(const Fixture&) = delete;
+  Fixture& operator=(const Fixture&) = delete;
+};
+
+TEST(IoGolden, EpilepsyTreeText) {
+  const Fixture f;
+  check_golden("epilepsy_tree.txt", to_text(f.tree));
+}
+
+TEST(IoGolden, EpilepsyColouringAndAssignmentDot) {
+  const Fixture f;
+  check_golden("epilepsy_colouring.dot", colouring_to_dot(f.colouring));
+  check_golden("epilepsy_assignment.dot", assignment_to_dot(f.report.assignment));
+}
+
+TEST(IoGolden, EpilepsyReportJson) {
+  const Fixture f;
+  check_golden("epilepsy_report.json", report_to_json(f.report));
+}
+
+TEST(IoGolden, EpilepsySimulationJson) {
+  const Fixture f;
+  const SimResult sim = simulate(f.report.assignment,
+                                 SimOptions{HostStartRule::kBarrier,
+                                            TransmitRule::kAfterAllCompute, 1, 0.0});
+  check_golden("epilepsy_sim.json", sim_to_json(sim));
+}
+
+TEST(IoGolden, EpilepsyDelayTable) {
+  const Fixture f;
+  Table t({"resource", "busy [ms]", "role"});
+  t.add("host", f.report.delay.host_time * 1e3, "S");
+  for (std::size_t c = 0; c < f.report.delay.satellite_time.size(); ++c) {
+    t.add("satellite" + std::to_string(c), f.report.delay.satellite_time[c] * 1e3,
+          f.report.delay.bottleneck_satellite == SatelliteId{c} ? "B (bottleneck)" : "T_c");
+  }
+  t.add("end-to-end", f.report.delay.end_to_end() * 1e3, "S + B");
+  std::ostringstream table_text;
+  t.print(table_text);
+  std::ostringstream csv_text;
+  t.print_csv(csv_text);
+  check_golden("epilepsy_delay_table.txt", table_text.str());
+  check_golden("epilepsy_delay_table.csv", csv_text.str());
+}
+
+}  // namespace
+}  // namespace treesat

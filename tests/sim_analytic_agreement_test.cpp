@@ -1,0 +1,78 @@
+// Simulator wall: under the paper's own semantics -- host barrier
+// (HostStartRule::kBarrier), transmit-after-all-compute
+// (TransmitRule::kAfterAllCompute), a single frame -- the discrete-event
+// simulator must reproduce the closed-form §3 delay model *exactly*:
+// simulated end-to-end latency == S + B to 1e-12 relative tolerance, for
+// every standard scenario and for 100 random profiled workloads, across
+// optimal and extreme assignments. This is the independent-mechanism check
+// that makes the analytic model trustworthy everywhere else in the suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/solver.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+namespace {
+
+constexpr SimOptions kPaperSemantics{HostStartRule::kBarrier, TransmitRule::kAfterAllCompute,
+                                     /*frames=*/1, /*frame_interval=*/0.0};
+
+void expect_agreement(const Assignment& assignment, const std::string& ctx) {
+  const double analytic = assignment.delay().end_to_end();
+  const SimResult sim = simulate(assignment, kPaperSemantics);
+  ASSERT_EQ(sim.frames.size(), 1u) << ctx;
+  const double tolerance = 1e-12 * (1.0 + std::abs(analytic));
+  EXPECT_NEAR(sim.frames.front().latency(), analytic, tolerance) << ctx;
+  EXPECT_NEAR(sim.max_latency, analytic, tolerance) << ctx;
+}
+
+/// Optimal plus both extremes: the all-on-host cut (B from raw shipping
+/// only) and the topmost cut (minimum S, maximum satellite residency).
+void check_instance(const Colouring& colouring, const std::string& ctx) {
+  const SolveReport optimal = solve(colouring, SolvePlan::pareto_dp());
+  expect_agreement(optimal.assignment, ctx + " [optimal]");
+  expect_agreement(Assignment::all_on_host(colouring), ctx + " [all-on-host]");
+  expect_agreement(Assignment::topmost(colouring), ctx + " [topmost]");
+}
+
+TEST(SimAnalyticAgreement, StandardScenarios) {
+  for (const Scenario& scenario : standard_scenarios()) {
+    const CruTree tree = scenario.workload.lower(scenario.platform);
+    const Colouring colouring(tree);
+    check_instance(colouring, scenario.name);
+  }
+}
+
+TEST(SimAnalyticAgreement, HundredRandomProfiledTrees) {
+  Rng rng(0x51D3A6);
+  for (int iter = 0; iter < 100; ++iter) {
+    ProfiledGenOptions gen;
+    gen.compute_nodes = 2 + rng.index(16);
+    gen.satellites = 1 + rng.index(5);
+    const SensorPolicy policies[] = {SensorPolicy::kClustered, SensorPolicy::kScattered,
+                                     SensorPolicy::kRoundRobin};
+    gen.policy = policies[rng.index(3)];
+    const ProfiledTree workload = random_profiled_tree(rng, gen);
+
+    // A heterogeneous-enough platform: distinct per-satellite speeds and
+    // link shapes so simulated timings cannot accidentally agree.
+    HostSatelliteSystem platform("host", rng.uniform_real(50e6, 500e6));
+    for (std::size_t s = 0; s < gen.satellites; ++s) {
+      platform.add_satellite(SatelliteSpec{
+          "sat" + std::to_string(s), rng.uniform_real(10e6, 120e6),
+          LinkSpec{rng.uniform_real(0.0, 0.05), rng.uniform_real(10e3, 1e6)}});
+    }
+    const CruTree tree = workload.lower(platform);
+    const Colouring colouring(tree);
+    check_instance(colouring, "iter " + std::to_string(iter));
+  }
+}
+
+}  // namespace
+}  // namespace treesat

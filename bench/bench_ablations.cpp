@@ -112,9 +112,15 @@ void ablation_shortest_path() {
 }  // namespace
 }  // namespace treesat
 
-int main() {
-  treesat::ablation_elimination();
-  treesat::ablation_fallback();
-  treesat::ablation_shortest_path();
-  return 0;
+int main(int argc, char** argv) {
+  treesat::bench::BenchJson::init("bench_ablations", &argc, argv);
+  const auto timed = [](const char* label, void (*section)()) {
+    const treesat::Stopwatch watch;
+    section();
+    treesat::bench::json().add_row(label, {{"wall_ms", watch.seconds() * 1e3}});
+  };
+  timed("elimination", treesat::ablation_elimination);
+  timed("fallback", treesat::ablation_fallback);
+  timed("shortest_path", treesat::ablation_shortest_path);
+  return treesat::bench::json().write() ? 0 : 1;
 }

@@ -102,6 +102,12 @@ void sweep(const char* name, const Owned& batch, const SolvePlan& base) {
     }
     t.add(threads, wall * 1e3, base_wall / wall, report.slowest_seconds * 1e3,
           report.total_solve_seconds * 1e3, prints == reference ? "yes" : "NO");
+    bench::json().add_row(std::string(name) + " threads=" + std::to_string(threads),
+                          {{"instances", static_cast<double>(batch.instances.size())},
+                           {"threads", static_cast<double>(threads)},
+                           {"wall_ms", wall * 1e3},
+                           {"speedup_vs_1", base_wall / wall},
+                           {"straggler_ms", report.slowest_seconds * 1e3}});
   }
   std::cout << "\n-- " << name << " (" << batch.instances.size() << " instances, "
             << bench::method_label(base.method()) << ") --\n";
@@ -121,7 +127,8 @@ void run() {
 }  // namespace
 }  // namespace treesat
 
-int main() {
+int main(int argc, char** argv) {
+  treesat::bench::BenchJson::init("bench_batch_scaling", &argc, argv);
   treesat::run();
-  return 0;
+  return treesat::bench::json().write() ? 0 : 1;
 }

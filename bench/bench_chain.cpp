@@ -64,8 +64,12 @@ BENCHMARK(BM_ChainDp)->Arg(16)->Arg(64)->Arg(128);
 }  // namespace treesat
 
 int main(int argc, char** argv) {
+  // --json is ours; strip it before google-benchmark sees the flags.
+  treesat::bench::BenchJson::init("bench_chain", &argc, argv);
+  const treesat::Stopwatch watch;
   treesat::print_series();
+  treesat::bench::json().add_row("print_series", {{"wall_ms", watch.seconds() * 1e3}});
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return treesat::bench::json().write() ? 0 : 1;
 }

@@ -99,7 +99,10 @@ void run() {
 }  // namespace
 }  // namespace treesat
 
-int main() {
+int main(int argc, char** argv) {
+  treesat::bench::BenchJson::init("bench_fig4_ssb_example", &argc, argv);
+  const treesat::Stopwatch watch;
   treesat::run();
-  return 0;
+  treesat::bench::json().add_row("run", {{"wall_ms", watch.seconds() * 1e3}});
+  return treesat::bench::json().write() ? 0 : 1;
 }

@@ -87,7 +87,10 @@ void run() {
 }  // namespace
 }  // namespace treesat
 
-int main() {
+int main(int argc, char** argv) {
+  treesat::bench::BenchJson::init("bench_fig5to8_running_example", &argc, argv);
+  const treesat::Stopwatch watch;
   treesat::run();
-  return 0;
+  treesat::bench::json().add_row("run", {{"wall_ms", watch.seconds() * 1e3}});
+  return treesat::bench::json().write() ? 0 : 1;
 }

@@ -72,13 +72,19 @@ void add_row(Table& t, const std::string& name, std::size_t steps,
         std::to_string(cmp.warm_steps) + "/" + std::to_string(steps),
         100.0 * static_cast<double>(cmp.regions_reused) /
             static_cast<double>(cmp.regions_total));
+  bench::json().add_row(name, {{"steps", static_cast<double>(steps)},
+                               {"warm_ms", cmp.warm_seconds * 1e3},
+                               {"cold_ms", cmp.cold_seconds * 1e3},
+                               {"warm_speedup_ratio", cmp.cold_seconds / cmp.warm_seconds},
+                               {"regions_total", static_cast<double>(cmp.regions_total)}});
 }
 
 }  // namespace
 }  // namespace treesat
 
-int main() {
+int main(int argc, char** argv) {
   using namespace treesat;
+  bench::BenchJson::init("bench_incremental", &argc, argv);
 
   bool all_identical = true;
 
@@ -129,6 +135,13 @@ int main() {
             std::to_string(cmp.warm_steps) + "/" + std::to_string(stream.size()),
             100.0 * static_cast<double>(cmp.regions_reused) /
                 static_cast<double>(cmp.regions_total));
+      bench::json().add_row(
+          "clustered-" + std::to_string(n),
+          {{"compute_nodes", static_cast<double>(n)},
+           {"steps", static_cast<double>(stream.size())},
+           {"warm_ms", cmp.warm_seconds * 1e3},
+           {"cold_ms", cmp.cold_seconds * 1e3},
+           {"warm_speedup_ratio", cmp.cold_seconds / cmp.warm_seconds}});
     }
     t.print(std::cout);
   }
@@ -146,5 +159,8 @@ int main() {
   std::cout << "\nOK: byte-identical optima everywhere; warm beat cold "
             << warm_total * 1e3 << " ms vs " << cold_total * 1e3 << " ms ("
             << cold_total / warm_total << "x) on the large-instance sweep\n";
-  return 0;
+  bench::json().set("warm_total_ms", warm_total * 1e3);
+  bench::json().set("cold_total_ms", cold_total * 1e3);
+  bench::json().set("warm_speedup_ratio", cold_total / warm_total);
+  return bench::json().write() ? 0 : 1;
 }

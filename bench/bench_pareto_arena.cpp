@@ -1,0 +1,185 @@
+// E-ARENA: the allocation-free Pareto-DP core against the retained
+// pre-arena reference engine (core/pareto_dp.hpp).
+//
+// Three claims, all enforced (exit 1 on violation):
+//   1. Correctness: the arena engine returns byte-identical optima to the
+//      reference -- same objective bits, same cut node ids -- and
+//      byte-identical SolveReports at every dp_threads setting (wall clock
+//      zeroed before comparison; everything else, counters included, must
+//      match byte for byte).
+//   2. Cold speed: on large clustered instances the arena engine is >= 3x
+//      faster than the reference at dp_threads = 1. This is the win of
+//      merge-based Minkowski (dominated product points never materialize)
+//      plus backpointer cuts (no per-point cut vector copies).
+//   3. Scaling: dp_threads = 4 is >= 1.5x faster than dp_threads = 1 in
+//      aggregate -- enforced only when the hardware has >= 4 threads
+//      (reported as skipped otherwise; byte-identity is asserted anyway).
+//
+// --json <path> mirrors every number into BENCH_pareto_arena.json (the
+// first point of the repo's perf trajectory; bench/baselines/ holds the
+// committed baselines bench_diff gates against). --smoke shrinks the
+// instances for the ci.sh TREESAT_BENCH stage.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/pareto_dp.hpp"
+#include "io/json.hpp"
+#include "io/table.hpp"
+#include "workload/generator.hpp"
+
+namespace treesat {
+namespace {
+
+struct Case {
+  std::string label;
+  std::size_t compute_nodes;
+  std::size_t satellites;
+  std::uint64_t seed;
+};
+
+std::string report_json_without_wall(const Colouring& colouring, const ParetoDpResult& r) {
+  SolveReport report{Assignment(colouring, r.assignment.cut_nodes()),
+                     r.delay,
+                     r.objective,
+                     /*wall_seconds=*/0.0,
+                     /*exact=*/true,
+                     SolveMethod::kParetoDp,
+                     SolveMethod::kParetoDp,
+                     r.stats};
+  return report_to_json(report);
+}
+
+int run(bool smoke) {
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  bench::banner("E-ARENA", "arena Pareto-DP vs pre-arena reference engine");
+  bench::note("hardware threads: " + std::to_string(hw));
+  bench::json().set("hardware_threads", static_cast<double>(hw));
+  bench::json().set("mode", smoke ? std::string("smoke") : std::string("full"));
+
+  std::vector<Case> cases;
+  if (smoke) {
+    cases = {{"clustered-200x6", 200, 6, 11}, {"clustered-400x8", 400, 8, 12}};
+  } else {
+    cases = {{"clustered-400x8", 400, 8, 12},
+             {"clustered-800x10", 800, 10, 13},
+             {"clustered-1400x12", 1400, 12, 14}};
+  }
+  const int reps = smoke ? 3 : 5;
+
+  Table t({"instance", "nodes", "regions", "ref ms", "arena ms", "speedup",
+           "t4 ms", "t4 speedup", "peak frontier", "prune %"});
+
+  double ref_total = 0.0;
+  double arena_total = 0.0;
+  double t4_total = 0.0;
+  bool identical = true;
+
+  for (const Case& c : cases) {
+    Rng rng(c.seed);
+    TreeGenOptions gen;
+    gen.compute_nodes = c.compute_nodes;
+    gen.satellites = c.satellites;
+    gen.policy = SensorPolicy::kClustered;
+    const CruTree tree = random_tree(rng, gen);
+    const Colouring colouring(tree);
+
+    ParetoDpOptions reference_opts;
+    reference_opts.arena = false;
+    ParetoDpOptions arena_opts;  // dp_threads = 1
+    ParetoDpOptions threaded_opts;
+    threaded_opts.dp_threads = 4;
+
+    const double ref_s = bench::time_run(
+        [&] { static_cast<void>(pareto_dp_solve(colouring, reference_opts)); }, reps);
+    const double arena_s = bench::time_run(
+        [&] { static_cast<void>(pareto_dp_solve(colouring, arena_opts)); }, reps);
+    const double t4_s = bench::time_run(
+        [&] { static_cast<void>(pareto_dp_solve(colouring, threaded_opts)); }, reps);
+
+    const ParetoDpResult reference = pareto_dp_solve(colouring, reference_opts);
+    const ParetoDpResult arena = pareto_dp_solve(colouring, arena_opts);
+    const ParetoDpResult threaded = pareto_dp_solve(colouring, threaded_opts);
+
+    if (arena.objective != reference.objective ||
+        arena.assignment.cut_nodes() != reference.assignment.cut_nodes()) {
+      std::cerr << "IDENTITY FAILURE: " << c.label
+                << ": arena optimum differs from the reference engine\n";
+      identical = false;
+    }
+    if (report_json_without_wall(colouring, arena) !=
+        report_json_without_wall(colouring, threaded)) {
+      std::cerr << "IDENTITY FAILURE: " << c.label
+                << ": dp_threads=4 report differs from dp_threads=1\n";
+      identical = false;
+    }
+
+    ref_total += ref_s;
+    arena_total += arena_s;
+    t4_total += t4_s;
+
+    const std::size_t regions = colouring.region_roots().size();
+    const double prune = 100.0 * arena.stats.prune_ratio();
+    t.add(c.label, tree.size(), regions, ref_s * 1e3, arena_s * 1e3, ref_s / arena_s,
+          t4_s * 1e3, arena_s / t4_s, arena.stats.peak_frontier, prune);
+    bench::json().add_row(
+        c.label,
+        {{"nodes", static_cast<double>(tree.size())},
+         {"regions", static_cast<double>(regions)},
+         {"ref_ms", ref_s * 1e3},
+         {"arena_ms", arena_s * 1e3},
+         {"speedup_vs_reference", ref_s / arena_s},
+         {"threads4_ms", t4_s * 1e3},
+         {"speedup_threads4", arena_s / t4_s},
+         {"peak_frontier", static_cast<double>(arena.stats.peak_frontier)},
+         {"arena_bytes", static_cast<double>(arena.stats.arena_bytes)},
+         {"prune_ratio", arena.stats.prune_ratio()}});
+  }
+  t.print(std::cout);
+
+  const double speedup = ref_total / arena_total;
+  const double scaling = arena_total / t4_total;
+  bench::note("aggregate speedup vs reference: " + std::to_string(speedup) + "x (gate: 3x)");
+  bench::note("aggregate dp_threads=4 scaling: " + std::to_string(scaling) +
+              "x (gate: 1.5x, needs >= 4 hardware threads)");
+  bench::json().set("speedup_vs_reference", speedup);
+  bench::json().set("speedup_threads4", scaling);
+  bench::json().set("threads", 4.0);
+
+  bool ok = identical;
+  if (!identical) std::cerr << "FAILED: byte-identity violated\n";
+  if (speedup < 3.0) {
+    std::cerr << "FAILED: arena engine only " << speedup << "x over the reference (< 3x)\n";
+    ok = false;
+  }
+  if (hw >= 4) {
+    if (scaling < 1.5) {
+      std::cerr << "FAILED: dp_threads=4 scaling only " << scaling << "x (< 1.5x)\n";
+      ok = false;
+    }
+    bench::json().set("scaling_gate", std::string(scaling >= 1.5 ? "passed" : "failed"));
+  } else {
+    bench::note("scaling gate skipped: only " + std::to_string(hw) +
+                " hardware thread(s); byte-identity still asserted");
+    bench::json().set("scaling_gate", std::string("skipped: <4 hardware threads"));
+  }
+  if (ok) bench::note("all gates passed");
+  if (!bench::json().write()) ok = false;
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace treesat
+
+int main(int argc, char** argv) {
+  treesat::bench::BenchJson::init("bench_pareto_arena", &argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  return treesat::run(smoke);
+}

@@ -89,8 +89,14 @@ void pipelining() {
 }  // namespace
 }  // namespace treesat
 
-int main() {
-  treesat::validate_scenarios();
-  treesat::pipelining();
-  return 0;
+int main(int argc, char** argv) {
+  treesat::bench::BenchJson::init("bench_sim_validation", &argc, argv);
+  const auto timed = [](const char* label, void (*section)()) {
+    const treesat::Stopwatch watch;
+    section();
+    treesat::bench::json().add_row(label, {{"wall_ms", watch.seconds() * 1e3}});
+  };
+  timed("validate_scenarios", treesat::validate_scenarios);
+  timed("pipelining", treesat::pipelining);
+  return treesat::bench::json().write() ? 0 : 1;
 }

@@ -5,14 +5,110 @@
 // the point (the scaling experiments).
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/format.hpp"
 #include "common/stopwatch.hpp"
 #include "core/registry.hpp"
 #include "core/solver.hpp"
 
 namespace treesat::bench {
+
+/// Machine-readable mirror of a bench binary's headline numbers. Every
+/// bench_* binary accepts `--json <path>`; when present, the scalars and
+/// labelled metric rows recorded here are written to that path as
+/// BENCH_<name>.json-style output, so the perf trajectory is tracked across
+/// PRs (bench_diff compares two such files, and ci.sh's TREESAT_BENCH=1
+/// smoke stage archives them). Without the flag everything is a no-op.
+///
+///   int main(int argc, char** argv) {
+///     treesat::bench::BenchJson::init("bench_chain", &argc, argv);
+///     ...
+///     treesat::bench::json().set("instances", 12.0);
+///     treesat::bench::json().add_row("n=64", {{"wall_ms", 3.2}});
+///     return treesat::bench::json().write() ? 0 : 1;
+///   }
+class BenchJson {
+ public:
+  /// Parses and strips `--json <path>` from argv (so google-benchmark
+  /// binaries can hand the remaining flags to benchmark::Initialize).
+  static void init(std::string bench_name, int* argc = nullptr, char** argv = nullptr) {
+    instance().name_ = std::move(bench_name);
+    if (argc == nullptr || argv == nullptr) return;
+    for (int i = 1; i + 1 < *argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        instance().path_ = argv[i + 1];
+        for (int k = i; k + 2 < *argc; ++k) argv[k] = argv[k + 2];
+        *argc -= 2;
+        break;
+      }
+    }
+  }
+
+  static BenchJson& instance() {
+    static BenchJson self;
+    return self;
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void set(const std::string& key, double value) { scalars_.emplace_back(key, fmt(value)); }
+  void set(const std::string& key, const std::string& value) {
+    scalars_.emplace_back(key, '"' + value + '"');
+  }
+
+  void add_row(const std::string& label,
+               std::vector<std::pair<std::string, double>> metrics) {
+    rows_.push_back({label, std::move(metrics)});
+  }
+
+  /// Writes the file (no-op without --json). Returns false when the path
+  /// could not be written, so mains can propagate the failure.
+  bool write() const {
+    if (!enabled()) return true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "BenchJson: cannot write " << path_ << "\n";
+      return false;
+    }
+    out << "{\"bench\":\"" << name_ << "\",\"scalars\":{";
+    for (std::size_t i = 0; i < scalars_.size(); ++i) {
+      if (i) out << ',';
+      out << '"' << scalars_[i].first << "\":" << scalars_[i].second;
+    }
+    out << "},\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r) out << ',';
+      out << "{\"label\":\"" << rows_[r].label << '"';
+      for (const auto& [key, value] : rows_[r].metrics) {
+        out << ",\"" << key << "\":" << fmt(value);
+      }
+      out << '}';
+    }
+    out << "]}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  static std::string fmt(double v) { return shortest_round_trip(v); }
+
+  std::string name_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> scalars_;
+  std::vector<Row> rows_;
+};
+
+inline BenchJson& json() { return BenchJson::instance(); }
 
 /// Solves with a registry spec ("genetic:seed=17"): the shared path of the
 /// method-comparison benches, so method names and option spellings come

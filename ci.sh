@@ -6,7 +6,11 @@
 # on every run. Setting TREESAT_COV=1 adds a coverage stage: the test
 # suites rebuilt with --coverage and a per-file line-coverage summary over
 # src/ (gcovr when installed, plain gcov otherwise), so the serialization /
-# simulator / IO / incremental test walls stay measurable.
+# simulator / IO / incremental test walls stay measurable. Setting
+# TREESAT_BENCH=1 adds a bench smoke stage: reduced-size benches run with
+# --json, the BENCH_*.json files are archived under <build-dir>/bench-json,
+# and bench_diff gates the pareto-arena speedup ratios against the
+# committed baselines in bench/baselines/ (>25% regression fails the run).
 #
 #   ./ci.sh [build-dir]   # default build dir: build-ci
 #                         # (TSan: <build-dir>-tsan, coverage: <build-dir>-cov)
@@ -28,6 +32,21 @@ cmake --build "$TSAN_DIR" -j "$JOBS" \
   --target batch_executor_test determinism_test plan_test
 (cd "$TSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
   -R 'batch_executor_test|determinism_test|plan_test')
+
+# Bench smoke stage (opt-in: TREESAT_BENCH=1): reduced-size benches with
+# machine-readable output, archived for the perf trajectory, then gated by
+# bench_diff. Only machine-relative ratios (--keys speedup) are compared --
+# absolute wall times vary across hosts and would make the gate flaky.
+if [ -n "${TREESAT_BENCH:-}" ]; then
+  BENCH_JSON_DIR="$BUILD_DIR/bench-json"
+  mkdir -p "$BENCH_JSON_DIR"
+  "$BUILD_DIR/bench_pareto_arena" --smoke --json "$BENCH_JSON_DIR/BENCH_pareto_arena.json"
+  "$BUILD_DIR/bench_ablations" --json "$BENCH_JSON_DIR/BENCH_ablations.json"
+  "$BUILD_DIR/bench_sim_validation" --json "$BENCH_JSON_DIR/BENCH_sim_validation.json"
+  "$BUILD_DIR/bench_diff" bench/baselines/BENCH_pareto_arena.smoke.json \
+    "$BENCH_JSON_DIR/BENCH_pareto_arena.json" --keys speedup --tolerance 0.25
+  echo "bench smoke stage passed; JSON archived in $BENCH_JSON_DIR"
+fi
 
 # Coverage stage (opt-in: TREESAT_COV=1). Debug + --coverage, full ctest,
 # then a line-coverage summary restricted to src/ (headers included via the

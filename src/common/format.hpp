@@ -1,0 +1,26 @@
+// Shared numeric formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace treesat {
+
+/// Shortest decimal string that parses back to exactly `v` (tries %.6g up
+/// through %.17g). This is the one copy of the round-trip formatter that
+/// tree serialization, JSON reports, plan specs and the bench JSON files
+/// all share -- their round-trip properties (serialize_round_trip_test,
+/// the golden files, plan_spec re-parsing) depend on these staying the
+/// same function.
+inline std::string shortest_round_trip(double v) {
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+}  // namespace treesat

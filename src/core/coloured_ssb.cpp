@@ -217,20 +217,32 @@ std::optional<Path> fallback_search(const Working& w, VertexId s, VertexId t,
     }
   }
 
-  // Per-vertex label storage: cost stride = 2 + open colours (sigma, b_done,
-  // open sums). Parent pointers live beside the costs.
+  // Per-vertex label storage, arena style: one flat cost array per vertex
+  // (stride = 2 + open colours: sigma, b_done, open sums) beside one flat
+  // provenance array -- the same reserve-ahead structure-of-arrays idiom as
+  // the Pareto DP's frontier arena. Both arrays are grown together, ahead
+  // of the insert, so a label append never reallocates twice.
   struct Bucket {
+    struct Via {
+      EdgeId edge;
+      std::uint32_t parent = 0;  // label index at edge.from
+    };
     std::vector<double> cost;
-    std::vector<EdgeId> via_edge;
-    std::vector<std::uint32_t> via_parent;  // label index at via_edge.from
+    std::vector<Via> via;
     [[nodiscard]] std::size_t size(std::size_t stride) const { return cost.size() / stride; }
+    void reserve_ahead(std::size_t stride) {
+      if (via.size() == via.capacity()) {
+        const std::size_t labels = std::max<std::size_t>(8, via.size() * 2);
+        cost.reserve(labels * stride);
+        via.reserve(labels);
+      }
+    }
   };
   std::vector<Bucket> buckets(vcount);
   const auto stride_of = [&](std::size_t v) { return 2 + open_at[v].size(); };
 
   buckets[s.index()].cost.assign(stride_of(s.index()), 0.0);
-  buckets[s.index()].via_edge.push_back(EdgeId{});
-  buckets[s.index()].via_parent.push_back(0);
+  buckets[s.index()].via.push_back({EdgeId{}, 0});
   nodes = 1;
 
   double best = upper_bound;
@@ -333,18 +345,16 @@ std::optional<Path> fallback_search(const Working& w, VertexId s, VertexId t,
           if (beats) continue;  // drop `other`
           if (kept != other) {
             std::copy(oc, oc + to_stride, &into.cost[kept * to_stride]);
-            into.via_edge[kept] = into.via_edge[other];
-            into.via_parent[kept] = into.via_parent[other];
+            into.via[kept] = into.via[other];
           }
           ++kept;
         }
         into.cost.resize(kept * to_stride);
-        into.via_edge.resize(kept);
-        into.via_parent.resize(kept);
+        into.via.resize(kept);
 
+        into.reserve_ahead(to_stride);
         into.cost.insert(into.cost.end(), cand.begin(), cand.end());
-        into.via_edge.push_back(eid);
-        into.via_parent.push_back(static_cast<std::uint32_t>(label));
+        into.via.push_back({eid, static_cast<std::uint32_t>(label)});
         if (++nodes > node_cap) {
           throw ResourceLimit("coloured SSB fallback exceeded its label cap");
         }
@@ -356,10 +366,10 @@ std::optional<Path> fallback_search(const Working& w, VertexId s, VertexId t,
   std::vector<EdgeId> edges;
   std::size_t at_vertex = t.index();
   std::uint32_t label = best_label;
-  while (buckets[at_vertex].via_edge[label].valid()) {
-    const EdgeId eid = buckets[at_vertex].via_edge[label];
+  while (buckets[at_vertex].via[label].edge.valid()) {
+    const EdgeId eid = buckets[at_vertex].via[label].edge;
     edges.push_back(eid);
-    const std::uint32_t parent = buckets[at_vertex].via_parent[label];
+    const std::uint32_t parent = buckets[at_vertex].via[label].parent;
     at_vertex = w.graph.edge(eid).from.index();
     label = parent;
   }

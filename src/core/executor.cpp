@@ -18,6 +18,29 @@ std::uint64_t derive_instance_seed(std::uint64_t plan_seed, std::uint64_t instan
   return z ^ (z >> 31);
 }
 
+void run_worklist(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads = std::min(threads, count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      task(i);
+    }
+  };
+  std::vector<std::jthread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  // ~jthread joins every worker before return.
+}
+
 namespace {
 
 SolvePlan instance_plan(const SolvePlan& plan, std::size_t index) {
@@ -87,38 +110,26 @@ BatchReport BatchExecutor::run(std::span<const Colouring* const> instances,
   threads = std::min(threads, std::max<std::size_t>(count, 1));
   report.threads_used = threads;
 
-  // The queue is one atomic cursor: claiming an instance is a fetch_add, so
-  // idle workers drain whatever remains no matter how uneven the costs.
-  std::atomic<std::size_t> next{0};
   std::stop_source abort;  // fail-fast fuse, shared by all workers
   std::vector<std::exception_ptr> errors(count);
   std::atomic<bool> deadline_hit{false};
 
-  const auto worker = [&]() {
-    while (!abort.stop_requested() && !cancel.stop_requested()) {
-      if (options_.deadline_seconds > 0.0 && watch.seconds() > options_.deadline_seconds) {
-        deadline_hit.store(true, std::memory_order_relaxed);
-        break;
-      }
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
-      try {
-        report.results[i].emplace(solve(*instances[i], instance_plan(plan, i)));
-      } catch (...) {
-        errors[i] = std::current_exception();
-        if (options_.fail_fast) abort.request_stop();
-      }
+  // One work-list task per instance; the pre-claim checks of the old worker
+  // loop become early returns, so an aborted/expired batch still marks every
+  // unstarted instance below.
+  run_worklist(count, threads, [&](std::size_t i) {
+    if (abort.stop_requested() || cancel.stop_requested()) return;
+    if (options_.deadline_seconds > 0.0 && watch.seconds() > options_.deadline_seconds) {
+      deadline_hit.store(true, std::memory_order_relaxed);
+      return;
     }
-  };
-
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::jthread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-    // ~jthread joins every worker; results/errors are safe to read after.
-  }
+    try {
+      report.results[i].emplace(solve(*instances[i], instance_plan(plan, i)));
+    } catch (...) {
+      errors[i] = std::current_exception();
+      if (options_.fail_fast) abort.request_stop();
+    }
+  });
 
   for (std::size_t i = 0; i < count; ++i) {
     if (report.results[i].has_value()) continue;

@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <optional>
 #include <span>
 #include <stop_token>
@@ -40,6 +41,18 @@
 #include "core/solver.hpp"
 
 namespace treesat {
+
+/// The executor's work-list shape as a free function: runs task(i) for
+/// every i in [0, count) on `threads` workers claiming indices from one
+/// atomic cursor, so a worker that finishes a cheap item immediately takes
+/// the next one. threads is clamped to count; 0 means one worker per
+/// hardware thread; 1 (or count <= 1) runs inline on the calling thread.
+/// `task` must be safe to call concurrently for distinct indices and must
+/// not throw -- capture exceptions per index and rethrow after the join
+/// (deterministically, e.g. smallest index first), as BatchExecutor and
+/// pareto_dp_solve's intra-solve colour pipelines do.
+void run_worklist(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& task);
 
 /// The seed instance i solves under when a seeded plan with seed s is
 /// batched: splitmix64 of s offset by the golden-ratio stride per index.

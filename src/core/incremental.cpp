@@ -279,6 +279,18 @@ void ResolveSession::solve_current(const Perturbation* p) {
   std::unique_ptr<SolveReport> report;
   switch (resolved.method()) {
     case SolveMethod::kParetoDp: {
+      if (!resolved.options_as<ParetoDpOptions>().arena) {
+        // The plan opted into the pre-arena reference engine; the warm path
+        // runs the arena merge kernels, so reusing it here would not be the
+        // byte-identical cold solve the session documents (the two engines
+        // differ on resource caps and exact-tie cut choices). Cold-solve
+        // through the facade instead.
+        if (p != nullptr) {
+          fresh.cold_reason = "arena=false: the reference engine has no warm path";
+        }
+        report = std::make_unique<SolveReport>(solve(*colouring_, resolved));
+        break;
+      }
       report = std::make_unique<SolveReport>(solve_warm_dp(resolved, fresh));
       if (p != nullptr) {
         if (fresh.regions_reused > 0) {
@@ -466,8 +478,11 @@ SolveReport ResolveSession::solve_warm_dp(const SolvePlan& resolved, ResolveStat
 
     // Colour miss: rebuild the merge chain, serving single regions from the
     // region-level cache where their content survived (e.g. the untouched
-    // siblings of an inserted probe's region).
-    std::vector<ParetoPoint> acc{ParetoPoint{}};
+    // siblings of an inserted probe's region). The fold starts from the
+    // first region's frontier directly -- ⊕ with the neutral frontier is
+    // the identity, bit for bit -- which is exactly the fold the arena
+    // engine's cold path performs, so warm stays byte-identical to cold.
+    std::vector<ParetoPoint> acc;
     for (std::size_t k = 0; k < regions.size(); ++k) {
       const std::vector<CruId>& nodes = region_node_lists[k];
 
@@ -499,7 +514,11 @@ SolveReport ResolveSession::solve_warm_dp(const SolvePlan& resolved, ResolveStat
         region_cache_.emplace(region_keys[k], std::move(entry));
         ++fresh.regions_recomputed;
       }
-      acc = minkowski_frontiers(acc, frontier, options.max_frontier);
+      if (k == 0) {
+        acc = std::move(frontier);
+      } else {
+        acc = minkowski_frontiers(acc, frontier, options.max_frontier);
+      }
     }
 
     CachedFrontier merged;

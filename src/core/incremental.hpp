@@ -37,7 +37,12 @@
 // identical to a cold solve of the same plan on the perturbed instance --
 // cached frontiers are reused only on an exact content match (bit patterns
 // of every cost included), so the merge/sweep consumes the same values a
-// cold run would compute. For coloured-ssb and branch-bound plans the warm
+// cold run would compute. The cache stores frontiers at the arena engine's
+// materialization boundary (core/pareto_dp.hpp: ParetoPoint with explicit
+// cuts, the form region_frontier emits); the warm fold starts from the
+// first region's frontier and merges with minkowski_frontiers -- the same
+// merge kernel and fold order the cold arena path runs, which is what
+// keeps the two paths bit-equal under the arena representation. For coloured-ssb and branch-bound plans the warm
 // start preserves exactness (same optimal value) but may return the
 // previous cut among equal-valued optima.
 #pragma once

@@ -1,13 +1,25 @@
 #include "core/pareto_dp.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <exception>
 #include <limits>
+
+#include "core/executor.hpp"
 
 namespace treesat {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+// ---------------------------------------------------------------------------
+// Reference engine (pre-arena): recursive bottom-up pass, sort-then-scan
+// pruning, a full cut vector copied for every Minkowski product point.
+// Retained verbatim as the cross-validation baseline; see the header.
+
+namespace reference {
 
 /// Sorts by (load, host) and removes dominated points: keep a point only if
 /// its host time is strictly below every point with smaller-or-equal load.
@@ -80,19 +92,402 @@ std::vector<ParetoPoint> node_frontier(const Colouring& colouring, CruId v,
   return combined;
 }
 
+}  // namespace reference
+
+// ---------------------------------------------------------------------------
+// Arena engine.
+
+struct MergeCounters {
+  std::size_t merges = 0;
+  std::size_t generated = 0;
+  std::size_t kept = 0;
+};
+
+/// Structure-of-arrays frontier storage plus per-point provenance. A point
+/// is one of: a *cut* point (edge valid, no parents), a *merge* point
+/// (left/right parents, edge invalid), or the neutral point (neither). The
+/// cut set a point realizes is never stored -- it is the left-to-right
+/// concatenation of its provenance leaves, reconstructed on demand.
+struct FrontierArena {
+  std::vector<double> load;
+  std::vector<double> host;
+  std::vector<std::uint32_t> left;
+  std::vector<std::uint32_t> right;
+  std::vector<CruId> edge;
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(load.size());
+  }
+
+  [[nodiscard]] std::size_t bytes() const {
+    return load.size() *
+           (2 * sizeof(double) + 2 * sizeof(std::uint32_t) + sizeof(CruId));
+  }
+
+  std::uint32_t add(double l, double h, std::uint32_t lp, std::uint32_t rp, CruId e) {
+    if (load.size() >= kNoParent) {
+      throw ResourceLimit("pareto_dp: arena point count overflow");
+    }
+    load.push_back(l);
+    host.push_back(h);
+    left.push_back(lp);
+    right.push_back(rp);
+    edge.push_back(e);
+    return static_cast<std::uint32_t>(load.size() - 1);
+  }
+
+  /// Drops every point at index >= new_size. Only ever applied to the tail
+  /// span under construction, whose points nothing references yet.
+  void truncate(std::uint32_t new_size) {
+    load.resize(new_size);
+    host.resize(new_size);
+    left.resize(new_size);
+    right.resize(new_size);
+    edge.resize(new_size);
+  }
+
+  /// Appends the cut set realized by point `idx`: depth-first over the
+  /// provenance DAG, left parent before right parent, so the order matches
+  /// the cut concatenation the reference engine performs.
+  void reconstruct(std::uint32_t idx, std::vector<CruId>& out) const {
+    std::vector<std::uint32_t> stack{idx};
+    while (!stack.empty()) {
+      const std::uint32_t p = stack.back();
+      stack.pop_back();
+      if (edge[p].valid()) {
+        out.push_back(edge[p]);
+        continue;
+      }
+      if (left[p] == kNoParent) continue;  // neutral point
+      stack.push_back(right[p]);
+      stack.push_back(left[p]);
+    }
+  }
+};
+
+/// One frontier: a contiguous [begin, end) slice of an arena, sorted by
+/// load ascending with host strictly descending.
+struct Span {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  [[nodiscard]] std::uint32_t size() const { return end - begin; }
+};
+
+/// The merge-based Minkowski product of two pruned frontiers: a k-way merge
+/// over |a| streams (stream i emits a_i + b_j for ascending j, itself load-
+/// ascending because b is sorted), with dominance pruning on the fly.
+/// best_host only ever decreases, so a candidate whose host is already
+/// >= best_host can be skipped without materializing it -- and because each
+/// stream's hosts strictly decrease, whole stream prefixes are skipped at
+/// advance time. Emits kept points through `keep(i, j, load, host)` in
+/// sorted order; ties broken by (host, i, j) so results are deterministic.
+template <typename Keep>
+void merge_product(const double* aload, const double* ahost, std::size_t na,
+                   const double* bload, const double* bhost, std::size_t nb,
+                   std::size_t max_frontier, MergeCounters& counters, Keep&& keep) {
+  ++counters.merges;
+  if (na == 0 || nb == 0) return;  // empty product, as the reference prunes to
+  struct Entry {
+    double load;
+    double host;
+    std::uint32_t i;
+    std::uint32_t j;
+  };
+  const auto later = [](const Entry& x, const Entry& y) {
+    if (x.load != y.load) return x.load > y.load;
+    if (x.host != y.host) return x.host > y.host;
+    if (x.i != y.i) return x.i > y.i;
+    return x.j > y.j;
+  };
+  std::vector<Entry> heap;
+  heap.reserve(na);
+  for (std::uint32_t i = 0; i < na; ++i) {
+    heap.push_back({aload[i] + bload[0], ahost[i] + bhost[0], i, 0});
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+
+  double best_host = kInf;
+  std::size_t kept = 0;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const Entry e = heap.back();
+    heap.pop_back();
+    ++counters.generated;
+    if (e.host < best_host) {
+      best_host = e.host;
+      if (++kept > max_frontier) {
+        throw ResourceLimit("pareto_dp: frontier exceeds max_frontier (" +
+                            std::to_string(kept) + " points)");
+      }
+      ++counters.kept;
+      keep(e.i, e.j, e.load, e.host);
+    }
+    std::uint32_t j = e.j + 1;
+    while (j < nb && ahost[e.i] + bhost[j] >= best_host) {
+      ++counters.generated;  // skipped: dominated forever, never materialized
+      ++j;
+    }
+    if (j < nb) {
+      heap.push_back({aload[e.i] + bload[j], ahost[e.i] + bhost[j], e.i, j});
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+  }
+}
+
+/// Per-colour pipeline state: the colour's arena plus the reusable scratch
+/// the region pass needs. Regions of one colour are disjoint subtrees, so
+/// the per-node span table can be shared across them without clearing.
+struct ColourPipeline {
+  FrontierArena arena;
+  Span merged{};
+  std::size_t max_region_frontier = 0;
+  std::size_t peak = 0;
+  MergeCounters counters;
+
+  std::vector<Span> spans;  // per tree node, reused across regions
+  // Merge inputs are snapshotted out of the arena (output appends to the
+  // same vectors, which may reallocate mid-merge).
+  std::vector<double> scratch_load[2];
+  std::vector<double> scratch_host[2];
+
+  void note_frontier(std::uint32_t width, std::size_t max_frontier) {
+    if (width > max_frontier) {
+      throw ResourceLimit("pareto_dp: frontier exceeds max_frontier (" +
+                          std::to_string(width) + " points)");
+    }
+    peak = std::max(peak, static_cast<std::size_t>(width));
+  }
+
+  Span merge(Span a, Span b, std::size_t max_frontier) {
+    for (int side = 0; side < 2; ++side) {
+      const Span s = side == 0 ? a : b;
+      scratch_load[side].assign(arena.load.begin() + s.begin, arena.load.begin() + s.end);
+      scratch_host[side].assign(arena.host.begin() + s.begin, arena.host.begin() + s.end);
+    }
+    const std::uint32_t out_begin = arena.size();
+    merge_product(scratch_load[0].data(), scratch_host[0].data(), a.size(),
+                  scratch_load[1].data(), scratch_host[1].data(), b.size(), max_frontier,
+                  counters, [&](std::uint32_t i, std::uint32_t j, double l, double h) {
+                    arena.add(l, h, a.begin + i, b.begin + j, CruId{});
+                  });
+    const Span out{out_begin, arena.size()};
+    note_frontier(out.size(), max_frontier);
+    return out;
+  }
+
+  /// Frontier of the region rooted at `root`: explicit iterative post-order
+  /// traversal (children left to right), so chain regions of arbitrary
+  /// depth never touch the call stack.
+  Span region(const Colouring& colouring, CruId root, std::size_t max_frontier) {
+    const CruTree& tree = colouring.tree();
+    if (spans.empty()) spans.resize(tree.size());
+
+    // Postorder of the region subtree: reverse of a right-to-left preorder.
+    std::vector<CruId> order;
+    std::vector<CruId> stack{root};
+    while (!stack.empty()) {
+      const CruId v = stack.back();
+      stack.pop_back();
+      order.push_back(v);
+      for (const CruId c : tree.node(v).children) stack.push_back(c);
+    }
+    std::reverse(order.begin(), order.end());
+
+    for (const CruId v : order) {
+      const CruNode& nd = tree.node(v);
+      const double cut_load = tree.subtree_sat_time(v) + nd.comm_up;
+      if (nd.is_sensor()) {
+        const std::uint32_t at = arena.add(cut_load, 0.0, kNoParent, kNoParent, v);
+        spans[v.index()] = Span{at, at + 1};
+        note_frontier(1, max_frontier);
+        continue;
+      }
+      // Children combine with ⊕ (first child taken as-is: ⊕ with the
+      // neutral frontier is the identity, bit for bit).
+      Span acc = spans[nd.children.front().index()];
+      for (std::size_t k = 1; k < nd.children.size(); ++k) {
+        acc = merge(acc, spans[nd.children[k].index()], max_frontier);
+      }
+      // v on the host: shift every combined host by h_v, in place.
+      if (nd.host_time != 0.0) {
+        for (std::uint32_t p = acc.begin; p < acc.end; ++p) arena.host[p] += nd.host_time;
+      }
+      // Insert the cut-at-v point (load = cut_load, host = 0). The combined
+      // span is the arena tail and nothing references its points yet, so
+      // pruning is a truncation: keep the strict-load prefix, drop the
+      // dominated tail, append the cut point unless the prefix already
+      // reaches host 0.
+      TS_CHECK(acc.end == arena.size(), "pareto_dp: combined span must be the arena tail");
+      const auto first_ge = static_cast<std::uint32_t>(
+          std::lower_bound(arena.load.begin() + acc.begin, arena.load.begin() + acc.end,
+                           cut_load) -
+          arena.load.begin());
+      Span out{acc.begin, first_ge};
+      arena.truncate(first_ge);
+      const bool dominated = out.size() > 0 && arena.host[out.end - 1] <= 0.0;
+      if (!dominated) {
+        arena.add(cut_load, 0.0, kNoParent, kNoParent, v);
+        ++out.end;
+      }
+      note_frontier(out.size(), max_frontier);
+      spans[v.index()] = out;
+    }
+
+    const Span result = spans[root.index()];
+    max_region_frontier = std::max(max_region_frontier, static_cast<std::size_t>(result.size()));
+    return result;
+  }
+
+  /// Builds the colour's merged frontier: each region's frontier, folded
+  /// left to right in regions_of order. A colour with no regions
+  /// contributes the single neutral point, exactly like the cold fold the
+  /// incremental engine replays through minkowski_frontiers.
+  void build(const Colouring& colouring, SatelliteId colour, std::size_t max_frontier) {
+    const std::vector<CruId> regions = colouring.regions_of(colour);
+    if (regions.empty()) {
+      const std::uint32_t at = arena.add(0.0, 0.0, kNoParent, kNoParent, CruId{});
+      merged = Span{at, at + 1};
+      return;
+    }
+    Span acc = region(colouring, regions.front(), max_frontier);
+    for (std::size_t k = 1; k < regions.size(); ++k) {
+      const Span f = region(colouring, regions[k], max_frontier);
+      acc = merge(acc, f, max_frontier);
+    }
+    merged = acc;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The bottleneck sweep, shared by the arena path and the colour-frontier
+// seam so both consume the same values in the same order.
+
+struct FrontierView {
+  const double* load = nullptr;
+  const double* host = nullptr;
+  std::size_t count = 0;
+};
+
+struct SweepPick {
+  std::vector<std::size_t> pick;
+  std::size_t candidates_swept = 0;
+  std::size_t max_colour_frontier = 0;
+};
+
+SweepPick sweep_colour_frontiers(const std::vector<FrontierView>& per_colour,
+                                 double base_host, const SsbObjective& objective) {
+  const std::size_t colours = per_colour.size();
+  SweepPick out;
+  for (const FrontierView& f : per_colour) {
+    TS_CHECK(f.count > 0, "pareto_dp: empty colour frontier in sweep");
+    out.max_colour_frontier = std::max(out.max_colour_frontier, f.count);
+  }
+
+  // Sweep candidate bottleneck values: all per-colour loads, ascending. Every
+  // colour starts at its smallest-load point (always feasible: frontiers are
+  // never empty) and advances to cheaper-host points as L grows.
+  std::vector<double> candidates;
+  for (const FrontierView& f : per_colour) {
+    candidates.insert(candidates.end(), f.load, f.load + f.count);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+  if (candidates.empty()) candidates.push_back(0.0);  // no satellites at all
+
+  std::vector<std::size_t> pick(colours, 0);
+  double best_value = kInf;
+  std::vector<std::size_t> best_pick;
+
+  for (const double L : candidates) {
+    bool feasible = true;
+    double host_sum = 0.0;
+    double achieved = 0.0;
+    for (std::size_t c = 0; c < colours; ++c) {
+      const FrontierView& f = per_colour[c];
+      // Advance to the largest load <= L (minimal host among load <= L).
+      while (pick[c] + 1 < f.count && f.load[pick[c] + 1] <= L) ++pick[c];
+      if (f.load[pick[c]] > L) {
+        feasible = false;  // this colour cannot fit under L yet
+        break;
+      }
+      host_sum += f.host[pick[c]];
+      achieved = std::max(achieved, f.load[pick[c]]);
+    }
+    ++out.candidates_swept;
+    if (!feasible) continue;
+    const double value = objective.value(base_host + host_sum, achieved);
+    if (value < best_value) {
+      best_value = value;
+      best_pick = pick;
+    }
+  }
+  TS_CHECK(best_value < kInf, "pareto_dp: sweep found no feasible bottleneck (impossible)");
+  out.pick = std::move(best_pick);
+  return out;
+}
+
 }  // namespace
 
 std::vector<ParetoPoint> region_frontier(const Colouring& colouring, CruId region_root,
                                          std::size_t max_frontier) {
   TS_REQUIRE(colouring.is_assignable(region_root),
              "region_frontier: node is not assignable");
-  return node_frontier(colouring, region_root, max_frontier);
+  ColourPipeline pipe;
+  const Span span = pipe.region(colouring, region_root, max_frontier);
+  std::vector<ParetoPoint> out;
+  out.reserve(span.size());
+  for (std::uint32_t p = span.begin; p < span.end; ++p) {
+    ParetoPoint point;
+    point.load = pipe.arena.load[p];
+    point.host = pipe.arena.host[p];
+    pipe.arena.reconstruct(p, point.cut);
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+std::vector<double> region_min_loads(const Colouring& colouring) {
+  const CruTree& tree = colouring.tree();
+  std::vector<double> min_load(tree.size(), 0.0);
+  for (const CruId v : tree.postorder()) {
+    if (!colouring.is_assignable(v)) continue;
+    const double cut_here = tree.subtree_sat_time(v) + tree.node(v).comm_up;
+    if (tree.node(v).is_sensor()) {
+      min_load[v.index()] = cut_here;
+      continue;
+    }
+    double descend = 0.0;
+    for (const CruId c : tree.node(v).children) descend += min_load[c.index()];
+    min_load[v.index()] = std::min(cut_here, descend);
+  }
+  return min_load;
 }
 
 std::vector<ParetoPoint> minkowski_frontiers(const std::vector<ParetoPoint>& a,
                                              const std::vector<ParetoPoint>& b,
                                              std::size_t max_frontier) {
-  return minkowski(a, b, max_frontier);
+  std::vector<double> aload(a.size()), ahost(a.size()), bload(b.size()), bhost(b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    aload[i] = a[i].load;
+    ahost[i] = a[i].host;
+  }
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    bload[j] = b[j].load;
+    bhost[j] = b[j].host;
+  }
+  std::vector<ParetoPoint> out;
+  MergeCounters counters;
+  merge_product(aload.data(), ahost.data(), a.size(), bload.data(), bhost.data(), b.size(),
+                max_frontier, counters,
+                [&](std::uint32_t i, std::uint32_t j, double l, double h) {
+                  ParetoPoint p;
+                  p.load = l;
+                  p.host = h;
+                  p.cut = a[i].cut;
+                  p.cut.insert(p.cut.end(), b[j].cut.begin(), b[j].cut.end());
+                  out.push_back(std::move(p));
+                });
+  return out;
 }
 
 ParetoDpResult pareto_dp_solve_from_colour_frontiers(
@@ -104,56 +499,33 @@ ParetoDpResult pareto_dp_solve_from_colour_frontiers(
              "pareto_dp_solve_from_colour_frontiers: got " << per_colour.size()
                                                            << " frontiers for " << colours
                                                            << " colours");
-  ParetoDpStats stats;
   for (const std::vector<ParetoPoint>& f : per_colour) {
     TS_REQUIRE(!f.empty(), "pareto_dp_solve_from_colour_frontiers: empty colour frontier");
-    stats.max_colour_frontier = std::max(stats.max_colour_frontier, f.size());
   }
 
-  // Sweep candidate bottleneck values: all per-colour loads, ascending. Every
-  // colour starts at its smallest-load point (always feasible: frontiers are
-  // never empty) and advances to cheaper-host points as L grows.
-  std::vector<double> candidates;
-  for (const auto& f : per_colour) {
-    for (const ParetoPoint& p : f) candidates.push_back(p.load);
-  }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
-  if (candidates.empty()) candidates.push_back(0.0);  // no satellites at all
-
-  std::vector<std::size_t> pick(colours, 0);
-  double best_value = kInf;
-  std::vector<std::size_t> best_pick;
-  const double base_host = colouring.forced_host_time();
-
-  for (const double L : candidates) {
-    bool feasible = true;
-    double host_sum = 0.0;
-    double achieved = 0.0;
-    for (std::size_t c = 0; c < colours; ++c) {
-      const auto& f = per_colour[c];
-      // Advance to the largest load <= L (minimal host among load <= L).
-      while (pick[c] + 1 < f.size() && f[pick[c] + 1].load <= L) ++pick[c];
-      if (f[pick[c]].load > L) {
-        feasible = false;  // this colour cannot fit under L yet
-        break;
-      }
-      host_sum += f[pick[c]].host;
-      achieved = std::max(achieved, f[pick[c]].load);
+  // The sweep consumes structure-of-arrays views; mirror the points into
+  // contiguous load/host arrays (colour order preserved).
+  std::vector<std::vector<double>> loads(colours), hosts(colours);
+  std::vector<FrontierView> views(colours);
+  for (std::size_t c = 0; c < colours; ++c) {
+    loads[c].resize(per_colour[c].size());
+    hosts[c].resize(per_colour[c].size());
+    for (std::size_t i = 0; i < per_colour[c].size(); ++i) {
+      loads[c][i] = per_colour[c][i].load;
+      hosts[c][i] = per_colour[c][i].host;
     }
-    ++stats.candidates_swept;
-    if (!feasible) continue;
-    const double value = options.objective.value(base_host + host_sum, achieved);
-    if (value < best_value) {
-      best_value = value;
-      best_pick = pick;
-    }
+    views[c] = FrontierView{loads[c].data(), hosts[c].data(), per_colour[c].size()};
   }
-  TS_CHECK(best_value < kInf, "pareto_dp: sweep found no feasible bottleneck (impossible)");
+  const SweepPick sw =
+      sweep_colour_frontiers(views, colouring.forced_host_time(), options.objective);
+
+  ParetoDpStats stats;
+  stats.max_colour_frontier = sw.max_colour_frontier;
+  stats.candidates_swept = sw.candidates_swept;
 
   std::vector<CruId> cut;
   for (std::size_t c = 0; c < colours; ++c) {
-    const auto& chosen = per_colour[c][best_pick[c]];
+    const auto& chosen = per_colour[c][sw.pick[c]];
     cut.insert(cut.end(), chosen.cut.begin(), chosen.cut.end());
   }
   Assignment assignment(colouring, std::move(cut));
@@ -164,21 +536,92 @@ ParetoDpResult pareto_dp_solve_from_colour_frontiers(
 
 ParetoDpResult pareto_dp_solve(const Colouring& colouring, const ParetoDpOptions& options) {
   TS_REQUIRE(options.objective.valid(), "pareto_dp_solve: bad objective");
+  if (!options.arena) return pareto_dp_solve_reference(colouring, options);
+
+  // Per-colour pipelines are independent: each builds its region frontiers
+  // and Minkowski fold in its own arena. They are farmed to a work-list
+  // pool (deterministic per-colour content, colour-ordered combine), so the
+  // result -- stats included -- is byte-identical at any dp_threads.
+  const std::size_t colours = colouring.tree().satellite_count();
+  std::vector<ColourPipeline> pipes(colours);
+  std::vector<std::exception_ptr> errors(colours);
+  // run_worklist resolves dp_threads == 0 to the hardware thread count and
+  // clamps to the colour count.
+  run_worklist(colours, options.dp_threads, [&](std::size_t c) {
+    try {
+      pipes[c].build(colouring, SatelliteId{c}, options.max_frontier);
+    } catch (...) {
+      errors[c] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  ParetoDpStats stats;
+  std::vector<FrontierView> views(colours);
+  for (std::size_t c = 0; c < colours; ++c) {
+    const ColourPipeline& pipe = pipes[c];
+    views[c] = FrontierView{pipe.arena.load.data() + pipe.merged.begin,
+                            pipe.arena.host.data() + pipe.merged.begin,
+                            pipe.merged.size()};
+    stats.max_region_frontier = std::max(stats.max_region_frontier, pipe.max_region_frontier);
+    stats.peak_frontier = std::max(stats.peak_frontier, pipe.peak);
+    stats.arena_bytes += pipe.arena.bytes();
+    stats.minkowski_merges += pipe.counters.merges;
+    stats.merge_points_generated += pipe.counters.generated;
+    stats.merge_points_kept += pipe.counters.kept;
+  }
+  const SweepPick sw =
+      sweep_colour_frontiers(views, colouring.forced_host_time(), options.objective);
+  stats.max_colour_frontier = sw.max_colour_frontier;
+  stats.candidates_swept = sw.candidates_swept;
+
+  std::vector<CruId> cut;
+  for (std::size_t c = 0; c < colours; ++c) {
+    pipes[c].arena.reconstruct(pipes[c].merged.begin + static_cast<std::uint32_t>(sw.pick[c]),
+                               cut);
+  }
+  Assignment assignment(colouring, std::move(cut));
+  DelayBreakdown delay = assignment.delay();
+  const double objective = delay.objective(options.objective);
+  return ParetoDpResult{std::move(assignment), std::move(delay), objective, stats};
+}
+
+// ---------------------------------------------------------------------------
+// Reference entry points.
+
+std::vector<ParetoPoint> reference_minkowski_frontiers(const std::vector<ParetoPoint>& a,
+                                                       const std::vector<ParetoPoint>& b,
+                                                       std::size_t max_frontier) {
+  return reference::minkowski(a, b, max_frontier);
+}
+
+std::vector<ParetoPoint> reference_region_frontier(const Colouring& colouring,
+                                                   CruId region_root,
+                                                   std::size_t max_frontier) {
+  TS_REQUIRE(colouring.is_assignable(region_root),
+             "region_frontier: node is not assignable");
+  return reference::node_frontier(colouring, region_root, max_frontier);
+}
+
+ParetoDpResult pareto_dp_solve_reference(const Colouring& colouring,
+                                         const ParetoDpOptions& options) {
+  TS_REQUIRE(options.objective.valid(), "pareto_dp_solve: bad objective");
   // Per-colour frontiers: Minkowski-combine the frontiers of the colour's
   // regions (their loads land on the same satellite), folding each frontier
   // as it is computed so peak memory stays one frontier plus the
-  // accumulator. This is the exact merge the incremental engine replays
-  // through minkowski_frontiers, which is what keeps its warm re-solves
-  // byte-identical to this cold path.
+  // accumulator.
   const std::size_t colours = colouring.tree().satellite_count();
   std::size_t max_region_frontier = 0;
   std::vector<std::vector<ParetoPoint>> per_colour(colours);
   for (std::size_t c = 0; c < colours; ++c) {
     std::vector<ParetoPoint> acc{ParetoPoint{}};
     for (const CruId r : colouring.regions_of(SatelliteId{c})) {
-      const std::vector<ParetoPoint> f = region_frontier(colouring, r, options.max_frontier);
+      const std::vector<ParetoPoint> f =
+          reference::node_frontier(colouring, r, options.max_frontier);
       max_region_frontier = std::max(max_region_frontier, f.size());
-      acc = minkowski(acc, f, options.max_frontier);
+      acc = reference::minkowski(acc, f, options.max_frontier);
     }
     per_colour[c] = std::move(acc);
   }

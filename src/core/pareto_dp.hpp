@@ -24,6 +24,25 @@
 // choice is at least as good as the optimum's, so candidate L* already
 // attains the optimal value.
 //
+// Engine (the allocation-free arena core):
+//   * Frontiers live in a per-colour FrontierArena: structure-of-arrays
+//     (load[], host[]) stored contiguously, one span per frontier. No
+//     per-point cut vectors exist during the solve -- every point carries
+//     backpointers (left parent, right parent, cut edge) and the optimal
+//     cut is reconstructed once, at the end, for the chosen points only.
+//   * ⊕ is a merge, not a product-then-sort: both inputs are sorted by
+//     load with strictly decreasing host, so the product is a k-way merge
+//     over |a| sorted streams, dominance-pruned on the fly. Dominated
+//     points are skipped without ever being materialized.
+//   * The bottom-up pass is an explicit iterative post-order traversal, so
+//     chain-shaped trees tens of thousands of nodes deep cannot overflow
+//     the stack (workload/generator.hpp's chain_tree is the regression
+//     workload for this).
+//   * Colour pipelines are independent; ParetoDpOptions::dp_threads farms
+//     them to a work-list worker pool (core/executor.hpp's run_worklist,
+//     the BatchExecutor idiom) with a deterministic combine order, so
+//     reports are byte-identical at any thread count.
+//
 // Frontier sizes are worst-case exponential (the problem embeds tree
 // knapsack) but domination pruning keeps them tiny on realistic cost
 // distributions; `max_frontier` guards the pathological case.
@@ -41,6 +60,22 @@ struct ParetoDpStats {
   std::size_t max_region_frontier = 0;  ///< largest per-region frontier
   std::size_t max_colour_frontier = 0;  ///< largest per-colour frontier after merging
   std::size_t candidates_swept = 0;     ///< bottleneck candidates evaluated
+  // Arena-engine counters. Zero on the reference engine (arena = false) and
+  // on the from-colour-frontiers seam, which never builds an arena. All of
+  // them are aggregated in colour order from per-colour pipelines, so they
+  // are byte-identical at any dp_threads setting.
+  std::size_t arena_bytes = 0;           ///< total frontier-arena storage
+  std::size_t peak_frontier = 0;         ///< widest frontier anywhere in the DP
+  std::size_t minkowski_merges = 0;      ///< merge operations performed
+  std::size_t merge_points_generated = 0;///< product points examined by merges
+  std::size_t merge_points_kept = 0;     ///< points surviving dominance pruning
+
+  /// Fraction of examined Minkowski product points discarded as dominated.
+  [[nodiscard]] double prune_ratio() const {
+    if (merge_points_generated == 0) return 0.0;
+    return 1.0 - static_cast<double>(merge_points_kept) /
+                     static_cast<double>(merge_points_generated);
+  }
 };
 
 struct ParetoDpResult {
@@ -54,13 +89,24 @@ struct ParetoDpOptions {
   SsbObjective objective = SsbObjective::end_to_end();
   /// Frontier size limit; exceeding it throws ResourceLimit.
   std::size_t max_frontier = std::size_t{1} << 20;
+  /// Worker threads for the independent per-colour pipelines (spec key
+  /// dp_threads=). 1 (default) runs inline; 0 means one worker per
+  /// hardware thread. Reports are byte-identical at any value.
+  std::size_t dp_threads = 1;
+  /// false routes the solve through the retained pre-arena reference
+  /// engine (recursive, sort-based, per-point cut copies) -- the
+  /// cross-validation baseline of tests and bench_pareto_arena (spec key
+  /// arena=). Production solves should always leave this true.
+  bool arena = true;
 };
 
 /// Exact optimal assignment via the Pareto DP.
 [[nodiscard]] ParetoDpResult pareto_dp_solve(const Colouring& colouring,
                                              const ParetoDpOptions& options = {});
 
-/// One point of a (load, host) frontier, exposed for tests and benches.
+/// One point of a (load, host) frontier, exposed for tests, benches and the
+/// incremental engine's cache (the arena engine materializes cuts only at
+/// this API boundary; internally points are backpointer triples).
 struct ParetoPoint {
   double load = 0.0;          ///< satellite time: work below the cut + uplink
   double host = 0.0;          ///< host time of region nodes above the cut
@@ -73,6 +119,13 @@ struct ParetoPoint {
                                                        CruId region_root,
                                                        std::size_t max_frontier);
 
+/// Per-node minimum achievable satellite load: for every assignable v, the
+/// smallest load coordinate of F(v) -- min(cut at v, Σ children minima) --
+/// computed by one iterative postorder sweep (non-assignable nodes read 0).
+/// This is the admissible per-region bound branch-and-bound
+/// (heuristics/branch_bound.cpp) seeds its colour-load suffixes with.
+[[nodiscard]] std::vector<double> region_min_loads(const Colouring& colouring);
+
 /// The seam the incremental re-solve engine (core/incremental.hpp) injects
 /// its cached state through: completes a solve from per-colour *merged*
 /// frontiers (`colour_frontiers[c]` for satellite c, as produced by folding
@@ -83,8 +136,8 @@ struct ParetoPoint {
 /// frontier equals the fold of `region_frontier` outputs a cold solve
 /// performs, the result is byte-identical to `pareto_dp_solve` -- the sweep
 /// runs the same code on the same values in the same order.
-/// stats.max_region_frontier is 0 on this path (the per-region inputs are
-/// not visible here).
+/// stats.max_region_frontier and the arena counters are 0 on this path
+/// (the per-region inputs and the arena are not visible here).
 [[nodiscard]] ParetoDpResult pareto_dp_solve_from_colour_frontiers(
     const Colouring& colouring, std::vector<std::vector<ParetoPoint>> colour_frontiers,
     const ParetoDpOptions& options = {});
@@ -92,10 +145,35 @@ struct ParetoPoint {
 /// The Minkowski product-and-prune the DP combines frontiers with (loads
 /// add, hosts add, cuts concatenate; dominated points dropped). Exposed so
 /// the incremental engine's colour-level merges are the byte-identical
-/// operation the cold solve performs. Throws ResourceLimit past
-/// max_frontier.
+/// operation the cold solve performs. Implemented as the same k-way merge
+/// the arena engine runs, so dominated product points are skipped, not
+/// materialized. Throws ResourceLimit past max_frontier.
 [[nodiscard]] std::vector<ParetoPoint> minkowski_frontiers(const std::vector<ParetoPoint>& a,
                                                            const std::vector<ParetoPoint>& b,
                                                            std::size_t max_frontier);
+
+// ---------------------------------------------------------------------------
+// Reference engine: the pre-arena implementation (recursive node_frontier,
+// sort-then-scan pruning, a full cut vector copied per product point).
+// Retained verbatim as the cross-validation baseline for the merge-based
+// engine -- tests/pareto_merge_reference_test.cpp proves byte-identical
+// optima, bench_pareto_arena measures the speedup against it. Not for
+// production use: it recurses per tree node (deep chains overflow the
+// stack) and allocates per product point.
+
+/// Reference (sort-based) Minkowski product-and-prune.
+[[nodiscard]] std::vector<ParetoPoint> reference_minkowski_frontiers(
+    const std::vector<ParetoPoint>& a, const std::vector<ParetoPoint>& b,
+    std::size_t max_frontier);
+
+/// Reference (recursive) region frontier.
+[[nodiscard]] std::vector<ParetoPoint> reference_region_frontier(const Colouring& colouring,
+                                                                 CruId region_root,
+                                                                 std::size_t max_frontier);
+
+/// Reference end-to-end solve (what pareto_dp_solve runs when
+/// options.arena is false). Arena counters in stats stay zero.
+[[nodiscard]] ParetoDpResult pareto_dp_solve_reference(const Colouring& colouring,
+                                                       const ParetoDpOptions& options = {});
 
 }  // namespace treesat

@@ -19,6 +19,15 @@
 // The string side of the same surface lives in core/registry.hpp:
 // parse_plan("coloured-ssb:expansion_cap=4096") builds the identical plan,
 // and the registry enumerates every method for CLI-style harnesses.
+//
+// Parallelism knobs live at two levels: ExecutorOptions::threads (spec key
+// threads=) parallelizes *across* the instances of a batch, while
+// ParetoDpOptions::dp_threads (spec key dp_threads=) parallelizes *inside*
+// one pareto-dp solve, farming its independent per-colour frontier
+// pipelines to the same work-list pool idiom. Both are byte-identity
+// preserving at any thread count. ParetoDpOptions::arena (spec key arena=)
+// selects the allocation-free arena engine (default) or the retained
+// pre-arena reference engine used for cross-validation.
 #pragma once
 
 #include <cstdint>

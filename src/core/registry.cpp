@@ -2,8 +2,9 @@
 
 #include <charconv>
 #include <cmath>
-#include <cstdio>
 #include <sstream>
+
+#include "common/format.hpp"
 
 namespace treesat {
 
@@ -16,7 +17,7 @@ const std::vector<MethodInfo>& registry_storage() {
        "expansion_cap,fallback_node_cap,delegate_on_cap,eager_expansion"},
       {SolveMethod::kParetoDp, method_name(SolveMethod::kParetoDp), "extension (DESIGN.md §6)",
        "Pareto-frontier dynamic program", /*exact=*/true, /*seeded=*/false,
-       "max_frontier"},
+       "max_frontier,dp_threads,arena"},
       {SolveMethod::kExhaustive, method_name(SolveMethod::kExhaustive), "§3 (oracle)",
        "brute-force enumeration of every monotone cut", /*exact=*/true,
        /*seeded=*/false, "cap"},
@@ -150,16 +151,7 @@ bool apply_executor_key(ExecutorOptions& executor, std::string_view key,
 }
 
 /// Shortest round-trippable formatting, so plan_spec stays readable.
-std::string fmt(double v) {
-  char buf[64];
-  for (int precision = 6; precision <= 17; ++precision) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-    double back = 0.0;
-    std::sscanf(buf, "%lf", &back);
-    if (back == v) break;
-  }
-  return buf;
-}
+std::string fmt(double v) { return shortest_round_trip(v); }
 
 std::string fmt(std::uint64_t v) { return std::to_string(v); }
 std::string fmt(bool v) { return v ? "true" : "false"; }
@@ -238,6 +230,21 @@ SolvePlan build_method_plan(const MethodInfo* info, const std::vector<KeyValue>&
         if (apply_objective_key(o.objective, key, value)) continue;
         if (key == "max_frontier") {
           o.max_frontier = parse_size(key, value);
+        } else if (key == "dp_threads") {
+          // Mirrors the executor's threads= contract: >= 1 or 'auto' (one
+          // worker per hardware thread); a literal 0 is a confused spec.
+          if (value == "auto") {
+            o.dp_threads = 0;
+          } else {
+            o.dp_threads = parse_size(key, value);
+            if (o.dp_threads == 0) {
+              throw InvalidArgument(
+                  "parse_plan: key 'dp_threads' must be >= 1 or 'auto', got '" +
+                  std::string(value) + "' (omit the key for the inline default)");
+            }
+          }
+        } else if (key == "arena") {
+          o.arena = parse_bool(key, value);
         } else {
           unknown_key(*info, key);
         }
@@ -438,9 +445,17 @@ std::string plan_spec(const SolvePlan& plan) {
       add("eager_expansion", fmt(o.eager_expansion));
       break;
     }
-    case SolveMethod::kParetoDp:
-      add("max_frontier", fmt(plan.options_as<ParetoDpOptions>().max_frontier));
+    case SolveMethod::kParetoDp: {
+      const auto& o = plan.options_as<ParetoDpOptions>();
+      add("max_frontier", fmt(o.max_frontier));
+      if (o.dp_threads != 1) {
+        add("dp_threads", o.dp_threads == 0
+                              ? std::string("auto")
+                              : fmt(static_cast<std::uint64_t>(o.dp_threads)));
+      }
+      if (!o.arena) add("arena", fmt(false));
       break;
+    }
     case SolveMethod::kExhaustive:
       add("cap", fmt(plan.options_as<ExhaustiveOptions>().cap));
       break;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <optional>
 
+#include "core/pareto_dp.hpp"
 #include "heuristics/local_search.hpp"
 
 namespace treesat {
@@ -48,20 +49,10 @@ struct Searcher {
     }
     loads.assign(tree.satellite_count(), 0.0);
 
-    // Minimum achievable load of each region: min(cut at v, Σ children mins)
-    // bottom-up, then suffix-accumulated per colour over preorder positions.
-    std::vector<double> min_load(tree.size(), 0.0);
-    for (const CruId v : tree.postorder()) {
-      if (!colouring.is_assignable(v)) continue;
-      const double cut_here = tree.subtree_sat_time(v) + tree.node(v).comm_up;
-      if (tree.node(v).is_sensor()) {
-        min_load[v.index()] = cut_here;
-        continue;
-      }
-      double descend = 0.0;
-      for (const CruId c : tree.node(v).children) descend += min_load[c.index()];
-      min_load[v.index()] = std::min(cut_here, descend);
-    }
+    // Minimum achievable load of each region -- the smallest load coordinate
+    // of the Pareto DP's per-node frontier, shared with the arena engine --
+    // suffix-accumulated per colour over preorder positions.
+    const std::vector<double> min_load = region_min_loads(colouring);
     // Per preorder position: minimum additional load each colour must still
     // absorb from the sensors at positions >= pos. Every such sensor is
     // covered by a cut at position >= pos (cuts before pos skipped their

@@ -1,31 +1,17 @@
 #include "io/json.hpp"
 
-#include <cstdio>
 #include <sstream>
 #include <type_traits>
 #include <variant>
+
+#include "common/format.hpp"
 
 namespace treesat {
 
 namespace {
 
-/// Shortest round-trippable double formatting ("%.17g" trimmed via %g).
-std::string number(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  double back = 0.0;
-  std::sscanf(buf, "%lf", &back);
-  if (back == v) {
-    // Try shorter representations first for readability.
-    for (int precision = 6; precision < 17; ++precision) {
-      char shorter[64];
-      std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
-      std::sscanf(shorter, "%lf", &back);
-      if (back == v) return shorter;
-    }
-  }
-  return buf;
-}
+/// Shortest round-trippable double formatting.
+std::string number(double v) { return shortest_round_trip(v); }
 
 }  // namespace
 
@@ -133,7 +119,13 @@ std::string stats_to_json(const MethodStats& stats) {
         } else if constexpr (std::is_same_v<T, ParetoDpStats>) {
           os << "{\"max_region_frontier\":" << s.max_region_frontier
              << ",\"max_colour_frontier\":" << s.max_colour_frontier
-             << ",\"candidates_swept\":" << s.candidates_swept << '}';
+             << ",\"candidates_swept\":" << s.candidates_swept
+             << ",\"arena_bytes\":" << s.arena_bytes
+             << ",\"peak_frontier\":" << s.peak_frontier
+             << ",\"minkowski_merges\":" << s.minkowski_merges
+             << ",\"merge_points_generated\":" << s.merge_points_generated
+             << ",\"merge_points_kept\":" << s.merge_points_kept
+             << ",\"prune_ratio\":" << number(s.prune_ratio()) << '}';
         } else if constexpr (std::is_same_v<T, ExhaustiveStats>) {
           os << "{\"assignments_enumerated\":" << s.assignments_enumerated << '}';
         } else if constexpr (std::is_same_v<T, BranchBoundStats>) {

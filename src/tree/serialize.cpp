@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdio>
 #include <sstream>
+
+#include "common/format.hpp"
 
 namespace treesat {
 
@@ -12,16 +13,7 @@ namespace {
 /// Shortest decimal that parses back to exactly `v`, so that
 /// tree_from_text(to_text(t)) is the identity on every cost (the property
 /// tests/serialize_round_trip_test.cpp asserts).
-std::string number(double v) {
-  char buf[64];
-  for (int precision = 6; precision <= 17; ++precision) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-    double back = 0.0;
-    std::sscanf(buf, "%lf", &back);
-    if (back == v) break;
-  }
-  return buf;
-}
+std::string number(double v) { return shortest_round_trip(v); }
 
 }  // namespace
 

@@ -103,6 +103,32 @@ CruTree random_tree(Rng& rng, const TreeGenOptions& o) {
   return builder.build();
 }
 
+CruTree chain_tree(Rng& rng, const ChainGenOptions& o) {
+  TS_REQUIRE(o.compute_nodes >= 1, "chain_tree: need at least the root");
+  TS_REQUIRE(o.satellites >= 1, "chain_tree: need at least one satellite");
+  TS_REQUIRE(o.min_cost >= 0.0 && o.min_cost <= o.max_cost, "chain_tree: bad cost range");
+
+  const auto cost = [&] { return rng.uniform_real(o.min_cost, o.max_cost); };
+  const auto host_cost = [&](std::size_t v) {
+    return o.host_cost_every != 0 && v % o.host_cost_every == 0 ? cost() : 0.0;
+  };
+
+  CruTreeBuilder builder;
+  CruId spine = builder.root("cru0", host_cost(0));
+  std::size_t sensor_n = 0;
+  std::size_t satellite = 0;
+  for (std::size_t v = 1; v < o.compute_nodes; ++v) {
+    if (o.sensor_every != 0 && v % o.sensor_every == 0) {
+      builder.sensor(spine, "sensor" + std::to_string(sensor_n++),
+                     SatelliteId{satellite++ % o.satellites}, cost());
+    }
+    spine = builder.compute(spine, "cru" + std::to_string(v), host_cost(v), cost(), cost());
+  }
+  builder.sensor(spine, "sensor" + std::to_string(sensor_n++),
+                 SatelliteId{satellite % o.satellites}, cost());
+  return builder.build();
+}
+
 ProfiledTree random_profiled_tree(Rng& rng, const ProfiledGenOptions& o) {
   TS_REQUIRE(o.compute_nodes >= 1, "random_profiled_tree: need at least the root");
   TS_REQUIRE(o.satellites >= 1, "random_profiled_tree: need at least one satellite");

@@ -44,6 +44,33 @@ struct TreeGenOptions {
 /// conflict nodes keep their drawn s/c (the optimizer must ignore them).
 [[nodiscard]] CruTree random_tree(Rng& rng, const TreeGenOptions& options);
 
+struct ChainGenOptions {
+  /// Compute CRUs on the spine (root included); total node count is this
+  /// plus the sensors.
+  std::size_t compute_nodes = 20000;
+  std::size_t satellites = 1;
+  /// A side sensor is attached every `sensor_every` spine nodes (satellites
+  /// round-robin); 0 attaches only the one mandatory sensor at the bottom.
+  std::size_t sensor_every = 0;
+  /// Every `host_cost_every`-th spine node draws a host time from the cost
+  /// range; the rest get h = 0. With one satellite the whole chain is a
+  /// single region whose frontier width tracks the number of *distinct*
+  /// host levels, so this spaces the frontier out instead of letting it
+  /// grow one point per node (20k-wide frontiers across 20k levels).
+  std::size_t host_cost_every = 256;
+  double min_cost = 0.1;
+  double max_cost = 10.0;
+};
+
+/// Deterministic-shape path workload: a compute chain `compute_nodes` deep
+/// with a sensor at the bottom (and optional side sensors). This is the
+/// deep-tree regression instance -- with satellites = 1 the whole spine is
+/// one monochromatic region thousands of levels deep, the shape that
+/// segfaults any per-node recursive pass once the depth outgrows the stack
+/// (the pre-arena Pareto DP died at ~40k levels; see
+/// tests/deep_tree_test.cpp). Every shipped engine must survive it.
+[[nodiscard]] CruTree chain_tree(Rng& rng, const ChainGenOptions& options);
+
 struct ProfiledGenOptions {
   std::size_t compute_nodes = 10;
   std::size_t satellites = 3;

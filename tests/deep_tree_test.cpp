@@ -1,0 +1,120 @@
+// Deep-tree regression wall: a 20k-node path/chain workload must survive
+// every shipped engine. With one satellite the whole spine is a single
+// monochromatic region ~20000 levels deep -- the pre-arena Pareto DP
+// recursed once per region node, which measurably segfaults just beyond
+// this depth (~40k levels at -O2 on an 8 MB stack, earlier under debug or
+// sanitizer frame sizes); the arena engine's iterative post-order
+// traversal is depth-independent. The coloured SSB search and the
+// simulator ride the same instance, and a 50k-level case pins the DP at a
+// depth where the recursive engine demonstrably died.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "core/solver.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace treesat {
+namespace {
+
+constexpr std::size_t kSpine = 20000;
+
+CruTree deep_chain() {
+  Rng rng(0xDEE9);
+  ChainGenOptions o;
+  o.compute_nodes = kSpine;
+  o.satellites = 1;
+  o.sensor_every = 0;     // one sensor at the bottom: one region, full depth
+  o.host_cost_every = 256;  // spaced host levels keep the frontier narrow
+  return chain_tree(rng, o);
+}
+
+/// With a single sensor every valid cut is exactly one spine node, so the
+/// optimum has a closed form: min over assignable v of
+/// (total host above v) + (satellite work below v + uplink).
+double brute_force_optimum(const Colouring& colouring) {
+  const CruTree& tree = colouring.tree();
+  std::vector<double> subtree_h(tree.size(), 0.0);
+  for (const CruId v : tree.postorder()) {
+    subtree_h[v.index()] = tree.node(v).host_time;
+    for (const CruId c : tree.node(v).children) subtree_h[v.index()] += subtree_h[c.index()];
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const CruId v{i};
+    if (!colouring.is_assignable(v)) continue;
+    const double host = tree.total_host_time() - subtree_h[i];
+    const double load = tree.subtree_sat_time(v) + tree.node(v).comm_up;
+    best = std::min(best, host + load);
+  }
+  return best;
+}
+
+TEST(DeepTree, ParetoDpSurvivesAndIsExact) {
+  const CruTree tree = deep_chain();
+  ASSERT_EQ(tree.size(), kSpine + 1);
+  const Colouring colouring(tree);
+  const SolveReport report = solve(colouring, SolvePlan::pareto_dp());
+  EXPECT_TRUE(report.exact);
+  EXPECT_NEAR(report.objective_value, brute_force_optimum(colouring), 1e-9);
+  ASSERT_EQ(report.assignment.cut_nodes().size(), 1u);
+
+  const auto* stats = report.stats_as<ParetoDpStats>();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->peak_frontier, 0u);
+  EXPECT_GT(stats->arena_bytes, 0u);
+}
+
+TEST(DeepTree, ParetoDpSurvivesBeyondTheRecursionDeathDepth) {
+  Rng rng(0xDEE9);
+  ChainGenOptions o;
+  o.compute_nodes = 50000;  // the recursive reference engine segfaults here
+  o.satellites = 1;
+  o.sensor_every = 0;
+  o.host_cost_every = 256;
+  const CruTree tree = chain_tree(rng, o);
+  const Colouring colouring(tree);
+  const SolveReport report = solve(colouring, SolvePlan::pareto_dp());
+  EXPECT_TRUE(report.exact);
+  EXPECT_NEAR(report.objective_value, brute_force_optimum(colouring), 1e-9);
+}
+
+TEST(DeepTree, ColouredSsbSurvivesAndAgrees) {
+  const CruTree tree = deep_chain();
+  const Colouring colouring(tree);
+  const SolveReport ssb = solve(colouring, SolvePlan::coloured_ssb());
+  EXPECT_TRUE(ssb.exact);
+  EXPECT_NEAR(ssb.objective_value, brute_force_optimum(colouring), 1e-9);
+}
+
+TEST(DeepTree, SimulatorSurvivesTheOptimalAssignment) {
+  const CruTree tree = deep_chain();
+  const Colouring colouring(tree);
+  const SolveReport report = solve(colouring, SolvePlan::pareto_dp());
+  const SimResult sim = simulate(report.assignment);
+  ASSERT_EQ(sim.frames.size(), 1u);
+  // One frame under barrier pacing completes in exactly the analytic delay.
+  EXPECT_NEAR(sim.frames[0].latency(), report.delay.end_to_end(), 1e-9);
+}
+
+TEST(DeepTree, SideSensorChainSolvesAcrossSatellites) {
+  // The scattered flavour: side sensors round-robin over 4 satellites give
+  // a deep spine of conflict nodes and many single-sensor regions.
+  Rng rng(0xC4A1);
+  ChainGenOptions o;
+  o.compute_nodes = 5000;
+  o.satellites = 4;
+  o.sensor_every = 2;
+  o.host_cost_every = 1;  // every node costs host time
+  const CruTree tree = chain_tree(rng, o);
+  const Colouring colouring(tree);
+  const SolveReport dp = solve(colouring, SolvePlan::pareto_dp());
+  const SolveReport ssb = solve(colouring, SolvePlan::coloured_ssb());
+  EXPECT_NEAR(dp.objective_value, ssb.objective_value, 1e-9);
+}
+
+}  // namespace
+}  // namespace treesat

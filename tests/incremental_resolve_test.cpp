@@ -117,6 +117,35 @@ TEST(IncrementalResolve, SatelliteDriftReusesUntouchedRegions) {
   EXPECT_GE(stats.regions_reused, stats.regions_total - colour0_regions);
 }
 
+TEST(IncrementalResolve, ReferenceEngineSessionsColdSolveEveryStep) {
+  // A pareto-dp plan with arena=false opted into the pre-arena reference
+  // engine; the warm path runs the arena merge kernels, so the session must
+  // cold-solve through the facade instead of warm-reusing state the plan's
+  // engine never produces -- and match a standalone reference solve bit for
+  // bit.
+  Rng rng(21);
+  TreeGenOptions gen;
+  gen.compute_nodes = 12;
+  gen.satellites = 3;
+  gen.policy = SensorPolicy::kClustered;
+  const CruTree base = random_tree(rng, gen);
+
+  ParetoDpOptions reference_opts;
+  reference_opts.arena = false;
+  ResolveSession session(base, SolvePlan::pareto_dp(reference_opts));
+  session.resolve(Perturbation::global_drift(1.1, 0.95, 1.0));
+
+  const ResolveStats& stats = session.last_stats();
+  EXPECT_EQ(stats.path, ResolvePath::kCold);
+  EXPECT_EQ(stats.cold_reason, "arena=false: the reference engine has no warm path");
+  EXPECT_EQ(stats.regions_reused, 0u);
+
+  const Colouring cold_colouring(session.tree());
+  const ParetoDpResult cold = pareto_dp_solve_reference(cold_colouring, reference_opts);
+  EXPECT_EQ(session.current().objective_value, cold.objective);
+  EXPECT_EQ(session.current().assignment.cut_nodes(), cold.assignment.cut_nodes());
+}
+
 TEST(IncrementalResolve, NoOpDriftReusesEveryRegionAndKeepsTheOptimum) {
   Rng rng(11);
   TreeGenOptions gen;

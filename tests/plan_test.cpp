@@ -85,8 +85,13 @@ TEST(ParsePlan, PerMethodKeysReachTheTypedOptions) {
   EXPECT_EQ(bb.options_as<BranchBoundOptions>().node_cap, 1000u);
   EXPECT_FALSE(bb.options_as<BranchBoundOptions>().greedy_incumbent);
 
-  EXPECT_EQ(parse_plan("pareto-dp:max_frontier=99").options_as<ParetoDpOptions>().max_frontier,
-            99u);
+  const SolvePlan dp = parse_plan("pareto-dp:max_frontier=99,dp_threads=4,arena=false");
+  EXPECT_EQ(dp.options_as<ParetoDpOptions>().max_frontier, 99u);
+  EXPECT_EQ(dp.options_as<ParetoDpOptions>().dp_threads, 4u);
+  EXPECT_FALSE(dp.options_as<ParetoDpOptions>().arena);
+  EXPECT_EQ(parse_plan("pareto-dp:dp_threads=auto").options_as<ParetoDpOptions>().dp_threads,
+            0u);
+  EXPECT_THROW(static_cast<void>(parse_plan("pareto-dp:dp_threads=0")), InvalidArgument);
   EXPECT_EQ(parse_plan("exhaustive:cap=12345").options_as<ExhaustiveOptions>().cap, 12345u);
   EXPECT_EQ(parse_plan("local-search:restarts=3,max_moves=10,seed=9")
                 .options_as<LocalSearchOptions>()
@@ -211,6 +216,47 @@ TEST(SolveReport, SurfacesColouredSsbStatsThroughTheFacade) {
   EXPECT_EQ(report.stats_as<AnnealingStats>(), nullptr);
   EXPECT_EQ(report.method, SolveMethod::kColouredSsb);
   EXPECT_EQ(report.requested, SolveMethod::kColouredSsb);
+}
+
+TEST(SolveReport, SurfacesParetoArenaCountersThroughTheFacade) {
+  // The arena engine's perf counters must reach the report: arena bytes,
+  // peak frontier width, merge count and the prune ratio's inputs, all
+  // non-zero on a real multi-colour instance (io/json.cpp prints the same
+  // fields into report JSON).
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  const SolveReport report = solve(colouring, SolvePlan::pareto_dp());
+  const auto* stats = report.stats_as<ParetoDpStats>();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->arena_bytes, 0u);
+  EXPECT_GT(stats->peak_frontier, 0u);
+  EXPECT_GT(stats->minkowski_merges, 0u);
+  EXPECT_GT(stats->merge_points_generated, 0u);
+  EXPECT_GT(stats->merge_points_kept, 0u);
+  EXPECT_GE(stats->merge_points_generated, stats->merge_points_kept);
+  EXPECT_GE(stats->prune_ratio(), 0.0);
+  EXPECT_LT(stats->prune_ratio(), 1.0);
+}
+
+TEST(SolveReport, DpThreadsKeepReportsByteIdentical) {
+  // Intra-solve parallelism (dp_threads=) farms per-colour pipelines to the
+  // work-list pool; the combine order is deterministic, so the entire
+  // report -- counters included -- must not depend on the thread count.
+  // (This suite runs under TSan in ci.sh, which race-checks the pool.)
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  const SolveReport one = solve(colouring, parse_plan("pareto-dp"));
+  const SolveReport four = solve(colouring, parse_plan("pareto-dp:dp_threads=4"));
+  EXPECT_EQ(one.objective_value, four.objective_value);
+  EXPECT_EQ(one.assignment.cut_nodes(), four.assignment.cut_nodes());
+  const auto* s1 = one.stats_as<ParetoDpStats>();
+  const auto* s4 = four.stats_as<ParetoDpStats>();
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(s4, nullptr);
+  EXPECT_EQ(s1->arena_bytes, s4->arena_bytes);
+  EXPECT_EQ(s1->minkowski_merges, s4->minkowski_merges);
+  EXPECT_EQ(s1->merge_points_generated, s4->merge_points_generated);
+  EXPECT_EQ(s1->merge_points_kept, s4->merge_points_kept);
 }
 
 // --- automatic selection -------------------------------------------------

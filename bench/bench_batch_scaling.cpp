@@ -75,9 +75,14 @@ std::string batch_fingerprint(const BatchReport& report) {
   return oss.str();
 }
 
-void sweep(const char* name, const Owned& batch, const SolvePlan& base) {
+/// Returns whether every thread count reproduced the threads=1 reports --
+/// the executor's core guarantee, and the stable half of the bench_diff
+/// gate (per-row thread speedups are honest trajectory data but too
+/// host-dependent to gate: a 1-core CI box cannot scale).
+[[nodiscard]] bool sweep(const char* name, const Owned& batch, const SolvePlan& base) {
   Table t({"threads", "batch wall ms", "speedup vs 1", "straggler ms",
            "sum of solves ms", "identical reports"});
+  bool all_identical = true;
   double base_wall = 0.0;
   std::string reference;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
@@ -100,6 +105,7 @@ void sweep(const char* name, const Owned& batch, const SolvePlan& base) {
       base_wall = wall;
       reference = prints;
     }
+    all_identical = all_identical && prints == reference;
     t.add(threads, wall * 1e3, base_wall / wall, report.slowest_seconds * 1e3,
           report.total_solve_seconds * 1e3, prints == reference ? "yes" : "NO");
     bench::json().add_row(std::string(name) + " threads=" + std::to_string(threads),
@@ -112,16 +118,21 @@ void sweep(const char* name, const Owned& batch, const SolvePlan& base) {
   std::cout << "\n-- " << name << " (" << batch.instances.size() << " instances, "
             << bench::method_label(base.method()) << ") --\n";
   t.print(std::cout);
+  return all_identical;
 }
 
-void run() {
+[[nodiscard]] bool run() {
   bench::banner("E12 / batching", "solve_batch worker-pool scaling");
-  sweep("scenario batch", scenario_batch(), SolvePlan{});
-  sweep("synthetic batch", synthetic_batch(), SolvePlan::pareto_dp());
+  bool identical = sweep("scenario batch", scenario_batch(), SolvePlan{});
+  identical = sweep("synthetic batch", synthetic_batch(), SolvePlan::pareto_dp()) && identical;
   bench::note("speedup tracks the host's core count until per-instance work is too");
   bench::note("small to amortize the queue; 'identical reports' must always be yes --");
   bench::note("the executor's per-instance seed derivation makes thread count,");
   bench::note("scheduling and completion order invisible in the results.");
+  // The machine-independent half of the bench_diff gate: 1.0 means every
+  // thread count reproduced the threads=1 reports byte for byte.
+  bench::json().set("identity_ratio", identical ? 1.0 : 0.0);
+  return identical;
 }
 
 }  // namespace
@@ -129,6 +140,10 @@ void run() {
 
 int main(int argc, char** argv) {
   treesat::bench::BenchJson::init("bench_batch_scaling", &argc, argv);
-  treesat::run();
-  return treesat::bench::json().write() ? 0 : 1;
+  const bool identical = treesat::run();
+  if (!identical) {
+    std::cerr << "\nFAIL: some thread count diverged from the threads=1 reports\n";
+  }
+  const bool wrote = treesat::bench::json().write();
+  return identical && wrote ? 0 : 1;
 }

@@ -5,10 +5,15 @@
 // the point (the scaling experiments).
 #pragma once
 
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -37,11 +42,17 @@ class BenchJson {
  public:
   /// Parses and strips `--json <path>` from argv (so google-benchmark
   /// binaries can hand the remaining flags to benchmark::Initialize).
+  /// `--json` without a path is a usage error and exits 2 -- silently
+  /// ignoring it would drop the results a CI stage relies on.
   static void init(std::string bench_name, int* argc = nullptr, char** argv = nullptr) {
     instance().name_ = std::move(bench_name);
     if (argc == nullptr || argv == nullptr) return;
-    for (int i = 1; i + 1 < *argc; ++i) {
+    for (int i = 1; i < *argc; ++i) {
       if (std::string(argv[i]) == "--json") {
+        if (i + 1 >= *argc) {
+          std::cerr << instance().name_ << ": --json needs a path\n";
+          std::exit(2);
+        }
         instance().path_ = argv[i + 1];
         for (int k = i; k + 2 < *argc; ++k) argv[k] = argv[k + 2];
         *argc -= 2;
@@ -67,13 +78,25 @@ class BenchJson {
     rows_.push_back({label, std::move(metrics)});
   }
 
-  /// Writes the file (no-op without --json). Returns false when the path
-  /// could not be written, so mains can propagate the failure.
+  /// Writes the file (no-op without --json). Missing parent directories
+  /// are created first -- a bench archiving into a fresh build tree must
+  /// not lose its results to a mkdir the caller forgot. Returns false with
+  /// a diagnostic (the OS error included) when the path cannot be written,
+  /// so mains propagate a non-zero exit instead of silently dropping the
+  /// run.
   bool write() const {
     if (!enabled()) return true;
+    const std::filesystem::path path(path_);
+    if (path.has_parent_path()) {
+      std::error_code ec;  // surfaced below through the open failure
+      std::filesystem::create_directories(path.parent_path(), ec);
+    }
+    errno = 0;
     std::ofstream out(path_);
     if (!out) {
-      std::cerr << "BenchJson: cannot write " << path_ << "\n";
+      std::cerr << "BenchJson: cannot write " << path_ << ": "
+                << (errno != 0 ? std::strerror(errno) : "open failed")
+                << " (--json results would be lost)\n";
       return false;
     }
     out << "{\"bench\":\"" << name_ << "\",\"scalars\":{";
@@ -91,7 +114,12 @@ class BenchJson {
       out << '}';
     }
     out << "]}\n";
-    return static_cast<bool>(out);
+    out.flush();
+    if (!out) {
+      std::cerr << "BenchJson: short write to " << path_ << "\n";
+      return false;
+    }
+    return true;
   }
 
  private:

@@ -1,6 +1,10 @@
-// File-driven solver -- the "middleware integration" entry point: a
-// deployment service serializes its reasoning tree, calls this tool, and
-// consumes the JSON result.
+// File-driven solver -- the "middleware integration" entry point, now
+// speaking the treesat-serve protocol (service/service.hpp): the tool
+// builds the same submit/solve request lines a networked client would
+// send, feeds them through an in-process SolverService, and prints the
+// response lines. What a deployment sees on a socket is exactly what this
+// example prints on stdout -- and the full request grammar (perturb,
+// stats, evict) is one `treesat_serve --help` away.
 //
 //   $ ./example_solve_from_file <tree.txt> [plan] [lambda]
 //   $ ./example_solve_from_file --demo          # writes & solves a sample
@@ -14,9 +18,9 @@
 #include <sstream>
 
 #include "core/registry.hpp"
-#include "core/solver.hpp"
 #include "io/json.hpp"
 #include "io/table.hpp"
+#include "service/service.hpp"
 #include "tree/serialize.hpp"
 #include "workload/scenarios.hpp"
 
@@ -42,7 +46,7 @@ int main(int argc, char** argv) {
       const CruTree demo = paper_running_example();
       text = to_text(demo);
       std::ofstream("demo_tree.txt") << text;
-      // On stderr: stdout carries only the JSON document consumers parse.
+      // On stderr: stdout carries only the JSON documents consumers parse.
       std::cerr << "# wrote demo_tree.txt (the paper's Figs 2/5-8 example)\n";
     } else {
       std::ifstream in(argv[1]);
@@ -55,16 +59,38 @@ int main(int argc, char** argv) {
       text = buffer.str();
     }
 
-    const CruTree tree = tree_from_text(text);
-    const Colouring colouring(tree);
+    // The plan travels as a request field; the lambda weighting rides the
+    // spec the same way a remote client would send it.
+    std::string plan_spec = argc > 2 ? argv[2] : "coloured-ssb";
+    if (argc > 3) {
+      plan_spec += plan_spec.find(':') == std::string::npos ? ':' : ',';
+      plan_spec += "lambda=";
+      plan_spec += argv[3];
+    }
+    static_cast<void>(parse_plan(plan_spec));  // diagnose a bad spec up front
 
-    SolvePlan plan;
-    if (argc > 2) plan = parse_plan(argv[2]);
-    if (argc > 3) plan.with_objective(SsbObjective::from_lambda(std::stod(argv[3])));
+    SolverService service;
+    std::string submit = "{\"op\":\"submit\",\"tenant\":\"cli\",\"instance\":\"tree\","
+                         "\"tree\":\"";
+    submit += json_escape(text);
+    submit += "\"}";
+    std::string solve_req = "{\"op\":\"solve\",\"tenant\":\"cli\",\"instance\":\"tree\","
+                            "\"plan\":\"";
+    solve_req += json_escape(plan_spec);
+    solve_req += "\"}";
 
-    const SolveReport report = solve(colouring, plan);
-    std::cout << report_to_json(report) << "\n";
-    return 0;
+    // Response lines go to stdout verbatim -- this is the protocol a
+    // middleware consumer parses. The submit echo lands on stderr so
+    // stdout stays a clean stream of what was asked for.
+    const std::string submitted = service.handle_line(submit);
+    if (submitted.find("\"ok\":true") == std::string::npos) {
+      std::cerr << submitted << "\n";
+      return 1;
+    }
+    std::cerr << "# " << submitted << "\n";
+    const std::string solved = service.handle_line(solve_req);
+    std::cout << solved << "\n";
+    return solved.find("\"ok\":true") != std::string::npos ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

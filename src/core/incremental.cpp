@@ -542,6 +542,20 @@ SolveReport ResolveSession::solve_warm_dp(const SolvePlan& resolved, ResolveStat
                      plan_.method(),          r.stats};
 }
 
+std::size_t ResolveSession::cached_bytes() const {
+  std::size_t bytes = 0;
+  for (const FrontierCache* cache : {&colour_cache_, &region_cache_}) {
+    for (const auto& [key, cached] : *cache) {
+      bytes += key.words.size() * sizeof(std::uint64_t);
+      bytes += cached.frontier.size() * sizeof(ParetoPoint);
+      for (const ParetoPoint& point : cached.frontier) {
+        bytes += point.cut.size() * sizeof(CruId);
+      }
+    }
+  }
+  return bytes;
+}
+
 const SolveReport& ResolveSession::resolve(const Perturbation& p) {
   const Stopwatch watch;  // documented to cover the perturbation too
   // Validate-then-commit: an invalid perturbation throws here, leaving the

@@ -218,6 +218,13 @@ class ResolveSession {
   /// incorrectly, only evicted.
   const SolveReport& resolve(const Perturbation& p);
 
+  /// Bytes retained by the two frontier caches (points, cut ids and content
+  /// keys) -- the session-side analogue of ParetoDpStats::arena_bytes, and
+  /// what a serving layer charges against its memory budget
+  /// (service/session_store.hpp). Deterministic for a given resolve
+  /// history: a sum over entries, independent of hash iteration order.
+  [[nodiscard]] std::size_t cached_bytes() const;
+
  private:
   struct CachedFrontier {
     /// Frontier with cuts as *preorder positions* into the canonical node

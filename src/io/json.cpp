@@ -160,6 +160,34 @@ std::string report_to_json(const SolveReport& report) {
   return os.str();
 }
 
+std::string resolve_stats_to_json(const ResolveStats& stats) {
+  std::ostringstream os;
+  os << "{\"path\":\"" << resolve_path_name(stats.path) << "\",\"step\":" << stats.step
+     << ",\"cold_reason\":\"" << json_escape(stats.cold_reason) << '"'
+     << ",\"regions_total\":" << stats.regions_total
+     << ",\"regions_reused\":" << stats.regions_reused
+     << ",\"regions_recomputed\":" << stats.regions_recomputed
+     << ",\"colours_total\":" << stats.colours_total
+     << ",\"colours_reused\":" << stats.colours_reused
+     << ",\"cache_entries\":" << stats.cache_entries
+     << ",\"incumbent_used\":" << (stats.incumbent_used ? "true" : "false") << '}';
+  return os.str();
+}
+
+std::string report_to_json(const SolveReport& report, const ResolveStats& resolve) {
+  std::ostringstream os;
+  os << "{\"method\":\"" << method_name(report.method) << "\",\"requested\":\""
+     << method_name(report.requested) << "\",\"exact\":"
+     << (report.exact ? "true" : "false")
+     << ",\"objective\":" << number(report.objective_value)
+     << ",\"wall_seconds\":" << number(report.wall_seconds)
+     << ",\"resolve\":" << resolve_stats_to_json(resolve)
+     << ",\"stats\":" << stats_to_json(report.stats)
+     << ",\"assignment\":" << assignment_to_json(report.assignment) << '}';
+  return os.str();
+}
+
+
 std::string summary_to_json(const SolveSummary& summary) {
   std::ostringstream os;
   os << "{\"method\":\"" << json_escape(summary.method) << "\",\"exact\":"

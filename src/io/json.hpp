@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/assignment.hpp"
+#include "core/incremental.hpp"
 #include "core/solver.hpp"
 #include "sim/simulator.hpp"
 #include "tree/cru_tree.hpp"
@@ -24,6 +25,21 @@ namespace treesat {
 /// A facade solve: method (requested and resolved), exactness, value,
 /// timing, the method-specific stats variant, and the assignment.
 [[nodiscard]] std::string report_to_json(const SolveReport& report);
+
+/// One ResolveSession step's warm/cold provenance (core/incremental.hpp):
+/// which path ran, the cold reason when one did, and the reuse counters.
+/// Deliberately excludes the wall clock -- this object appears in
+/// byte-identity-checked response streams (service/service.hpp); timing
+/// lives in the report's own wall_seconds and the service telemetry.
+[[nodiscard]] std::string resolve_stats_to_json(const ResolveStats& stats);
+
+/// A session re-solve: report_to_json plus a "resolve" section carrying
+/// the warm/cold provenance of the step that produced it.
+/// (The serving layer's own telemetry document lives with its type:
+/// service_telemetry_to_json in service/telemetry.hpp -- io stays free of
+/// upward dependencies and serializes core types only.)
+[[nodiscard]] std::string report_to_json(const SolveReport& report,
+                                         const ResolveStats& resolve);
 
 /// A legacy solver run: method, exactness, value, timing, and the
 /// assignment. Deprecated with the SolveOptions shim; use report_to_json.

@@ -1,0 +1,95 @@
+// The wire format of treesat-serve: line-delimited JSON, one request per
+// line in, one response per line out (src/service/service.hpp is the
+// handler; this header is only the parse/format layer).
+//
+// Requests are *flat* JSON objects -- string, number, true/false/null
+// values, no nested objects or arrays -- which keeps the protocol trivially
+// producible from any language and keeps this parser small enough to audit.
+// The one value that would want nesting, a whole CRU tree, travels as the
+// line-based text format of tree/serialize.hpp inside a JSON string (its
+// newlines escaped as \n), so the ingestion format stays the diffable one.
+//
+// Responses are built with JsonLineWriter, which emits fields in call
+// order with shortest-round-trip number formatting -- the property the
+// service's determinism contract leans on: the same request stream must
+// produce byte-identical response streams at any shard or thread count
+// (tests/service_determinism_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace treesat {
+
+/// One parsed value of a request object.
+struct JsonValue {
+  enum class Kind : std::uint8_t { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string string;    ///< kString
+  double number = 0.0;   ///< kNumber
+  bool boolean = false;  ///< kBool
+};
+
+/// A parsed request line: a flat JSON object with typed field access.
+/// Missing keys and type mismatches throw InvalidArgument naming the key,
+/// so a malformed request turns into one descriptive error response instead
+/// of a crash or a silently defaulted field.
+class RequestObject {
+ public:
+  /// Parses one line. Throws InvalidArgument on anything but a single flat
+  /// JSON object (trailing garbage, nesting, duplicate keys included).
+  [[nodiscard]] static RequestObject parse(std::string_view line);
+
+  [[nodiscard]] bool has(const std::string& key) const { return fields_.count(key) != 0; }
+
+  [[nodiscard]] const std::string& string_at(const std::string& key) const;
+  [[nodiscard]] double number_at(const std::string& key) const;
+  [[nodiscard]] bool bool_at(const std::string& key) const;
+  /// number_at narrowed to a non-negative integer (ids, counts).
+  [[nodiscard]] std::size_t size_at(const std::string& key) const;
+
+  [[nodiscard]] std::string string_or(const std::string& key, std::string fallback) const;
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::map<std::string, JsonValue>& fields() const { return fields_; }
+
+ private:
+  const JsonValue& at(const std::string& key, JsonValue::Kind kind) const;
+
+  std::map<std::string, JsonValue> fields_;
+};
+
+/// Builder for one response line. Fields appear in call order; numbers use
+/// shortest round-trip formatting (common/format.hpp), strings are escaped
+/// with io/json's json_escape -- both deterministic, both matching the rest
+/// of the JSON the library emits.
+class JsonLineWriter {
+ public:
+  JsonLineWriter() { os_ << '{'; }
+
+  JsonLineWriter& field_str(std::string_view key, std::string_view value);
+  JsonLineWriter& field_num(std::string_view key, double value);
+  JsonLineWriter& field_uint(std::string_view key, std::size_t value);
+  JsonLineWriter& field_bool(std::string_view key, bool value);
+  /// Splices pre-serialized JSON (an embedded document, an array).
+  JsonLineWriter& field_raw(std::string_view key, std::string_view json);
+
+  /// Closes the object. The writer is spent afterwards.
+  [[nodiscard]] std::string finish() {
+    os_ << '}';
+    return os_.str();
+  }
+
+ private:
+  void key(std::string_view key);
+
+  std::ostringstream os_;
+  bool first_ = true;
+};
+
+}  // namespace treesat

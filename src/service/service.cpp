@@ -1,0 +1,504 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/format.hpp"
+#include "core/registry.hpp"
+#include "core/solver.hpp"
+#include "io/json.hpp"
+#include "service/protocol.hpp"
+#include "tree/serialize.hpp"
+
+namespace treesat {
+
+namespace {
+
+// --- config spec parsing -------------------------------------------------
+
+[[noreturn]] void bad_config_value(std::string_view key, std::string_view value) {
+  throw InvalidArgument("parse_service_config: cannot parse value '" + std::string(value) +
+                        "' for key '" + std::string(key) + "'");
+}
+
+std::uint64_t config_u64(std::string_view key, std::string_view value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) bad_config_value(key, value);
+  return out;
+}
+
+double config_double(std::string_view key, std::string_view value) {
+  double out = 0.0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) bad_config_value(key, value);
+  return out;
+}
+
+bool config_bool(std::string_view key, std::string_view value) {
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  bad_config_value(key, value);
+}
+
+/// Byte count with an optional k/m/g suffix (binary units): "64m", "512k".
+/// Overflow is rejected, not wrapped: a budget that silently wraps to a
+/// tiny value would evict every warm session with no diagnostic.
+std::size_t config_bytes(std::string_view key, std::string_view value) {
+  std::size_t multiplier = 1;
+  std::string_view digits = value;
+  if (!value.empty()) {
+    switch (value.back()) {
+      case 'k': case 'K': multiplier = std::size_t{1} << 10; break;
+      case 'm': case 'M': multiplier = std::size_t{1} << 20; break;
+      case 'g': case 'G': multiplier = std::size_t{1} << 30; break;
+      default: break;
+    }
+    if (multiplier != 1) digits = value.substr(0, value.size() - 1);
+  }
+  const std::uint64_t count = config_u64(key, digits);
+  if (count != 0 &&
+      count > std::numeric_limits<std::size_t>::max() / multiplier) {
+    throw InvalidArgument("parse_service_config: key '" + std::string(key) +
+                          "' overflows: '" + std::string(value) +
+                          "' (use 0 for an unlimited budget)");
+  }
+  return static_cast<std::size_t>(count) * multiplier;
+}
+
+}  // namespace
+
+ServiceOptions parse_service_config(std::string_view spec) {
+  ServiceOptions options;
+  if (spec.empty()) return options;
+
+  std::vector<std::pair<std::string_view, std::string_view>> pairs;
+  std::string_view rest = spec;
+  while (true) {
+    const auto comma = rest.find(',');
+    const std::string_view pair = rest.substr(0, comma);
+    const auto eq = pair.find('=');
+    if (pair.empty() || eq == std::string_view::npos || eq == 0) {
+      throw InvalidArgument("parse_service_config: malformed 'key=value' pair '" +
+                            std::string(pair) + "' in '" + std::string(spec) + "'");
+    }
+    pairs.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  for (std::size_t a = 0; a < pairs.size(); ++a) {
+    for (std::size_t b = a + 1; b < pairs.size(); ++b) {
+      if (pairs[a].first == pairs[b].first) {
+        throw InvalidArgument("parse_service_config: duplicate key '" +
+                              std::string(pairs[b].first) + "' in '" + std::string(spec) +
+                              "'");
+      }
+    }
+  }
+
+  for (const auto& [key, value] : pairs) {
+    if (key == "shards") {
+      options.shards = static_cast<std::size_t>(config_u64(key, value));
+      if (options.shards == 0) {
+        throw InvalidArgument(
+            "parse_service_config: key 'shards' must be >= 1, got '" + std::string(value) +
+            "' (behavior is shard-count-invariant; 1 is the sequential default)");
+      }
+    } else if (key == "mem_budget") {
+      options.mem_budget = config_bytes(key, value);
+    } else if (key == "deadline_ms") {
+      const double ms = config_double(key, value);
+      if (!std::isfinite(ms) || ms < 0.0) {
+        throw InvalidArgument("parse_service_config: key 'deadline_ms' must be a finite "
+                              "non-negative number, got '" +
+                              std::string(value) + "'");
+      }
+      options.executor.deadline_seconds = ms / 1e3;
+    } else if (key == "fail_fast") {
+      options.executor.fail_fast = config_bool(key, value);
+    } else if (key == "timing") {
+      options.timing_in_stats = config_bool(key, value);
+    } else if (key == "plan") {
+      // Validated eagerly so a typo'd default plan fails at startup, not on
+      // the first solve request. The config grammar splits on commas, so
+      // multi-key plan specs are per-request territory.
+      static_cast<void>(parse_plan(value));
+      options.plan = std::string(value);
+    } else {
+      throw InvalidArgument("parse_service_config: unknown key '" + std::string(key) +
+                            "' (accepted: shards,mem_budget,deadline_ms,fail_fast,timing,"
+                            "plan)");
+    }
+  }
+  return options;
+}
+
+std::string service_config_spec(const ServiceOptions& options) {
+  std::string spec = "shards=" + std::to_string(options.shards);
+  spec += ",mem_budget=" + std::to_string(options.mem_budget);
+  if (options.executor.deadline_seconds != 0.0) {
+    spec += ",deadline_ms=" + shortest_round_trip(options.executor.deadline_seconds * 1e3);
+  }
+  if (!options.executor.fail_fast) spec += ",fail_fast=false";
+  if (options.timing_in_stats) spec += ",timing=true";
+  spec += ",plan=" + options.plan;
+  return spec;
+}
+
+// --- the service ---------------------------------------------------------
+
+SolverService::SolverService(ServiceOptions options)
+    : options_(std::move(options)),
+      default_plan_(parse_plan(options_.plan)),
+      store_(options_.shards, options_.mem_budget) {}
+
+namespace {
+
+/// Session identity of a plan: the canonical spec with every
+/// result-invisible knob stripped. dp_threads and the executor keys
+/// (threads/deadline_ms/fail_fast/warm_start) are documented -- and
+/// asserted, see service_determinism_test -- to never change a result, so
+/// a client re-tuning parallelism must keep its warm session instead of
+/// triggering a cold "plan changed" rebuild. The session keeps solving
+/// with the options it was built under.
+std::string session_plan_key(SolvePlan plan) {
+  plan.with_executor(ExecutorOptions{});
+  if (plan.method() == SolveMethod::kParetoDp) {
+    ParetoDpOptions o = plan.options_as<ParetoDpOptions>();
+    o.dp_threads = 1;
+    plan = SolvePlan::pareto_dp(std::move(o));
+  }
+  return plan_spec(plan);
+}
+
+/// The session-store identifiers; '/' is the store's key separator and a
+/// slash-y tenant would alias another tenant's instances.
+void require_id(const char* what, const std::string& value) {
+  if (value.empty() || value.find('/') != std::string::npos) {
+    throw InvalidArgument("request: '" + std::string(what) +
+                          "' must be non-empty and '/'-free, got '" + value + "'");
+  }
+}
+
+/// The perturbation a perturb request describes, resolved against the
+/// entry's current tree (insert parents are named by node *name*: names
+/// survive the id compaction of a satellite loss, ids do not).
+Perturbation parse_perturbation(const RequestObject& req, const CruTree& tree) {
+  const std::string& kind = req.string_at("kind");
+  if (kind == "global_drift") {
+    return Perturbation::global_drift(req.number_or("host_scale", 1.0),
+                                      req.number_or("sat_scale", 1.0),
+                                      req.number_or("comm_scale", 1.0));
+  }
+  if (kind == "satellite_drift") {
+    return Perturbation::satellite_drift(SatelliteId{req.size_at("satellite")},
+                                         req.number_or("host_scale", 1.0),
+                                         req.number_or("sat_scale", 1.0),
+                                         req.number_or("comm_scale", 1.0));
+  }
+  if (kind == "satellite_loss") {
+    return Perturbation::satellite_loss(SatelliteId{req.size_at("satellite")});
+  }
+  if (kind == "insert_probe") {
+    const CruId parent = tree.by_name(req.string_at("parent"));
+    return Perturbation::insert_probe(parent, req.string_at("name"),
+                                      SatelliteId{req.size_at("satellite")},
+                                      req.number_or("host_time", 1.0),
+                                      req.number_or("sat_time", 1.0),
+                                      req.number_or("comm_up", 1.0),
+                                      req.number_or("sensor_comm_up", 1.0));
+  }
+  throw InvalidArgument("request: unknown perturbation kind '" + kind +
+                        "' (global_drift, satellite_drift, satellite_loss, insert_probe)");
+}
+
+/// The cut as a JSON array of node names (stable identifiers, unlike ids).
+std::string cut_to_json(const SolveReport& report, const CruTree& tree) {
+  std::string out = "[";
+  const std::vector<CruId>& cut = report.assignment.cut_nodes();
+  for (std::size_t i = 0; i < cut.size(); ++i) {
+    if (i) out += ',';
+    out += '"' + json_escape(tree.node(cut[i]).name) + '"';
+  }
+  out += ']';
+  return out;
+}
+
+/// The shared tail of solve/perturb responses: the optimum and the
+/// warm/cold provenance. Deliberately no wall-clock field -- the response
+/// stream is byte-identity-checked across shard/thread counts.
+void add_solution_fields(JsonLineWriter& w, const SessionEntry& entry, const char* path,
+                         const ResolveStats& stats) {
+  const SolveReport& report = entry.session->current();
+  w.field_str("path", path);
+  w.field_str("method", method_name(report.method));
+  w.field_bool("exact", report.exact);
+  w.field_num("objective", report.objective_value);
+  w.field_num("host_time", report.delay.host_time);
+  w.field_num("bottleneck", report.delay.bottleneck);
+  w.field_raw("cut", cut_to_json(report, entry.session->tree()));
+  w.field_uint("regions_total", stats.regions_total);
+  w.field_uint("regions_reused", stats.regions_reused);
+  w.field_uint("regions_recomputed", stats.regions_recomputed);
+  w.field_str("cold_reason", stats.cold_reason);
+}
+
+}  // namespace
+
+std::string SolverService::handle_line(const std::string& line) {
+  return handle(line).line;
+}
+
+std::size_t SolverService::serve(std::istream& in, std::ostream& out) {
+  std::size_t errors = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const Outcome outcome = handle(line);
+    out << outcome.line << '\n';
+    if (!outcome.ok) {
+      ++errors;
+      if (options_.executor.fail_fast) break;
+    }
+  }
+  out.flush();
+  return errors;
+}
+
+const ServiceTelemetry& SolverService::telemetry() {
+  telemetry_.shards = store_.shard_count();
+  telemetry_.mem_budget = store_.mem_budget();
+  telemetry_.bytes_used = store_.bytes_used();
+  telemetry_.entries = store_.entries();
+  telemetry_.sessions = store_.sessions();
+  return telemetry_;
+}
+
+SolverService::Outcome SolverService::handle(const std::string& line) {
+  const std::size_t id = ++next_id_;
+  ++telemetry_.requests;
+  const Stopwatch watch;
+  std::string op;
+  std::string tenant;
+  try {
+    const RequestObject req = RequestObject::parse(line);
+    op = req.string_at("op");
+    tenant = req.string_or("tenant", "");
+    TenantTelemetry* tt = nullptr;
+    if (!tenant.empty()) {
+      require_id("tenant", tenant);
+      tt = &telemetry_.slot(tenant);
+      ++tt->requests;
+    }
+
+    // Admission deadline, mirroring the executor: checked before the
+    // request starts, never interrupting a running solve. The effective
+    // budget is the service deadline tightened by the request's own
+    // deadline_ms, both measured from service start (the protocol is
+    // open-loop: a request's useful-by time is relative to the stream).
+    double limit = options_.executor.deadline_seconds;
+    if (req.has("deadline_ms")) {
+      const double ms = req.number_at("deadline_ms");
+      if (!std::isfinite(ms) || ms < 0.0) {
+        throw InvalidArgument(
+            "request: 'deadline_ms' must be a finite non-negative number");
+      }
+      if (ms > 0.0) {
+        const double request_limit = ms / 1e3;
+        limit = limit > 0.0 ? std::min(limit, request_limit) : request_limit;
+      }
+    }
+    if (limit > 0.0 && since_start_.seconds() >= limit) {
+      throw ResourceLimit("deadline: request " + std::to_string(id) +
+                          " arrived after its admission budget expired; not started");
+    }
+
+    JsonLineWriter w;
+    w.field_uint("id", id).field_str("op", op).field_bool("ok", true);
+
+    if (op == "submit") {
+      if (tt == nullptr) throw InvalidArgument("request: 'submit' needs a tenant");
+      const std::string& instance = req.string_at("instance");
+      require_id("instance", instance);
+      ++tt->submits;
+      CruTree tree = tree_from_text(req.string_at("tree"));
+      const std::size_t incoming = SessionStore::estimate_bytes(tree, nullptr);
+      if (store_.mem_budget() != 0 && incoming > store_.mem_budget()) {
+        throw ResourceLimit("admission: instance '" + instance + "' needs " +
+                            std::to_string(incoming) + " bytes but the budget is " +
+                            std::to_string(store_.mem_budget()));
+      }
+      const bool replaced = store_.find(tenant, instance) != nullptr;
+      SessionEntry& entry = store_.put(tenant, instance, std::move(tree));
+      std::size_t lru_evicted = 0;
+      for (const EvictedEntry& e : store_.enforce_budget(&entry)) {
+        ++telemetry_.slot(e.tenant).lru_evictions;
+        ++lru_evicted;
+      }
+      w.field_str("tenant", tenant).field_str("instance", instance);
+      w.field_uint("nodes", entry.current_tree().size());
+      w.field_uint("sensors", entry.current_tree().sensor_count());
+      w.field_uint("satellites", entry.current_tree().satellite_count());
+      w.field_uint("bytes", entry.bytes);
+      w.field_bool("replaced", replaced);
+      w.field_uint("lru_evicted", lru_evicted);
+    } else if (op == "solve") {
+      if (tt == nullptr) throw InvalidArgument("request: 'solve' needs a tenant");
+      const std::string& instance = req.string_at("instance");
+      ++tt->solves;
+      // The plan is validated before the store is consulted: a typo'd spec
+      // is the request's own defect and should be diagnosed as such even
+      // when the instance is unknown too.
+      const SolvePlan plan =
+          req.has("plan") ? parse_plan(req.string_at("plan")) : default_plan_;
+      const std::string canonical = session_plan_key(plan);
+      SessionEntry* entry = store_.find(tenant, instance);
+      if (entry == nullptr) {
+        throw InvalidArgument("request: unknown instance '" + tenant + '/' + instance +
+                              "' (submit it first)");
+      }
+
+      const char* path = "cached";
+      ResolveStats stats;
+      if (entry->session == nullptr) {
+        // First solve: materialize the warm session from the submitted
+        // tree. Built from a copy so a solver failure (resource cap) keeps
+        // the entry usable for a retry under another plan.
+        entry->session = std::make_unique<ResolveSession>(CruTree(*entry->tree), plan);
+        entry->tree.reset();
+        entry->plan_spec = canonical;
+        path = "initial";
+        stats = entry->session->last_stats();
+        ++tt->initial_solves;
+        ++tt->method_counts[static_cast<std::size_t>(entry->session->current().method)];
+      } else if (entry->plan_spec != canonical) {
+        // A new plan cannot reuse the old session's state (its caches and
+        // incumbents belong to the old options): rebuild cold on the
+        // session's current (perturbation-evolved) tree.
+        auto rebuilt = std::make_unique<ResolveSession>(CruTree(entry->session->tree()), plan);
+        entry->session = std::move(rebuilt);
+        entry->plan_spec = canonical;
+        path = "cold";
+        stats = entry->session->last_stats();
+        stats.cold_reason = "plan changed; session rebuilt";
+        ++tt->cold_solves;
+        ++tt->method_counts[static_cast<std::size_t>(entry->session->current().method)];
+      } else {
+        // Same plan, unperturbed instance: the whole point of the warm
+        // store -- served straight from the session.
+        stats = entry->session->last_stats();
+        stats.regions_reused = stats.regions_total;
+        stats.regions_recomputed = 0;
+        stats.cold_reason.clear();
+        ++tt->warm_hits;
+      }
+      store_.refresh_bytes(*entry);
+      std::size_t lru_evicted = 0;
+      for (const EvictedEntry& e : store_.enforce_budget(entry)) {
+        ++telemetry_.slot(e.tenant).lru_evictions;
+        ++lru_evicted;
+      }
+      w.field_str("tenant", tenant).field_str("instance", instance);
+      add_solution_fields(w, *entry, path, stats);
+      w.field_uint("bytes", entry->bytes);
+      w.field_uint("lru_evicted", lru_evicted);
+    } else if (op == "perturb") {
+      if (tt == nullptr) throw InvalidArgument("request: 'perturb' needs a tenant");
+      const std::string& instance = req.string_at("instance");
+      ++tt->perturbs;
+      SessionEntry* entry = store_.find(tenant, instance);
+      if (entry == nullptr) {
+        throw InvalidArgument("request: unknown instance '" + tenant + '/' + instance +
+                              "' (submit it first)");
+      }
+      const Perturbation p = parse_perturbation(req, entry->current_tree());
+      w.field_str("tenant", tenant).field_str("instance", instance);
+      w.field_str("kind", p.kind_name());
+      if (entry->session != nullptr) {
+        entry->session->resolve(p);
+        const ResolveStats& stats = entry->session->last_stats();
+        const bool warm = stats.path == ResolvePath::kWarm;
+        ++(warm ? tt->warm_hits : tt->cold_solves);
+        ++tt->method_counts[static_cast<std::size_t>(entry->session->current().method)];
+        w.field_bool("solved", true);
+        add_solution_fields(w, *entry, resolve_path_name(stats.path), stats);
+      } else {
+        // Not solved yet: evolve the stored tree so the eventual first
+        // solve sees the current instance.
+        entry->tree = std::make_unique<CruTree>(apply_perturbation(*entry->tree, p));
+        w.field_bool("solved", false);
+        w.field_uint("nodes", entry->tree->size());
+      }
+      store_.refresh_bytes(*entry);
+      std::size_t lru_evicted = 0;
+      for (const EvictedEntry& e : store_.enforce_budget(entry)) {
+        ++telemetry_.slot(e.tenant).lru_evictions;
+        ++lru_evicted;
+      }
+      w.field_uint("bytes", entry->bytes);
+      w.field_uint("lru_evicted", lru_evicted);
+    } else if (op == "stats") {
+      const bool timing = options_.timing_in_stats || req.bool_or("timing", false);
+      const ServiceTelemetry& full = telemetry();
+      if (tt != nullptr) {
+        // Tenant-scoped view: store gauges plus this tenant's own section
+        // only -- built from scratch, not by copying the full document
+        // (which can hold ~1024 tenants x 4096 latency samples), and with
+        // the overflow aggregate deliberately left empty: it mixes *other*
+        // tenants' counters and must not leak into a scoped response. In
+        // the scoped document `totals` therefore equals the tenant's own
+        // block. A tenant past the tracking cap gets gauges only.
+        ServiceTelemetry scoped;
+        scoped.shards = full.shards;
+        scoped.mem_budget = full.mem_budget;
+        scoped.bytes_used = full.bytes_used;
+        scoped.entries = full.entries;
+        scoped.sessions = full.sessions;
+        scoped.requests = full.requests;
+        scoped.errors = full.errors;
+        const auto it = full.tenants.find(tenant);
+        if (it != full.tenants.end()) scoped.tenants.insert(*it);
+        w.field_raw("stats", service_telemetry_to_json(scoped, timing));
+      } else {
+        w.field_raw("stats", service_telemetry_to_json(full, timing));
+      }
+    } else if (op == "evict") {
+      if (tt == nullptr) throw InvalidArgument("request: 'evict' needs a tenant");
+      const std::string& instance = req.string_at("instance");
+      ++tt->evict_requests;
+      const bool evicted = store_.erase(tenant, instance);
+      if (evicted) ++tt->explicit_evictions;
+      w.field_str("tenant", tenant).field_str("instance", instance);
+      w.field_bool("evicted", evicted);
+    } else {
+      throw InvalidArgument("request: unknown op '" + op +
+                            "' (submit, solve, perturb, stats, evict)");
+    }
+
+    if (tt != nullptr && (op == "solve" || op == "perturb")) {
+      tt->latency.record(watch.seconds());
+    }
+    return {w.finish(), true};
+  } catch (const std::exception& e) {
+    ++telemetry_.errors;
+    if (!tenant.empty() && tenant.find('/') == std::string::npos) {
+      ++telemetry_.slot(tenant).errors;
+    }
+    JsonLineWriter w;
+    w.field_uint("id", id);
+    w.field_str("op", op.empty() ? "?" : op);
+    w.field_bool("ok", false);
+    w.field_str("error", e.what());
+    return {w.finish(), false};
+  }
+}
+
+}  // namespace treesat

@@ -1,0 +1,139 @@
+// treesat-serve: the multi-tenant solver service.
+//
+// SolverService turns the library's one-shot solves into *served* state: a
+// line-delimited JSON request protocol (service/protocol.hpp) over a
+// sharded store of warm ResolveSessions (service/session_store.hpp), so a
+// tenant's drifting workload re-solves against its live frontier caches
+// instead of cold-starting on every request. Transport-agnostic by design:
+// handle_line() maps one request line to one response line, serve() runs
+// the loop over any istream/ostream pair (tools/treesat_serve.cpp is the
+// stdin/file frontend; a socket frontend would call the same two methods).
+//
+// Request protocol (one flat JSON object per line; # lines and blank lines
+// are skipped by serve()):
+//
+//   {"op":"submit","tenant":"t0","instance":"w0","tree":"cru_tree v1\n..."}
+//       Registers (or replaces) an instance; the tree travels as the text
+//       format of tree/serialize.hpp inside a JSON string. Admission
+//       control: an instance whose byte estimate alone exceeds the memory
+//       budget is rejected up front.
+//   {"op":"solve","tenant":"t0","instance":"w0","plan":"pareto-dp"}
+//       First solve builds the warm session (path "initial"); a repeat
+//       under the same plan is served from it (path "cached"); a new plan
+//       rebuilds the session (path "cold").
+//   {"op":"perturb","tenant":"t0","instance":"w0","kind":"satellite_drift",
+//    "satellite":1,"host_scale":1.1,"sat_scale":0.9,"comm_scale":1.0}
+//       Applies one perturbation and re-solves warm where cached state
+//       survives. Kinds: global_drift, satellite_drift, satellite_loss,
+//       insert_probe (parent named by node name -- names are stable under
+//       the id compaction a satellite loss performs; ids are not).
+//   {"op":"stats"}            (optional "tenant", optional "timing":true)
+//       Telemetry document (io/json.cpp service_telemetry_to_json).
+//   {"op":"evict","tenant":"t0","instance":"w0"}
+//       Drops the entry and its warm state.
+//
+// Every response carries {"id":N,"op":...,"ok":true|false}; errors report
+// {"ok":false,"error":"..."} and never tear the service down.
+//
+// Determinism contract. For a fixed request stream the response stream is
+// byte-identical at any shard count and any solver thread count
+// (dp_threads included), extending the executor/DP guarantees of PRs 2-4
+// to the serving layer: responses expose objectives, cuts, warm/cold paths
+// and counters but never wall-clock values, the store's eviction order is
+// shard-count-invariant, and latency quantiles only enter a stats response
+// when explicitly requested ("timing":true). Deadlines are the deliberate
+// exception -- admission rejections depend on the wall clock, exactly like
+// the BatchExecutor's between-instance deadline -- so deterministic traces
+// simply carry none.
+//
+// Admission control reuses ExecutorOptions: deadline_seconds is the serve
+// budget measured from construction and checked before each request is
+// started (a running solve is never interrupted; late requests fail fast
+// with an error response), a per-request "deadline_ms" tightens it for
+// that request, and fail_fast stops the stream at the first error
+// response, mirroring the batch executor's contract.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/stopwatch.hpp"
+#include "core/plan.hpp"
+#include "service/session_store.hpp"
+#include "service/telemetry.hpp"
+
+namespace treesat {
+
+/// Service configuration. The string form (parse_service_config, CLI flag
+/// --config) spells them shards= / mem_budget= / deadline_ms= / fail_fast=
+/// / plan= / timing=.
+struct ServiceOptions {
+  /// Store shards (>= 1). Observable behavior is shard-count-invariant;
+  /// the knob sizes the lock partition a concurrent frontend would use.
+  std::size_t shards = 1;
+  /// Warm-state byte budget; 0 = unlimited. LRU eviction keeps the store
+  /// under it (session_store.hpp).
+  std::size_t mem_budget = 0;
+  /// Default plan spec for solve requests that carry none. Must be a valid
+  /// registry spec (core/registry.hpp).
+  std::string plan = "pareto-dp";
+  /// Admission knobs, reusing the executor contract (core/executor.hpp):
+  /// deadline_seconds bounds the whole serve measured from construction,
+  /// fail_fast stops the stream at the first error response.
+  ExecutorOptions executor;
+  /// Include latency quantiles in every stats response (otherwise only
+  /// when the request asks with "timing":true). Off by default: timing is
+  /// wall-clock and would break byte-identical trace replay.
+  bool timing_in_stats = false;
+};
+
+/// Parses "key=value[,key=value...]" into ServiceOptions. Accepted keys:
+/// shards (>= 1), mem_budget (bytes, optional k/m/g suffix, 0 = unlimited),
+/// deadline_ms (finite, >= 0), fail_fast (bool), timing (bool), plan (a
+/// registry spec; comma-free -- per-request plans carry the full grammar).
+/// Throws InvalidArgument naming the offending token on anything malformed,
+/// with the same diagnostics style as parse_plan
+/// (tests/parse_plan_fuzz_test.cpp covers the error table).
+[[nodiscard]] ServiceOptions parse_service_config(std::string_view spec);
+
+/// Canonical spec of a config (round-trips through parse_service_config).
+[[nodiscard]] std::string service_config_spec(const ServiceOptions& options);
+
+class SolverService {
+ public:
+  explicit SolverService(ServiceOptions options = {});
+
+  /// Maps one request line to one response line (no trailing newline).
+  /// Never throws: malformed requests, unknown instances, solver failures
+  /// and deadline rejections all become {"ok":false,...} responses.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Runs the line protocol: a response line per request line; blank lines
+  /// and '#' comment lines are skipped (so traces stay annotatable).
+  /// Honors executor.fail_fast (stop after the first error response) and
+  /// the service deadline. Returns the number of error responses.
+  std::size_t serve(std::istream& in, std::ostream& out);
+
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+  /// Telemetry with the store gauges refreshed.
+  [[nodiscard]] const ServiceTelemetry& telemetry();
+
+ private:
+  struct Outcome {
+    std::string line;
+    bool ok = true;
+  };
+
+  [[nodiscard]] Outcome handle(const std::string& line);
+
+  ServiceOptions options_;
+  SolvePlan default_plan_;
+  SessionStore store_;
+  ServiceTelemetry telemetry_;
+  Stopwatch since_start_;
+  std::size_t next_id_ = 0;
+};
+
+}  // namespace treesat

@@ -1,0 +1,147 @@
+#include "service/session_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace treesat {
+
+namespace {
+
+/// FNV-1a over the key: stable across runs and platforms (std::hash is
+/// neither guaranteed), so a trace replays onto the same shard layout
+/// everywhere.
+std::uint64_t key_hash(const std::string& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+SessionStore::SessionStore(std::size_t shards, std::size_t mem_budget)
+    : shards_(shards), mem_budget_(mem_budget) {
+  TS_REQUIRE(shards >= 1, "SessionStore: shards must be >= 1, got " << shards);
+}
+
+std::string SessionStore::key_of(const std::string& tenant, const std::string& instance) {
+  return tenant + '/' + instance;
+}
+
+std::size_t SessionStore::shard_of(const std::string& key) const {
+  return static_cast<std::size_t>(key_hash(key) % shards_.size());
+}
+
+SessionEntry* SessionStore::find(const std::string& tenant, const std::string& instance) {
+  const std::string key = key_of(tenant, instance);
+  Shard& shard = shards_[shard_of(key)];
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return nullptr;
+  it->second.stamp = ++clock_;
+  return &it->second;
+}
+
+SessionEntry& SessionStore::put(const std::string& tenant, const std::string& instance,
+                                CruTree tree) {
+  const std::string key = key_of(tenant, instance);
+  Shard& shard = shards_[shard_of(key)];
+  const auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    bytes_used_ -= it->second.bytes;
+    shard.entries.erase(it);
+  }
+  SessionEntry entry;
+  entry.tenant = tenant;
+  entry.instance = instance;
+  entry.tree = std::make_unique<CruTree>(std::move(tree));
+  entry.bytes = estimate_bytes(*entry.tree, nullptr);
+  entry.stamp = ++clock_;
+  bytes_used_ += entry.bytes;
+  return shard.entries.emplace(key, std::move(entry)).first->second;
+}
+
+bool SessionStore::erase(const std::string& tenant, const std::string& instance) {
+  const std::string key = key_of(tenant, instance);
+  Shard& shard = shards_[shard_of(key)];
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return false;
+  bytes_used_ -= it->second.bytes;
+  shard.entries.erase(it);
+  return true;
+}
+
+void SessionStore::refresh_bytes(SessionEntry& entry) {
+  const std::size_t fresh = estimate_bytes(entry.current_tree(), entry.session.get());
+  bytes_used_ += fresh;
+  bytes_used_ -= entry.bytes;
+  entry.bytes = fresh;
+}
+
+std::vector<EvictedEntry> SessionStore::enforce_budget(const SessionEntry* protect) {
+  std::vector<EvictedEntry> evicted;
+  if (mem_budget_ == 0) return evicted;
+  while (bytes_used_ > mem_budget_) {
+    // Global LRU victim: smallest stamp, ties by (tenant, instance). The
+    // scan is O(entries) but entries are whole warm instances -- dozens,
+    // not millions -- and the strict total order is what keeps eviction
+    // byte-identical across shard counts.
+    Shard* victim_shard = nullptr;
+    const SessionEntry* victim = nullptr;
+    std::string victim_key;
+    for (Shard& shard : shards_) {
+      for (const auto& [key, entry] : shard.entries) {
+        if (&entry == protect) continue;
+        const bool better =
+            victim == nullptr || entry.stamp < victim->stamp ||
+            (entry.stamp == victim->stamp &&
+             std::make_pair(entry.tenant, entry.instance) <
+                 std::make_pair(victim->tenant, victim->instance));
+        if (better) {
+          victim_shard = &shard;
+          victim = &entry;
+          victim_key = key;
+        }
+      }
+    }
+    if (victim == nullptr) break;  // only the protected entry is resident
+    evicted.push_back({victim->tenant, victim->instance, victim->bytes});
+    bytes_used_ -= victim->bytes;
+    victim_shard->entries.erase(victim_key);
+    ++lru_evictions_;
+  }
+  return evicted;
+}
+
+std::size_t SessionStore::estimate_bytes(const CruTree& tree, const ResolveSession* session) {
+  // Structural footprint: node records plus the derived index arrays
+  // (preorder/postorder/leaf spans/depths), all linear in the node count.
+  std::size_t bytes = 512 + tree.size() * 160;
+  if (session != nullptr) {
+    bytes += 256 + session->cached_bytes();
+    if (const auto* dp = session->current().stats_as<ParetoDpStats>()) {
+      bytes += dp->arena_bytes;
+    }
+  }
+  return bytes;
+}
+
+std::size_t SessionStore::entries() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) n += shard.entries.size();
+  return n;
+}
+
+std::size_t SessionStore::sessions() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    for (const auto& [key, entry] : shard.entries) {
+      if (entry.session != nullptr) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace treesat

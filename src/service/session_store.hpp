@@ -1,0 +1,115 @@
+// The sharded warm-session store behind treesat-serve.
+//
+// A serving deployment keeps one warm ResolveSession per live
+// tenant/instance pair: the session's frontier caches are what turn a
+// perturb request into a warm re-solve instead of a cold one
+// (core/incremental.hpp). Warm state is memory, so the store meters it:
+// every entry carries a deterministic byte estimate -- the tree's
+// structural footprint plus the session's retained DP state
+// (ResolveSession::cached_bytes(), the frontier-cache analogue of
+// ParetoDpStats::arena_bytes, plus any arena the last report charged) --
+// and when the total exceeds the configured budget the least-recently-used
+// entries are evicted until it fits.
+//
+// Sharding and determinism. Entries hash-partition across `shards` buckets
+// (the layout a concurrent frontend would lock per shard), but nothing
+// observable depends on the shard count: lookups go straight to the owning
+// shard, and eviction picks its victim by a *global* strict total order --
+// smallest last-touch stamp, ties broken by key -- scanning every shard.
+// The same request stream therefore produces the same hits, the same
+// evictions and the same telemetry at shards=1 and shards=8, which is the
+// half of the service's byte-identity contract that the store owns
+// (tests/service_determinism_test.cpp asserts it end to end).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/incremental.hpp"
+
+namespace treesat {
+
+/// One resident tenant/instance. Holds the submitted tree until the first
+/// solve materializes a warm ResolveSession; afterwards the session's own
+/// (perturbation-evolved) tree is authoritative and `tree` is released.
+struct SessionEntry {
+  std::string tenant;
+  std::string instance;
+  std::string plan_spec;  ///< canonical spec the session was built with
+  std::unique_ptr<CruTree> tree;            ///< pre-session storage
+  std::unique_ptr<ResolveSession> session;  ///< null until the first solve
+  std::size_t bytes = 0;      ///< last byte estimate charged to the budget
+  std::uint64_t stamp = 0;    ///< global LRU clock value of the last touch
+
+  [[nodiscard]] const CruTree& current_tree() const {
+    return session ? session->tree() : *tree;
+  }
+};
+
+/// What one eviction sweep removed (telemetry attribution).
+struct EvictedEntry {
+  std::string tenant;
+  std::string instance;
+  std::size_t bytes = 0;
+};
+
+class SessionStore {
+ public:
+  /// `shards` >= 1; `mem_budget` in bytes, 0 = unlimited.
+  SessionStore(std::size_t shards, std::size_t mem_budget);
+
+  /// Looks an entry up and touches its LRU stamp. nullptr when absent.
+  [[nodiscard]] SessionEntry* find(const std::string& tenant, const std::string& instance);
+
+  /// Inserts (or replaces -- a re-submit drops any warm state) an entry and
+  /// touches it. The caller runs enforce_budget afterwards.
+  SessionEntry& put(const std::string& tenant, const std::string& instance, CruTree tree);
+
+  /// Removes one entry. False when it was not resident.
+  bool erase(const std::string& tenant, const std::string& instance);
+
+  /// Re-estimates `entry`'s bytes (its session may have grown) and updates
+  /// the store total.
+  void refresh_bytes(SessionEntry& entry);
+
+  /// Evicts least-recently-used entries -- never `protect`, the entry the
+  /// current request is operating on -- until the total fits the budget.
+  /// Victim order is shard-count-invariant: smallest stamp first, ties by
+  /// (tenant, instance). Returns what was evicted, oldest first.
+  std::vector<EvictedEntry> enforce_budget(const SessionEntry* protect);
+
+  /// Deterministic byte estimate: structural tree footprint plus the
+  /// session's retained search state (frontier caches + last reported
+  /// arena bytes).
+  [[nodiscard]] static std::size_t estimate_bytes(const CruTree& tree,
+                                                  const ResolveSession* session);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t mem_budget() const { return mem_budget_; }
+  [[nodiscard]] std::size_t bytes_used() const { return bytes_used_; }
+  [[nodiscard]] std::size_t entries() const;
+  /// Entries holding a live ResolveSession.
+  [[nodiscard]] std::size_t sessions() const;
+  [[nodiscard]] std::size_t lru_evictions() const { return lru_evictions_; }
+
+ private:
+  struct Shard {
+    std::unordered_map<std::string, SessionEntry> entries;  ///< key: tenant + '/' + instance
+  };
+
+  [[nodiscard]] static std::string key_of(const std::string& tenant,
+                                          const std::string& instance);
+  [[nodiscard]] std::size_t shard_of(const std::string& key) const;
+
+  std::vector<Shard> shards_;
+  std::size_t mem_budget_;
+  std::size_t bytes_used_ = 0;
+  std::uint64_t clock_ = 0;
+  std::size_t lru_evictions_ = 0;
+};
+
+}  // namespace treesat

@@ -1,0 +1,75 @@
+#include "service/telemetry.hpp"
+
+#include <sstream>
+
+#include "common/format.hpp"
+#include "io/json.hpp"
+
+namespace treesat {
+
+namespace {
+
+std::string number(double v) { return shortest_round_trip(v); }
+
+/// One tenant block of the telemetry document (also the global totals and
+/// the overflow aggregate).
+void tenant_telemetry_json(std::ostringstream& os, const TenantTelemetry& t,
+                           bool include_timing) {
+  os << "\"requests\":" << t.requests << ",\"errors\":" << t.errors
+     << ",\"submits\":" << t.submits << ",\"solves\":" << t.solves
+     << ",\"perturbs\":" << t.perturbs << ",\"evict_requests\":" << t.evict_requests
+     << ",\"initial_solves\":" << t.initial_solves << ",\"warm_hits\":" << t.warm_hits
+     << ",\"cold_solves\":" << t.cold_solves
+     << ",\"warm_hit_ratio\":" << number(t.warm_hit_ratio())
+     << ",\"lru_evictions\":" << t.lru_evictions
+     << ",\"explicit_evictions\":" << t.explicit_evictions << ",\"method_counts\":{";
+  bool first = true;
+  for (std::size_t m = 0; m < t.method_counts.size(); ++m) {
+    if (t.method_counts[m] == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << method_name(static_cast<SolveMethod>(m)) << "\":" << t.method_counts[m];
+  }
+  os << '}';
+  if (include_timing) {
+    const std::vector<double> sorted = t.latency.sorted();
+    os << ",\"latency_ms\":{\"p50\":" << number(LatencyTrack::rank(sorted, 0.50) * 1e3)
+       << ",\"p90\":" << number(LatencyTrack::rank(sorted, 0.90) * 1e3)
+       << ",\"p99\":" << number(LatencyTrack::rank(sorted, 0.99) * 1e3) << '}';
+  }
+}
+
+}  // namespace
+
+std::string service_telemetry_to_json(const ServiceTelemetry& telemetry,
+                                      bool include_timing) {
+  std::ostringstream os;
+  // No shard-count echo: the document holds only stream-determined data,
+  // so a stats response is byte-identical at shards=1 and shards=8 (the
+  // service's determinism contract). mem_budget stays -- it shapes the
+  // eviction behavior the surrounding counters describe.
+  os << "{\"mem_budget\":" << telemetry.mem_budget
+     << ",\"bytes_used\":" << telemetry.bytes_used << ",\"entries\":" << telemetry.entries
+     << ",\"sessions\":" << telemetry.sessions << ",\"requests\":" << telemetry.requests
+     << ",\"errors\":" << telemetry.errors << ",\"totals\":{";
+  tenant_telemetry_json(os, telemetry.totals(), include_timing);
+  os << "},\"tenants\":[";
+  bool first = true;
+  for (const auto& [name, tenant] : telemetry.tenants) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"tenant\":\"" << json_escape(name) << "\",";
+    tenant_telemetry_json(os, tenant, include_timing);
+    os << '}';
+  }
+  if (telemetry.overflow.requests > 0) {
+    if (!first) os << ',';
+    os << "{\"tenant\":\"(overflow)\",";
+    tenant_telemetry_json(os, telemetry.overflow, include_timing);
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace treesat

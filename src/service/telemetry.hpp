@@ -1,0 +1,180 @@
+// Per-tenant service telemetry: the counters a capacity planner reads off a
+// running treesat-serve. Collected by SolverService (service/service.hpp),
+// serialized by io/json.cpp (service_telemetry_to_json) so the dashboards
+// that already parse report/sim JSON get the same conventions.
+//
+// Two determinism classes live side by side, and the split is deliberate:
+//   * counters (requests, warm/cold outcomes, evictions, per-method solves,
+//     bytes) are a pure function of the request stream -- they appear in
+//     every `stats` response and are covered by the byte-identity contract;
+//   * latency quantiles are wall-clock measurements -- they are recorded
+//     always but *serialized only on request* (stats request field
+//     "timing":true), so a deterministic trace replay stays byte-identical
+//     while bench_service_throughput still gets its p50/p99.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+
+namespace treesat {
+
+/// Wall-clock samples of one tenant's solve/perturb requests, with the
+/// nearest-rank quantiles the service reports. Bounded: a long-lived
+/// service keeps the most recent kWindow samples per tenant (a ring), so
+/// telemetry memory does not grow with uptime and the quantiles describe
+/// recent behavior -- which is what a capacity planner watches anyway.
+struct LatencyTrack {
+  static constexpr std::size_t kWindow = 4096;
+
+  std::vector<double> seconds;  ///< ring contents, insertion order via `next`
+  std::size_t next = 0;
+  std::size_t recorded = 0;     ///< lifetime sample count
+
+  void record(double s) {
+    if (seconds.size() < kWindow) {
+      seconds.push_back(s);
+    } else {
+      seconds[next] = s;
+      next = (next + 1) % kWindow;
+    }
+    ++recorded;
+  }
+
+  /// Sorted copy of the retained window. Pair with rank() to read several
+  /// quantiles off one sort -- a telemetry document reads three per tenant
+  /// block, and re-sorting 4096 samples per quantile would triple the
+  /// cost of a timing-enabled stats response.
+  [[nodiscard]] std::vector<double> sorted() const {
+    std::vector<double> out = seconds;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Nearest-rank quantile (q in [0, 1]) of a sorted() window; 0 when
+  /// nothing was recorded.
+  [[nodiscard]] static double rank(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const std::size_t at = std::min(
+        sorted.size() - 1, static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+    return sorted[at];
+  }
+
+  /// One-off convenience: rank(sorted(), q).
+  [[nodiscard]] double quantile(double q) const { return rank(sorted(), q); }
+};
+
+/// One tenant's counters. Everything except `latency` is deterministic for
+/// a given request stream.
+struct TenantTelemetry {
+  std::size_t requests = 0;   ///< lines addressed to this tenant
+  std::size_t errors = 0;     ///< ...that produced an error response
+  std::size_t submits = 0;
+  std::size_t solves = 0;     ///< solve requests
+  std::size_t perturbs = 0;   ///< perturb requests
+  std::size_t evict_requests = 0;
+
+  // Outcomes of the requests that produced (or reused) an optimum.
+  std::size_t initial_solves = 0;  ///< first solve of an instance (session built)
+  std::size_t warm_hits = 0;       ///< served from warm session state
+  std::size_t cold_solves = 0;     ///< session existed but nothing reusable survived
+
+  std::size_t lru_evictions = 0;      ///< sessions this tenant lost to the byte budget
+  std::size_t explicit_evictions = 0; ///< sessions dropped by an evict request
+
+  /// Solves per method that ran for this tenant, indexed by SolveMethod.
+  std::array<std::size_t, kSolveMethodCount> method_counts{};
+
+  LatencyTrack latency;  ///< per solve/perturb request (admission included)
+
+  /// Warm share of the re-solve traffic (initial solves are neither: a cold
+  /// start is not a cache miss the store could have avoided). 0 when no
+  /// re-solve happened yet.
+  [[nodiscard]] double warm_hit_ratio() const {
+    const std::size_t resolves = warm_hits + cold_solves;
+    return resolves == 0 ? 0.0
+                         : static_cast<double>(warm_hits) / static_cast<double>(resolves);
+  }
+
+  void merge(const TenantTelemetry& other) {
+    requests += other.requests;
+    errors += other.errors;
+    submits += other.submits;
+    solves += other.solves;
+    perturbs += other.perturbs;
+    evict_requests += other.evict_requests;
+    initial_solves += other.initial_solves;
+    warm_hits += other.warm_hits;
+    cold_solves += other.cold_solves;
+    lru_evictions += other.lru_evictions;
+    explicit_evictions += other.explicit_evictions;
+    for (std::size_t m = 0; m < method_counts.size(); ++m) {
+      method_counts[m] += other.method_counts[m];
+    }
+    for (const double s : other.latency.seconds) latency.record(s);
+  }
+};
+
+/// The whole service's view: per-tenant counters (std::map: deterministic
+/// serialization order) plus the store-level gauges.
+///
+/// Tenant tracking is bounded: the first kMaxTrackedTenants distinct
+/// tenant names get their own section; everything past the cap aggregates
+/// into `overflow` (reported as one "(overflow)" section with a distinct
+/// tenant count). Without the cap, a client bug -- or an adversary --
+/// rotating tenant names per request would grow service memory and every
+/// stats response without limit, sidestepping the store's byte budget.
+struct ServiceTelemetry {
+  static constexpr std::size_t kMaxTrackedTenants = 1024;
+
+  std::map<std::string, TenantTelemetry> tenants;
+  /// Aggregate of every tenant past the cap; counters only, no per-name
+  /// split (storing the names would be the very unbounded growth the cap
+  /// exists to prevent -- overflow.requests measures the volume).
+  TenantTelemetry overflow;
+
+  /// The mutable slot for `tenant`: its own entry while the cap allows,
+  /// the shared overflow bucket afterwards. Deterministic: which names
+  /// land in overflow is a pure function of first-appearance order.
+  [[nodiscard]] TenantTelemetry& slot(const std::string& tenant) {
+    const auto it = tenants.find(tenant);
+    if (it != tenants.end()) return it->second;
+    if (tenants.size() < kMaxTrackedTenants) return tenants[tenant];
+    return overflow;
+  }
+
+  std::size_t shards = 1;
+  std::size_t mem_budget = 0;   ///< bytes; 0 = unlimited
+  std::size_t bytes_used = 0;   ///< store accounting after the last request
+  std::size_t entries = 0;      ///< resident instances (warm or not)
+  std::size_t sessions = 0;     ///< ...of which hold a live ResolveSession
+  std::size_t requests = 0;     ///< all request lines, unattributable included
+  std::size_t errors = 0;
+
+  /// Sum over tenants, overflow included (the global row of the stats
+  /// response).
+  [[nodiscard]] TenantTelemetry totals() const {
+    TenantTelemetry t;
+    for (const auto& [name, tenant] : tenants) t.merge(tenant);
+    t.merge(overflow);
+    return t;
+  }
+};
+
+/// The telemetry document of a stats response (service/telemetry.cpp):
+/// store gauges, the global totals, one section per tracked tenant, plus
+/// an "(overflow)" section when the tenant cap was exceeded. Latency
+/// quantiles (wall-clock, nondeterministic) are emitted only with
+/// `include_timing` -- every other field is a pure function of the
+/// request stream, which is what keeps stats responses inside the
+/// service's byte-identity contract. No shard-count echo for the same
+/// reason.
+[[nodiscard]] std::string service_telemetry_to_json(const ServiceTelemetry& telemetry,
+                                                    bool include_timing);
+
+}  // namespace treesat

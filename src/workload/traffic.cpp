@@ -1,0 +1,190 @@
+#include "workload/traffic.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/format.hpp"
+#include "io/json.hpp"
+#include "tree/serialize.hpp"
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+
+namespace {
+
+/// One tenant's evolving side of the trace.
+struct TenantState {
+  std::string name;
+  CruTree current;                   ///< evolves in lockstep with the service
+  std::vector<Perturbation> stream;  ///< pre-generated drift stream
+  std::size_t cursor = 0;
+};
+
+// Lines are built by appending, not chained operator+: GCC 12's -Wrestrict
+// misfires on chained string concatenation under -O2 (GCC bug 105651).
+std::string submit_line(const TenantState& t, const std::string& instance) {
+  std::string line = "{\"op\":\"submit\",\"tenant\":\"";
+  line += t.name;
+  line += "\",\"instance\":\"";
+  line += instance;
+  line += "\",\"tree\":\"";
+  line += json_escape(to_text(t.current));
+  line += "\"}";
+  return line;
+}
+
+std::string solve_line(const TenantState& t, const std::string& instance,
+                       const std::string& plan) {
+  std::string line = "{\"op\":\"solve\",\"tenant\":\"";
+  line += t.name;
+  line += "\",\"instance\":\"";
+  line += instance;
+  line += '"';
+  if (!plan.empty()) {
+    line += ",\"plan\":\"";
+    line += json_escape(plan);
+    line += '"';
+  }
+  line += '}';
+  return line;
+}
+
+/// Serializes one drift-stream perturbation against the tenant's current
+/// tree. Insert parents travel by node *name* (stable under id compaction);
+/// the probe shape mirrors Perturbation::insert_probe, which is the only
+/// insertion drift_stream generates.
+std::string perturb_line(const TenantState& t, const std::string& instance,
+                         const Perturbation& p) {
+  std::string line = "{\"op\":\"perturb\",\"tenant\":\"";
+  line += t.name;
+  line += "\",\"instance\":\"";
+  line += instance;
+  line += '"';
+  const auto field_num = [&line](const char* key, double value) {
+    line += ",\"";
+    line += key;
+    line += "\":";
+    line += shortest_round_trip(value);
+  };
+  const auto field_uint = [&line](const char* key, std::uint32_t value) {
+    line += ",\"";
+    line += key;
+    line += "\":";
+    line += std::to_string(value);
+  };
+  const auto field_str = [&line](const char* key, const std::string& value) {
+    line += ",\"";
+    line += key;
+    line += "\":\"";
+    line += json_escape(value);
+    line += '"';
+  };
+  if (const auto* drift = p.as<ProfileDrift>()) {
+    if (drift->satellite.valid()) {
+      field_str("kind", "satellite_drift");
+      field_uint("satellite", drift->satellite.value());
+    } else {
+      field_str("kind", "global_drift");
+    }
+    field_num("host_scale", drift->host_scale);
+    field_num("sat_scale", drift->sat_scale);
+    field_num("comm_scale", drift->comm_scale);
+  } else if (const auto* loss = p.as<SatelliteLoss>()) {
+    field_str("kind", "satellite_loss");
+    field_uint("satellite", loss->satellite.value());
+  } else {
+    const auto* ins = p.as<SubtreeInsert>();
+    TS_CHECK(ins != nullptr && ins->nodes.size() == 2 &&
+                 ins->nodes[0].kind == CruKind::kCompute &&
+                 ins->nodes[0].parent == SubtreeInsert::kAttach &&
+                 ins->nodes[1].kind == CruKind::kSensor && ins->nodes[1].parent == 0,
+             "traffic_trace: drift stream produced a non-probe insertion");
+    field_str("kind", "insert_probe");
+    field_str("parent", t.current.node(ins->parent).name);
+    field_str("name", ins->nodes[0].name);
+    field_uint("satellite", ins->nodes[1].satellite.value());
+    field_num("host_time", ins->nodes[0].host_time);
+    field_num("sat_time", ins->nodes[0].sat_time);
+    field_num("comm_up", ins->nodes[0].comm_up);
+    field_num("sensor_comm_up", ins->nodes[1].comm_up);
+  }
+  line += '}';
+  return line;
+}
+
+}  // namespace
+
+TrafficTrace traffic_trace(const TrafficOptions& options) {
+  TS_REQUIRE(options.tenants >= 1, "traffic_trace: need at least one tenant");
+  TS_REQUIRE(options.p_solve >= 0.0 && options.p_stats >= 0.0 && options.p_churn >= 0.0 &&
+                 options.p_solve + options.p_stats + options.p_churn <= 1.0,
+             "traffic_trace: event probabilities must be non-negative and sum to <= 1");
+
+  const std::vector<Scenario> scenarios = standard_scenarios();
+  const std::string instance = "w0";
+
+  Rng rng(options.seed);
+  std::vector<TenantState> tenants;
+  tenants.reserve(options.tenants);
+  for (std::size_t k = 0; k < options.tenants; ++k) {
+    const Scenario& scenario = scenarios[k % scenarios.size()];
+    CruTree base = scenario.workload.lower(scenario.platform);
+    // Streams are sized to the tick budget: even if every tick lands on
+    // this tenant, the stream does not run dry.
+    DriftOptions drift = options.drift;
+    drift.steps = options.ticks;
+    Rng fork = rng.fork();
+    std::vector<Perturbation> stream = drift_stream(fork, base, drift);
+    std::string name = "t";
+    name += std::to_string(k);
+    tenants.push_back(TenantState{std::move(name), std::move(base), std::move(stream), 0});
+  }
+
+  TrafficTrace trace;
+  // Warm-up: every tenant registers and solves once, so the interleaved
+  // phase exercises a populated store.
+  for (const TenantState& t : tenants) {
+    trace.lines.push_back(submit_line(t, instance));
+    ++trace.submits;
+    trace.lines.push_back(solve_line(t, instance, options.plan));
+    ++trace.solves;
+  }
+
+  for (std::size_t tick = 0; tick < options.ticks; ++tick) {
+    TenantState& t = tenants[rng.index(tenants.size())];
+    const double u = rng.uniform_real(0.0, 1.0);
+    if (u < options.p_stats) {
+      std::string line = "{\"op\":\"stats\",\"tenant\":\"";
+      line += t.name;
+      line += "\"}";
+      trace.lines.push_back(std::move(line));
+      ++trace.stats_polls;
+    } else if (u < options.p_stats + options.p_churn) {
+      std::string line = "{\"op\":\"evict\",\"tenant\":\"";
+      line += t.name;
+      line += "\",\"instance\":\"";
+      line += instance;
+      line += "\"}";
+      trace.lines.push_back(std::move(line));
+      ++trace.evicts;
+      trace.lines.push_back(submit_line(t, instance));
+      ++trace.submits;
+      trace.lines.push_back(solve_line(t, instance, options.plan));
+      ++trace.solves;
+    } else if (u < options.p_stats + options.p_churn + options.p_solve) {
+      trace.lines.push_back(solve_line(t, instance, options.plan));
+      ++trace.solves;
+    } else if (t.cursor < t.stream.size()) {
+      const Perturbation& p = t.stream[t.cursor++];
+      trace.lines.push_back(perturb_line(t, instance, p));
+      ++trace.perturbs;
+      t.current = apply_perturbation(t.current, p);
+    } else {
+      trace.lines.push_back(solve_line(t, instance, options.plan));
+      ++trace.solves;
+    }
+  }
+  return trace;
+}
+
+}  // namespace treesat

@@ -1,0 +1,65 @@
+// Deterministic open-loop traffic for treesat-serve: mixed-tenant request
+// traces in the service's line protocol (service/service.hpp).
+//
+// A trace composes the scenario library (workload/scenarios.hpp) with the
+// drift-stream machinery of PR 3 (workload/drift.hpp): each tenant runs one
+// scenario's workload as a live instance, perturbs it along a deterministic
+// drift stream, re-solves, occasionally polls stats, and occasionally
+// churns (evict + resubmit of the *evolved* tree + solve -- the cold
+// restart a real deployment performs when a tenant reconnects). Open-loop
+// means the trace is fixed up front, independent of any response: that is
+// what lets the same trace replay byte-identically against any service
+// configuration (tests/service_determinism_test.cpp) and drive the
+// throughput gate (bench/bench_service_throughput.cpp).
+//
+// Determinism: the trace is a pure function of TrafficOptions -- tenant
+// streams fork one Rng per tenant exactly like standard_drift_streams, the
+// interleaving draws from the trace's own Rng, and all numbers are
+// formatted shortest-round-trip.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/drift.hpp"
+
+namespace treesat {
+
+struct TrafficOptions {
+  std::uint64_t seed = 0x5EC7;
+  /// Live tenants, named "t0", "t1", ...; tenant k runs the k-th standard
+  /// scenario (cycling when tenants outnumber scenarios).
+  std::size_t tenants = 3;
+  /// Interleaving ticks after the per-tenant warm-up (submit + solve).
+  /// Most ticks emit one line; a churn tick emits three (evict, submit,
+  /// solve).
+  std::size_t ticks = 200;
+  double p_solve = 0.15;  ///< plain re-solve of the current instance
+  double p_stats = 0.05;  ///< tenant-scoped stats poll
+  double p_churn = 0.03;  ///< evict + resubmit(evolved) + solve
+  /// Everything else is a perturb request drawn from the tenant's drift
+  /// stream, shaped by these options (steps is ignored: streams are sized
+  /// to the tick budget).
+  DriftOptions drift;
+  /// Per-request plan spec carried on every solve request; empty = let the
+  /// service apply its default plan.
+  std::string plan;
+};
+
+/// One generated trace plus its composition counters (the denominators the
+/// bench's warm-hit gate reasons about).
+struct TrafficTrace {
+  std::vector<std::string> lines;  ///< request lines, protocol order
+  std::size_t submits = 0;
+  std::size_t solves = 0;
+  std::size_t perturbs = 0;
+  std::size_t stats_polls = 0;
+  std::size_t evicts = 0;
+};
+
+/// Generates a deterministic mixed-tenant trace.
+[[nodiscard]] TrafficTrace traffic_trace(const TrafficOptions& options = {});
+
+}  // namespace treesat

@@ -15,6 +15,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/incremental.hpp"
 #include "core/solver.hpp"
 #include "io/dot.hpp"
 #include "io/json.hpp"
@@ -77,6 +78,26 @@ TEST(IoGolden, EpilepsyColouringAndAssignmentDot) {
 TEST(IoGolden, EpilepsyReportJson) {
   const Fixture f;
   check_golden("epilepsy_report.json", report_to_json(f.report));
+}
+
+TEST(IoGolden, EpilepsyResolveReportJson) {
+  // A session re-solve rendered with its warm/cold provenance: one fixed
+  // drift on the epilepsy instance under the default pareto-dp plan. The
+  // resolve section carries no wall clock, so only the report's own
+  // wall_seconds needs zeroing.
+  const Fixture f;
+  ResolveSession session{CruTree(f.tree)};
+  session.resolve(Perturbation::satellite_drift(SatelliteId{std::size_t{0}}, 1.25, 0.8, 1.1));
+  const SolveReport& r = session.current();
+  SolveReport pinned{Assignment(session.colouring(), r.assignment.cut_nodes()),
+                     r.delay,
+                     r.objective_value,
+                     0.0,
+                     r.exact,
+                     r.method,
+                     r.requested,
+                     r.stats};
+  check_golden("epilepsy_resolve.json", report_to_json(pinned, session.last_stats()));
 }
 
 TEST(IoGolden, EpilepsySimulationJson) {

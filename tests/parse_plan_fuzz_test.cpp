@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/registry.hpp"
+#include "service/service.hpp"
 
 namespace treesat {
 namespace {
@@ -87,6 +88,77 @@ TEST(ParsePlanFuzz, MalformedSpecsThrowDescriptiveErrors) {
     }
     // Any other exception type (or a crash) escapes and fails the test.
   }
+}
+
+// The service-level config spec (service/service.hpp) gets the same
+// treatment: every malformed shards=/mem_budget=/deadline_ms=/... config
+// must throw InvalidArgument with a descriptive message. The plan= value
+// is validated through parse_plan, so its diagnostics surface here too.
+const BadSpec kBadServiceConfigs[] = {
+    // Malformed key=value structure.
+    {"shards", "malformed"},
+    {"=4", "malformed"},
+    {"shards=2,", "malformed"},
+    {"shards=2,,mem_budget=1m", "malformed"},
+    {",shards=2", "malformed"},
+    // Duplicate keys.
+    {"shards=2,shards=4", "duplicate key"},
+    {"mem_budget=1m,mem_budget=2m", "duplicate key"},
+    // shards out of range (0 has no shard-count-invariant meaning).
+    {"shards=0", "shards"},
+    {"shards=-1", "cannot parse value"},
+    {"shards=many", "cannot parse value"},
+    {"shards=2.5", "cannot parse value"},
+    // mem_budget: bytes with k/m/g suffixes only; overflow rejected, not
+    // wrapped (a wrapped budget would silently evict every warm session).
+    {"mem_budget=", "cannot parse value"},
+    {"mem_budget=-5", "cannot parse value"},
+    {"mem_budget=64q", "cannot parse value"},
+    {"mem_budget=lots", "cannot parse value"},
+    {"mem_budget=20000000000g", "overflows"},
+    {"mem_budget=99999999999999999999", "cannot parse value"},  // > 2^64
+    // deadline_ms domain.
+    {"deadline_ms=-1", "deadline_ms"},
+    {"deadline_ms=nan", "deadline_ms"},
+    {"deadline_ms=inf", "deadline_ms"},
+    {"deadline_ms=soon", "cannot parse value"},
+    // Booleans.
+    {"fail_fast=2", "cannot parse value"},
+    {"timing=maybe", "cannot parse value"},
+    // The default plan is validated eagerly, with parse_plan's diagnostics.
+    {"plan=dijkstra", "unknown method"},
+    {"plan=", "unknown method"},
+    {"plan=pareto-dp:dp_threads=0", "dp_threads"},
+    {"plan=pareto-dp:max_frontier", "malformed"},
+    // Unknown keys.
+    {"ports=8080", "unknown key"},
+    {"mem-budget=1m", "unknown key"},
+    {"Shards=2", "unknown key"},
+};
+
+TEST(ParseServiceConfigFuzz, MalformedConfigsThrowDescriptiveErrors) {
+  for (const BadSpec& bad : kBadServiceConfigs) {
+    try {
+      const ServiceOptions options = parse_service_config(bad.spec);
+      FAIL() << "config '" << bad.spec << "' was accepted (shards=" << options.shards
+             << ")";
+    } catch (const InvalidArgument& e) {
+      const std::string what = e.what();
+      EXPECT_GE(what.size(), 10u) << "terse error for '" << bad.spec << "': " << what;
+      EXPECT_NE(what.find(bad.expect), std::string::npos)
+          << "error for '" << bad.spec << "' lacks '" << bad.expect << "': " << what;
+    }
+  }
+}
+
+TEST(ParseServiceConfigFuzz, NearMissesStillParse) {
+  // The empty config is the default service.
+  EXPECT_EQ(parse_service_config("").shards, 1u);
+  EXPECT_EQ(parse_service_config("shards=0016").shards, 16u);
+  EXPECT_EQ(parse_service_config("mem_budget=64K").mem_budget, std::size_t{64} << 10);
+  EXPECT_EQ(parse_service_config("deadline_ms=0").executor.deadline_seconds, 0.0);
+  EXPECT_EQ(parse_service_config("fail_fast=no").executor.fail_fast, false);
+  EXPECT_EQ(parse_service_config("plan=coloured_ssb").plan, "coloured_ssb");
 }
 
 TEST(ParsePlanFuzz, NearMissesOfValidSpecsStillParse) {

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "core/incremental.hpp"
 #include "core/registry.hpp"
 #include "core/solver.hpp"
+#include "io/json.hpp"
 #include "workload/generator.hpp"
 #include "workload/scenarios.hpp"
 
@@ -257,6 +259,38 @@ TEST(SolveReport, DpThreadsKeepReportsByteIdentical) {
   EXPECT_EQ(s1->minkowski_merges, s4->minkowski_merges);
   EXPECT_EQ(s1->merge_points_generated, s4->merge_points_generated);
   EXPECT_EQ(s1->merge_points_kept, s4->merge_points_kept);
+}
+
+TEST(SolveReport, ResolveStatsReachReportJson) {
+  // The warm/cold provenance of a session re-solve must survive into the
+  // report JSON (io/json.cpp): path, reuse counters, and -- when the cold
+  // path ran -- the human-readable reason. Dashboards watching a serving
+  // deployment diagnose cache behavior from exactly these fields.
+  const CruTree tree = paper_running_example();
+
+  ResolveSession warm{CruTree(tree)};  // pareto-dp: region frontiers reusable
+  warm.resolve(Perturbation::satellite_drift(SatelliteId{std::size_t{0}}, 1.1, 0.9, 1.0));
+  ASSERT_EQ(warm.last_stats().path, ResolvePath::kWarm);
+  EXPECT_GT(warm.last_stats().regions_reused, 0u);
+  const std::string warm_json = report_to_json(warm.current(), warm.last_stats());
+  EXPECT_NE(warm_json.find("\"resolve\":{\"path\":\"warm\",\"step\":1"), std::string::npos)
+      << warm_json;
+  EXPECT_NE(warm_json.find("\"cold_reason\":\"\""), std::string::npos) << warm_json;
+  EXPECT_NE(warm_json.find("\"regions_reused\":" +
+                           std::to_string(warm.last_stats().regions_reused)),
+            std::string::npos)
+      << warm_json;
+
+  // A method with no reusable search state cold-solves, and says why.
+  ResolveSession cold{CruTree(tree), SolvePlan::greedy()};
+  cold.resolve(Perturbation::global_drift(1.2, 1.0, 1.0));
+  ASSERT_EQ(cold.last_stats().path, ResolvePath::kCold);
+  const std::string cold_json = report_to_json(cold.current(), cold.last_stats());
+  EXPECT_NE(cold_json.find("\"path\":\"cold\""), std::string::npos) << cold_json;
+  EXPECT_NE(cold_json.find("has no reusable search state"), std::string::npos) << cold_json;
+
+  // The standalone serializer emits the same object.
+  EXPECT_NE(warm_json.find(resolve_stats_to_json(warm.last_stats())), std::string::npos);
 }
 
 // --- automatic selection -------------------------------------------------

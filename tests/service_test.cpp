@@ -1,0 +1,349 @@
+// Protocol-semantics wall for the solver service (service/service.hpp):
+// submit/solve/perturb/stats/evict round trips, warm/cached/cold paths,
+// admission control, LRU eviction under a byte budget, deadline rejection,
+// fail-fast streams, and the error taxonomy (every malformed or impossible
+// request must become one descriptive {"ok":false} response, never a crash
+// and never a torn-down service). Responses are checked by substring: the
+// response grammar is part of the protocol contract, and the byte-level
+// half of it is locked down by service_determinism_test.cpp and the ci.sh
+// golden-trace stage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "common/format.hpp"
+#include "core/registry.hpp"
+#include "core/solver.hpp"
+#include "io/json.hpp"
+#include "service/service.hpp"
+#include "tree/serialize.hpp"
+#include "workload/scenarios.hpp"
+
+namespace treesat {
+namespace {
+
+std::string submit_line(const std::string& tenant, const std::string& instance,
+                        const CruTree& tree) {
+  std::string line = "{\"op\":\"submit\",\"tenant\":\"";
+  line += tenant;
+  line += "\",\"instance\":\"";
+  line += instance;
+  line += "\",\"tree\":\"";
+  line += json_escape(to_text(tree));
+  line += "\"}";
+  return line;
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+#define EXPECT_CONTAINS(response, needle) \
+  EXPECT_TRUE(contains(response, needle)) << "response: " << response
+
+TEST(Service, SubmitSolveRoundTrip) {
+  SolverService service;
+  const CruTree tree = paper_running_example();
+
+  const std::string submitted = service.handle_line(submit_line("t0", "w0", tree));
+  EXPECT_CONTAINS(submitted, "\"op\":\"submit\",\"ok\":true");
+  EXPECT_CONTAINS(submitted, "\"nodes\":" + std::to_string(tree.size()));
+  EXPECT_CONTAINS(submitted, "\"replaced\":false");
+
+  const std::string solved =
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}");
+  EXPECT_CONTAINS(solved, "\"ok\":true");
+  EXPECT_CONTAINS(solved, "\"path\":\"initial\"");
+  EXPECT_CONTAINS(solved, "\"method\":\"pareto-dp\"");
+  EXPECT_CONTAINS(solved, "\"exact\":true");
+
+  // The served objective is the library's own optimum, byte for byte.
+  const Colouring colouring(tree);
+  const SolveReport direct = solve(colouring, SolvePlan::pareto_dp());
+  EXPECT_CONTAINS(solved, "\"objective\":" + shortest_round_trip(direct.objective_value));
+
+  // A repeat under the same plan is served from the warm session.
+  const std::string again =
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}");
+  EXPECT_CONTAINS(again, "\"path\":\"cached\"");
+  EXPECT_CONTAINS(again, "\"objective\":" + shortest_round_trip(direct.objective_value));
+
+  // Result-invisible knobs (dp_threads, executor keys) are not a plan
+  // change: the warm session survives a client re-tuning parallelism.
+  const std::string retuned = service.handle_line(
+      "{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\","
+      "\"plan\":\"pareto-dp:dp_threads=4,threads=8\"}");
+  EXPECT_CONTAINS(retuned, "\"path\":\"cached\"");
+
+  // A different plan cannot reuse the session: rebuilt cold.
+  const std::string replanned = service.handle_line(
+      "{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\",\"plan\":\"exhaustive\"}");
+  EXPECT_CONTAINS(replanned, "\"path\":\"cold\"");
+  EXPECT_CONTAINS(replanned, "\"method\":\"exhaustive\"");
+  EXPECT_CONTAINS(replanned, "plan changed");
+}
+
+TEST(Service, TenantTelemetryIsBounded) {
+  // Rotating tenant names must not grow telemetry (or the stats document)
+  // without bound: past the cap, new tenants aggregate into "(overflow)".
+  SolverService service;
+  const std::size_t over = ServiceTelemetry::kMaxTrackedTenants + 40;
+  for (std::size_t k = 0; k < over; ++k) {
+    std::string line = "{\"op\":\"stats\",\"tenant\":\"rot";
+    line += std::to_string(k);
+    line += "\"}";
+    static_cast<void>(service.handle_line(line));
+  }
+  const ServiceTelemetry& t = service.telemetry();
+  EXPECT_EQ(t.tenants.size(), ServiceTelemetry::kMaxTrackedTenants);
+  EXPECT_EQ(t.overflow.requests, 40u);
+  EXPECT_EQ(t.totals().requests, over);
+  EXPECT_CONTAINS(service.handle_line("{\"op\":\"stats\"}"), "\"tenant\":\"(overflow)\"");
+  // A *scoped* stats response never leaks the cross-tenant overflow block
+  // (here the polled tenant itself lives past the cap: gauges only).
+  const std::string scoped = service.handle_line(
+      "{\"op\":\"stats\",\"tenant\":\"rot1050\"}");
+  EXPECT_FALSE(contains(scoped, "(overflow)")) << scoped;
+  EXPECT_FALSE(contains(scoped, "\"tenant\":\"rot0\"")) << scoped;
+}
+
+TEST(Service, PerturbWarmPathMatchesColdResolve) {
+  SolverService service;
+  const CruTree tree = paper_running_example();
+  static_cast<void>(service.handle_line(submit_line("t0", "w0", tree)));
+  static_cast<void>(
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}"));
+
+  // One satellite's profile drifts: the other colours' cached frontiers
+  // survive, so the session re-solves warm...
+  const std::string perturbed = service.handle_line(
+      "{\"op\":\"perturb\",\"tenant\":\"t0\",\"instance\":\"w0\","
+      "\"kind\":\"satellite_drift\",\"satellite\":0,\"host_scale\":1.25,"
+      "\"sat_scale\":0.8,\"comm_scale\":1.1}");
+  EXPECT_CONTAINS(perturbed, "\"ok\":true");
+  EXPECT_CONTAINS(perturbed, "\"solved\":true");
+  EXPECT_CONTAINS(perturbed, "\"path\":\"warm\"");
+  EXPECT_CONTAINS(perturbed, "\"cold_reason\":\"\"");
+
+  // ...and the warm optimum is byte-identical to a cold solve of the
+  // perturbed instance (the session's documented identity guarantee,
+  // observed through the protocol).
+  ResolveSession reference{CruTree(tree)};
+  reference.resolve(Perturbation::satellite_drift(SatelliteId{std::size_t{0}}, 1.25, 0.8, 1.1));
+  EXPECT_CONTAINS(perturbed, "\"objective\":" + shortest_round_trip(
+                                                    reference.current().objective_value));
+}
+
+TEST(Service, PerturbBeforeSolveEvolvesTheStoredTree) {
+  SolverService service;
+  const CruTree tree = paper_running_example();
+  static_cast<void>(service.handle_line(submit_line("t0", "w0", tree)));
+
+  const std::string perturbed = service.handle_line(
+      "{\"op\":\"perturb\",\"tenant\":\"t0\",\"instance\":\"w0\","
+      "\"kind\":\"global_drift\",\"host_scale\":1.5}");
+  EXPECT_CONTAINS(perturbed, "\"ok\":true");
+  EXPECT_CONTAINS(perturbed, "\"solved\":false");
+
+  // The eventual first solve sees the perturbed instance.
+  const CruTree drifted =
+      apply_perturbation(tree, Perturbation::global_drift(1.5, 1.0, 1.0));
+  const Colouring colouring(drifted);
+  const SolveReport direct = solve(colouring, SolvePlan::pareto_dp());
+  const std::string solved =
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}");
+  EXPECT_CONTAINS(solved, "\"path\":\"initial\"");
+  EXPECT_CONTAINS(solved, "\"objective\":" + shortest_round_trip(direct.objective_value));
+}
+
+TEST(Service, EvictAndUnknownInstance) {
+  SolverService service;
+  static_cast<void>(service.handle_line(submit_line("t0", "w0", paper_running_example())));
+
+  const std::string evicted =
+      service.handle_line("{\"op\":\"evict\",\"tenant\":\"t0\",\"instance\":\"w0\"}");
+  EXPECT_CONTAINS(evicted, "\"evicted\":true");
+  const std::string again =
+      service.handle_line("{\"op\":\"evict\",\"tenant\":\"t0\",\"instance\":\"w0\"}");
+  EXPECT_CONTAINS(again, "\"evicted\":false");
+
+  const std::string solved =
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}");
+  EXPECT_CONTAINS(solved, "\"ok\":false");
+  EXPECT_CONTAINS(solved, "unknown instance");
+}
+
+TEST(Service, ErrorTaxonomyKeepsServing) {
+  SolverService service;
+  const struct {
+    const char* line;
+    const char* expect;
+  } kBad[] = {
+      {"not json at all", "request parse"},
+      {"{\"op\":\"solve\"", "unexpected end of input"},
+      {"{\"op\":\"warp\",\"tenant\":\"t0\"}", "unknown op"},
+      {"{\"op\":\"solve\",\"tenant\":\"t0\"}", "missing field 'instance'"},
+      {"{\"op\":\"submit\",\"instance\":\"w0\",\"tree\":\"x\"}", "needs a tenant"},
+      {"{\"op\":\"solve\",\"tenant\":\"a/b\",\"instance\":\"w0\"}", "'/'-free"},
+      {"{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\",\"plan\":\"dijkstra\"}",
+       "unknown method"},
+      {"{\"op\":\"submit\",\"tenant\":\"t0\",\"instance\":\"w0\",\"tree\":\"gibberish\"}",
+       "cru_tree"},
+      {"{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\",\"nested\":{}}",
+       "nested values"},
+      {"{\"op\":\"solve\",\"op\":\"solve\"}", "duplicate key"},
+      {"{\"op\":\"perturb\",\"tenant\":\"t0\",\"instance\":\"w0\",\"kind\":\"melt\"}",
+       "unknown instance"},  // instance checked before the kind
+  };
+  for (const auto& bad : kBad) {
+    const std::string response = service.handle_line(bad.line);
+    EXPECT_CONTAINS(response, "\"ok\":false");
+    EXPECT_CONTAINS(response, bad.expect);
+  }
+  // The service survives all of it.
+  static_cast<void>(service.handle_line(submit_line("t0", "w0", paper_running_example())));
+  EXPECT_CONTAINS(
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}"),
+      "\"ok\":true");
+  // An invalid perturbation rolls back: the session still serves.
+  EXPECT_CONTAINS(service.handle_line(
+                      "{\"op\":\"perturb\",\"tenant\":\"t0\",\"instance\":\"w0\","
+                      "\"kind\":\"satellite_loss\",\"satellite\":99}"),
+                  "\"ok\":false");
+  EXPECT_CONTAINS(
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}"),
+      "\"path\":\"cached\"");
+}
+
+TEST(Service, AdmissionRejectsOversizedInstances) {
+  ServiceOptions options = parse_service_config("mem_budget=1k,fail_fast=false");
+  SolverService service(options);
+  const std::string response =
+      service.handle_line(submit_line("t0", "w0", paper_running_example()));
+  EXPECT_CONTAINS(response, "\"ok\":false");
+  EXPECT_CONTAINS(response, "admission");
+}
+
+TEST(Service, LruEvictionUnderByteBudget) {
+  // Two submitted epilepsy trees (~2.6 KiB each) fit a 6 KiB budget; one
+  // warm session (~4.3 KiB) plus a tree does not. Warming instance a must
+  // therefore evict the LRU entry -- b, never a itself (the entry being
+  // served is protected; a per-request victim is always some *other*
+  // instance).
+  SolverService service(parse_service_config("shards=4,mem_budget=6k,fail_fast=false"));
+  const Scenario scenario = epilepsy_scenario();
+  const CruTree tree = scenario.workload.lower(scenario.platform);
+  static_cast<void>(service.handle_line(submit_line("t0", "a", tree)));
+  static_cast<void>(service.handle_line(submit_line("t0", "b", tree)));
+  const std::string first =
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"a\"}");
+  EXPECT_CONTAINS(first, "\"ok\":true");
+  EXPECT_CONTAINS(first, "\"lru_evicted\":1");
+
+  // Instance b is gone; a is still warm.
+  EXPECT_CONTAINS(
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"b\"}"),
+      "unknown instance");
+  EXPECT_CONTAINS(
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"a\"}"),
+      "\"path\":\"cached\"");
+  EXPECT_CONTAINS(service.handle_line("{\"op\":\"stats\"}"), "\"lru_evictions\":1");
+}
+
+TEST(Service, DeadlineRejectsLateRequests) {
+  // An absurdly small service deadline: every request arrives after it.
+  SolverService late(parse_service_config("deadline_ms=1e-9,fail_fast=false"));
+  const std::string response =
+      late.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}");
+  EXPECT_CONTAINS(response, "\"ok\":false");
+  EXPECT_CONTAINS(response, "deadline");
+
+  // Per-request deadline_ms tightens the (unlimited) service budget.
+  SolverService service;
+  const std::string request_late = service.handle_line(
+      "{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\",\"deadline_ms\":1e-9}");
+  EXPECT_CONTAINS(request_late, "deadline");
+  // Without the field the same request is admitted (and fails usefully).
+  EXPECT_CONTAINS(
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}"),
+      "unknown instance");
+}
+
+TEST(Service, ServeHonorsFailFastAndComments) {
+  const CruTree tree = paper_running_example();
+  std::string trace;
+  trace += "# a comment line\n\n";
+  trace += submit_line("t0", "w0", tree);
+  trace += "\n{\"op\":\"warp\"}\n";  // error in the middle
+  trace += "{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}\n";
+
+  {
+    SolverService service;  // fail_fast defaults on, like the executor
+    std::istringstream in(trace);
+    std::ostringstream out;
+    EXPECT_EQ(service.serve(in, out), 1u);
+    // submit + the error: the solve after the failure was never started.
+    const std::string responses = out.str();
+    EXPECT_EQ(std::count(responses.begin(), responses.end(), '\n'), 2);
+  }
+  {
+    SolverService service(parse_service_config("fail_fast=false"));
+    std::istringstream in(trace);
+    std::ostringstream out;
+    EXPECT_EQ(service.serve(in, out), 1u);
+    const std::string responses = out.str();
+    EXPECT_EQ(std::count(responses.begin(), responses.end(), '\n'), 3);
+    EXPECT_CONTAINS(responses, "\"path\":\"initial\"");
+  }
+}
+
+TEST(Service, StatsDocumentAndTimingOptIn) {
+  SolverService service;
+  static_cast<void>(service.handle_line(submit_line("t0", "w0", paper_running_example())));
+  static_cast<void>(
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}"));
+
+  const std::string stats = service.handle_line("{\"op\":\"stats\"}");
+  EXPECT_CONTAINS(stats, "\"initial_solves\":1");
+  EXPECT_CONTAINS(stats, "\"method_counts\":{\"pareto-dp\":1}");
+  EXPECT_CONTAINS(stats, "\"tenants\":[{\"tenant\":\"t0\"");
+  // Timing is wall-clock: excluded unless asked for.
+  EXPECT_FALSE(contains(stats, "latency_ms")) << stats;
+  EXPECT_CONTAINS(service.handle_line("{\"op\":\"stats\",\"timing\":true}"), "latency_ms");
+
+  // Tenant-scoped stats only carry that tenant's section.
+  static_cast<void>(service.handle_line(submit_line("t1", "w0", paper_running_example())));
+  const std::string scoped = service.handle_line("{\"op\":\"stats\",\"tenant\":\"t1\"}");
+  EXPECT_CONTAINS(scoped, "\"tenant\":\"t1\"");
+  EXPECT_FALSE(contains(scoped, "\"tenant\":\"t0\"")) << scoped;
+}
+
+TEST(Service, ConfigSpecRoundTrips) {
+  const ServiceOptions options = parse_service_config(
+      "shards=4,mem_budget=64m,deadline_ms=250,fail_fast=false,timing=true,"
+      "plan=coloured-ssb");
+  EXPECT_EQ(options.shards, 4u);
+  EXPECT_EQ(options.mem_budget, std::size_t{64} << 20);
+  EXPECT_DOUBLE_EQ(options.executor.deadline_seconds, 0.25);
+  EXPECT_FALSE(options.executor.fail_fast);
+  EXPECT_TRUE(options.timing_in_stats);
+  EXPECT_EQ(options.plan, "coloured-ssb");
+
+  const ServiceOptions back = parse_service_config(service_config_spec(options));
+  EXPECT_EQ(back.shards, options.shards);
+  EXPECT_EQ(back.mem_budget, options.mem_budget);
+  EXPECT_DOUBLE_EQ(back.executor.deadline_seconds, options.executor.deadline_seconds);
+  EXPECT_EQ(back.executor.fail_fast, options.executor.fail_fast);
+  EXPECT_EQ(back.timing_in_stats, options.timing_in_stats);
+  EXPECT_EQ(back.plan, options.plan);
+
+  // Suffix forms.
+  EXPECT_EQ(parse_service_config("mem_budget=512k").mem_budget, std::size_t{512} << 10);
+  EXPECT_EQ(parse_service_config("mem_budget=1G").mem_budget, std::size_t{1} << 30);
+  EXPECT_EQ(parse_service_config("mem_budget=0").mem_budget, 0u);
+}
+
+}  // namespace
+}  // namespace treesat

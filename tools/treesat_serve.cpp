@@ -1,0 +1,138 @@
+// treesat_serve: the stdin/file frontend of the multi-tenant solver
+// service (src/service/service.hpp).
+//
+//   $ treesat_serve [--config "shards=4,mem_budget=64m"] [trace.jsonl]
+//   $ treesat_serve --shards 4 --mem-budget 64m < trace.jsonl
+//   $ treesat_serve --gen-trace 200 --seed 7 > trace.jsonl
+//
+// Reads one JSON request per line (from the trace file, or stdin when no
+// file is given), writes one JSON response per line to stdout. Blank lines
+// and lines starting with '#' are skipped, so traces can be annotated.
+// --gen-trace emits a deterministic mixed-tenant traffic trace
+// (workload/traffic.hpp) instead of serving -- the tool is its own load
+// generator, and the committed golden trace under tests/golden/ was
+// produced exactly this way.
+//
+// Exit codes: 0 = stream served to completion (error *responses* do not
+// fail the process; they are part of the protocol), 1 = fail_fast abort or
+// a fatal error, 2 = usage / configuration errors.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "service/service.hpp"
+#include "workload/traffic.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] [trace.jsonl]\n"
+      << "  --config SPEC      service config: shards=,mem_budget=,deadline_ms=,\n"
+      << "                     fail_fast=,timing=,plan= (see parse_service_config)\n"
+      << "  --shards N         shorthand for shards=N\n"
+      << "  --mem-budget B     shorthand for mem_budget=B (k/m/g suffixes)\n"
+      << "  --plan SPEC        default plan for solve requests without one\n"
+      << "  --gen-trace TICKS  emit a deterministic traffic trace and exit\n"
+      << "  --tenants N        tenants for --gen-trace (default 3)\n"
+      << "  --seed S           seed for --gen-trace\n"
+      << "with no trace file, requests are read from stdin\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace treesat;
+  std::string config_spec;
+  std::string shards_flag;
+  std::string mem_flag;
+  std::string plan_flag;
+  std::string trace_file;
+  bool gen_trace = false;
+  TrafficOptions traffic;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      config_spec = next();
+    } else if (arg == "--shards") {
+      shards_flag = next();
+    } else if (arg == "--mem-budget") {
+      mem_flag = next();
+    } else if (arg == "--plan") {
+      plan_flag = next();
+    } else if (arg == "--gen-trace") {
+      gen_trace = true;
+      traffic.ticks = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--tenants") {
+      traffic.tenants = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--seed") {
+      traffic.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << argv[0] << ": unknown flag " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      trace_file = arg;
+    }
+  }
+
+  try {
+    if (gen_trace) {
+      const TrafficTrace trace = traffic_trace(traffic);
+      std::cout << "# treesat-serve trace: seed=" << traffic.seed
+                << " tenants=" << traffic.tenants << " ticks=" << traffic.ticks
+                << " (submits=" << trace.submits << " solves=" << trace.solves
+                << " perturbs=" << trace.perturbs << " stats=" << trace.stats_polls
+                << " evicts=" << trace.evicts << ")\n";
+      for (const std::string& line : trace.lines) std::cout << line << '\n';
+      return 0;
+    }
+
+    // Flag shorthands append to the --config spec (a key given both ways
+    // is rejected as a duplicate by the parser).
+    if (!shards_flag.empty()) {
+      config_spec += (config_spec.empty() ? "" : ",");
+      config_spec += "shards=" + shards_flag;
+    }
+    if (!mem_flag.empty()) {
+      config_spec += (config_spec.empty() ? "" : ",");
+      config_spec += "mem_budget=" + mem_flag;
+    }
+    ServiceOptions options = parse_service_config(config_spec);
+    if (!plan_flag.empty()) options.plan = plan_flag;
+    SolverService service(std::move(options));
+
+    std::ifstream file;
+    if (!trace_file.empty()) {
+      file.open(trace_file);
+      if (!file) {
+        std::cerr << argv[0] << ": cannot open " << trace_file << "\n";
+        return 2;
+      }
+    }
+    std::istream& in = trace_file.empty() ? std::cin : file;
+    const std::size_t errors = service.serve(in, std::cout);
+    if (errors > 0 && service.options().executor.fail_fast) {
+      std::cerr << argv[0] << ": aborted after the first error response (fail_fast)\n";
+      return 1;
+    }
+    if (errors > 0) {
+      std::cerr << argv[0] << ": served with " << errors << " error response(s)\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,243 @@
+// E-SNAP: the storage subsystem's cost story (storage/snapshot.hpp,
+// storage/checkpoint.hpp) -- what a snapshot costs to write and read, and
+// what a checkpointed restart buys over re-solving from scratch.
+//
+//   1. Codec throughput: encode+write and read+decode+import MB/s over
+//      drifted sessions of every scenario-library instance (drifted, so
+//      the snapshots carry real frontier caches, not just a tree).
+//   2. Rewarm vs cold: restoring a snapshotted session and answering the
+//      next drift step, against cold-building the session and answering
+//      the same step. rewarm_speedup is the committed-baseline ratio.
+//   3. Restart identity: serve a trace head, checkpoint, restore into a
+//      fresh service, serve the tail -- head+tail must equal the
+//      single-process replay byte for byte. identity_ratio is 1.0 exactly
+//      or the bench fails; bench_diff gates it with a tight tolerance.
+//
+// MB/s and milliseconds are machine-dependent and informational; the two
+// gated keys (rewarm_speedup, identity_ratio) are same-machine ratios.
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/incremental.hpp"
+#include "io/table.hpp"
+#include "service/service.hpp"
+#include "storage/snapshot.hpp"
+#include "workload/drift.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/traffic.hpp"
+
+namespace treesat {
+namespace {
+
+/// Drift script shared with tests/snapshot_test.cpp: warms the caches so a
+/// snapshot carries real state.
+std::vector<Perturbation> drift_script() {
+  return {Perturbation::global_drift(1.05, 1.0, 1.0),
+          Perturbation::satellite_drift(SatelliteId{std::size_t{0}}, 1.2, 0.9, 1.1),
+          Perturbation::global_drift(0.97, 1.02, 1.0),
+          Perturbation::satellite_drift(SatelliteId{std::size_t{0}}, 0.8, 1.1, 0.95)};
+}
+
+/// Best-of-`reps` wall time of `fn` (seconds).
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    const Stopwatch watch;
+    fn();
+    const double t = watch.seconds();
+    if (best < 0.0 || t < best) best = t;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace treesat
+
+int main(int argc, char** argv) {
+  using namespace treesat;
+  bench::BenchJson::init("bench_snapshot_restore", &argc, argv);
+  bool ok = true;
+  const std::string dir = std::filesystem::temp_directory_path().string() +
+                          "/treesat_bench_snapshot";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  bench::banner("E-SNAP1", "snapshot codec throughput over drifted sessions");
+  {
+    Table t({"scenario", "bytes", "write [MB/s]", "read [MB/s]", "entries"});
+    for (const Scenario& scenario : standard_scenarios()) {
+      ResolveSession session{scenario.workload.lower(scenario.platform)};
+      for (const Perturbation& p : drift_script()) static_cast<void>(session.resolve(p));
+      const SessionState state = session.export_state();
+      const std::string bytes = encode_snapshot(state);
+      const std::string path = dir + "/" + scenario.name + ".tss";
+      const double mb = static_cast<double>(bytes.size()) / (1024.0 * 1024.0);
+
+      const int reps = 200;
+      const double write_s = best_of(5, [&] {
+        for (int r = 0; r < reps; ++r) write_snapshot_file(path, state);
+      });
+      double sink = 0.0;  // keeps the decode from being optimized away
+      const double read_s = best_of(5, [&] {
+        for (int r = 0; r < reps; ++r) {
+          ResolveSession restored = ResolveSession::import_state(read_snapshot_file(path));
+          sink += restored.current().objective_value;
+        }
+      });
+      const double write_mbs = mb * reps / write_s;
+      const double read_mbs = mb * reps / read_s;
+      t.add(scenario.name, bytes.size(), write_mbs, read_mbs,
+            state.colour_cache.size() + state.region_cache.size());
+      bench::json().add_row(scenario.name, {{"snapshot_bytes", static_cast<double>(bytes.size())},
+                                            {"write_mb_per_s", write_mbs},
+                                            {"read_mb_per_s", read_mbs}});
+      if (scenario.name == "epilepsy-tele-monitoring") {
+        bench::json().set("snapshot_bytes", static_cast<double>(bytes.size()));
+        bench::json().set("write_mb_per_s", write_mbs);
+        bench::json().set("read_mb_per_s", read_mbs);
+      }
+      if (sink == 12345.0) std::cout << "";  // defeat dead-code elimination
+    }
+    t.print(std::cout);
+    bench::note("read = read_file + decode + import (a full usable session, not just");
+    bench::note("parsed bytes); sessions are drifted so snapshots carry frontier caches.");
+  }
+
+  bench::banner("E-SNAP2", "restore-and-answer vs cold-solve-and-answer");
+  {
+    // The restart question in miniature: given a drifted session's snapshot
+    // and one more drift step to answer, is import-then-warm-resolve faster
+    // than rebuild-then-resolve? The smallest row sits near the crossover
+    // (a millisecond cold solve is hard to beat with any parse -- nobody
+    // checkpoints microsecond sessions for speed); the gate is the
+    // geometric mean, which the larger sizes dominate as solve cost grows
+    // faster than snapshot size.
+    Table t({"instance", "cold [ms]", "rewarm [ms]", "speedup"});
+    Rng rng(0x5A4E2);
+    DriftOptions drift;
+    drift.steps = 12;
+    drift.p_loss = 0.0;  // ids stable: pure profile drift warms the caches
+    drift.p_insert = 0.0;
+    drift.p_global = 0.0;
+    double speedup_product = 1.0;
+    std::size_t speedup_count = 0;
+    for (const std::size_t n : {192u, 384u, 768u}) {
+      TreeGenOptions gen;
+      gen.compute_nodes = n;
+      gen.satellites = 4;
+      gen.max_children = 2;  // deep regions: frontiers worth caching
+      gen.policy = SensorPolicy::kClustered;
+      const CruTree base = random_tree(rng, gen);
+      ResolveSession drifted{CruTree(base)};
+      const std::vector<Perturbation> stream = drift_stream(rng, base, drift);
+      for (const Perturbation& p : stream) static_cast<void>(drifted.resolve(p));
+      const std::string bytes = encode_snapshot(drifted.export_state());
+      const Perturbation next = Perturbation::satellite_drift(
+          SatelliteId{std::size_t{0}}, 1.03, 0.98, 1.0);
+
+      const int reps = n >= 768 ? 3 : 10;
+      const double cold_s = best_of(3, [&] {
+        for (int r = 0; r < reps; ++r) {
+          // Cold restart: the tree survives (re-submitted), the session and
+          // its caches do not -- initial solve, then the drift step.
+          ResolveSession session{drifted.tree()};
+          static_cast<void>(session.resolve(next));
+        }
+      });
+      const double rewarm_s = best_of(3, [&] {
+        for (int r = 0; r < reps; ++r) {
+          ResolveSession session = ResolveSession::import_state(decode_snapshot(bytes));
+          static_cast<void>(session.resolve(next));
+        }
+      });
+      const double speedup = cold_s / rewarm_s;
+      speedup_product *= speedup;
+      ++speedup_count;
+      const std::string label = "clustered-" + std::to_string(n);
+      t.add(label, cold_s * 1e3 / reps, rewarm_s * 1e3 / reps, speedup);
+      bench::json().add_row(label, {{"cold_ms", cold_s * 1e3 / reps},
+                                    {"rewarm_ms", rewarm_s * 1e3 / reps},
+                                    {"rewarm_speedup", speedup}});
+    }
+    const double geomean =
+        std::pow(speedup_product, 1.0 / static_cast<double>(speedup_count));
+    bench::json().set("rewarm_speedup", geomean);
+    t.print(std::cout);
+    std::cout << "geometric-mean rewarm speedup: " << geomean << "\n";
+    if (geomean <= 1.0) {
+      std::cerr << "FAIL: restoring a snapshot did not beat cold re-solving at sizes "
+                   "where frontier work dominates\n";
+      ok = false;
+    }
+    bench::note("cold rebuilds the session from the surviving tree (initial solve +");
+    bench::note("drift step); rewarm decodes the snapshot and runs the same step warm.");
+  }
+
+  bench::banner("E-SNAP3", "checkpointed restart: byte-identical resumed stream");
+  {
+    TrafficOptions options;
+    options.seed = 0x5A4E;
+    options.tenants = 3;
+    options.ticks = 120;
+    const TrafficTrace trace = traffic_trace(options);
+    const std::size_t split = trace.lines.size() / 2;
+    std::string head, tail, whole;
+    for (std::size_t i = 0; i < trace.lines.size(); ++i) {
+      ((i < split) ? head : tail) += trace.lines[i] + "\n";
+      whole += trace.lines[i] + "\n";
+    }
+    const std::string config = "shards=2,fail_fast=false";
+
+    SolverService one(parse_service_config(config));
+    std::istringstream whole_in(whole);
+    std::ostringstream whole_out;
+    static_cast<void>(one.serve(whole_in, whole_out));
+
+    const std::string ckpt = dir + "/checkpoint";
+    SolverService first(parse_service_config(config));
+    std::istringstream head_in(head);
+    std::ostringstream head_out;
+    static_cast<void>(first.serve(head_in, head_out));
+    const Stopwatch save_watch;
+    first.checkpoint_to(ckpt);
+    const double save_ms = save_watch.seconds() * 1e3;
+
+    SolverService second(parse_service_config(config));
+    const Stopwatch restore_watch;
+    second.restore_from(ckpt);
+    const double restore_ms = restore_watch.seconds() * 1e3;
+    std::istringstream tail_in(tail);
+    std::ostringstream tail_out;
+    static_cast<void>(second.serve(tail_in, tail_out));
+
+    const bool identical = head_out.str() + tail_out.str() == whole_out.str();
+    const double identity = identical ? 1.0 : 0.0;
+    Table t({"requests", "checkpoint [ms]", "restore [ms]", "identical"});
+    t.add(trace.lines.size(), save_ms, restore_ms, identical ? "yes" : "NO");
+    t.print(std::cout);
+    bench::json().set("identity_ratio", identity);
+    bench::json().set("checkpoint_ms", save_ms);
+    bench::json().set("restore_ms", restore_ms);
+    if (!identical) {
+      std::cerr << "FAIL: restored tail diverged from the single-process replay\n";
+      ok = false;
+    }
+    bench::note("identity_ratio is 1.0 exactly when head+tail across the restart");
+    bench::note("equals the never-restarted replay -- the zero-rewarm contract.");
+  }
+
+  std::filesystem::remove_all(dir);
+  if (!ok) {
+    std::cerr << "\nFAIL: see gates above\n";
+    return 1;
+  }
+  std::cout << "\nOK: restart resumed byte-identically; codec throughput recorded\n";
+  return bench::json().write() ? 0 : 1;
+}

@@ -2,8 +2,9 @@
 # CI entry point: the tier-1 verify with warnings hardened to errors on
 # every treesat target (-Wall -Wextra -Werror via TREESAT_WERROR), then a
 # service smoke stage (treesat_serve replays the committed golden trace and
-# the responses are byte-compared -- regen via TREESAT_UPDATE_GOLDEN=1),
-# followed by a ThreadSanitizer build of the suites that exercise the batch
+# the responses are byte-compared -- regen via TREESAT_UPDATE_GOLDEN=1 --
+# then the trace is split and replayed across a checkpointed restart, which
+# must resume byte-identically), followed by a ThreadSanitizer build of the suites that exercise the batch
 # executor and the service (-fsanitize=thread via TREESAT_TSAN), so the
 # worker pool is race-checked on every run. Setting TREESAT_COV=1 adds a coverage stage: the test
 # suites rebuilt with --coverage and a per-file line-coverage summary over
@@ -49,6 +50,30 @@ else
     > "$BUILD_DIR/service_responses_s8.jsonl"
   cmp "$BUILD_DIR/service_responses.jsonl" "$BUILD_DIR/service_responses_s8.jsonl"
   echo "service smoke stage passed (golden + shard invariance)"
+
+  # Checkpoint-restore smoke: split the trace, serve the head with
+  # --checkpoint-dir, serve the tail in a *fresh process* with --restore,
+  # and require head+tail responses to equal the single-process replay byte
+  # for byte -- the zero-rewarm restart contract, proven through the real
+  # binary rather than in-process (tests/service_determinism_test.cpp
+  # proves the in-process half).
+  CKPT_DIR="$BUILD_DIR/ckpt-smoke"
+  rm -rf "$CKPT_DIR"
+  TRACE_LINES="$(wc -l < "$SERVICE_TRACE")"
+  HEAD_LINES=$((TRACE_LINES / 2))
+  head -n "$HEAD_LINES" "$SERVICE_TRACE" > "$BUILD_DIR/service_trace_head.jsonl"
+  tail -n +"$((HEAD_LINES + 1))" "$SERVICE_TRACE" > "$BUILD_DIR/service_trace_tail.jsonl"
+  "$BUILD_DIR/treesat_serve" --config "$SERVICE_CONFIG" \
+    --checkpoint-dir "$CKPT_DIR" "$BUILD_DIR/service_trace_head.jsonl" \
+    > "$BUILD_DIR/service_responses_head.jsonl"
+  "$BUILD_DIR/treesat_serve" --config "$SERVICE_CONFIG" \
+    --restore "$CKPT_DIR" "$BUILD_DIR/service_trace_tail.jsonl" \
+    > "$BUILD_DIR/service_responses_tail.jsonl"
+  cat "$BUILD_DIR/service_responses_head.jsonl" \
+      "$BUILD_DIR/service_responses_tail.jsonl" \
+    > "$BUILD_DIR/service_responses_restart.jsonl"
+  cmp "$BUILD_DIR/service_responses.jsonl" "$BUILD_DIR/service_responses_restart.jsonl"
+  echo "checkpoint-restore smoke stage passed (restart is byte-identical)"
 fi
 
 # TSan stage: only the threaded suites, benches/examples skipped for speed.
@@ -58,9 +83,9 @@ cmake -B "$TSAN_DIR" -S . -DTREESAT_WERROR=ON -DTREESAT_TSAN=ON \
   -DTREESAT_BUILD_BENCHES=OFF -DTREESAT_BUILD_EXAMPLES=OFF
 cmake --build "$TSAN_DIR" -j "$JOBS" \
   --target batch_executor_test determinism_test plan_test \
-           service_test service_determinism_test
+           service_test service_determinism_test snapshot_test
 (cd "$TSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
-  -R 'batch_executor_test|determinism_test|plan_test|service_test|service_determinism_test')
+  -R 'batch_executor_test|determinism_test|plan_test|service_test|service_determinism_test|snapshot_test')
 
 # Bench smoke stage (opt-in: TREESAT_BENCH=1): reduced-size benches with
 # machine-readable output, archived for the perf trajectory, then gated by
@@ -76,6 +101,8 @@ if [ -n "${TREESAT_BENCH:-}" ]; then
   "$BUILD_DIR/bench_batch_scaling" --json "$BENCH_JSON_DIR/BENCH_batch_scaling.json"
   "$BUILD_DIR/bench_service_throughput" \
     --json "$BENCH_JSON_DIR/BENCH_service_throughput.json"
+  "$BUILD_DIR/bench_snapshot_restore" \
+    --json "$BENCH_JSON_DIR/BENCH_snapshot_restore.json"
   # Gate the arena-vs-reference ratio only: the *_threads4 rows in the
   # baseline are thread-scaling ratios, which are honest trajectory data
   # but coin-flip noise on a 1-core CI host (the bench itself skips its
@@ -93,6 +120,12 @@ if [ -n "${TREESAT_BENCH:-}" ]; then
   # Service: the warm-hit ratio is deterministic, so the tolerance is tight.
   "$BUILD_DIR/bench_diff" bench/baselines/BENCH_service_throughput.json \
     "$BENCH_JSON_DIR/BENCH_service_throughput.json" --keys warm_hit_ratio --tolerance 0.05
+  # Snapshot/restart: the restart-identity ratio is exact (1.0 or the bench
+  # already failed), the rewarm-vs-cold speedup is a same-machine ratio.
+  "$BUILD_DIR/bench_diff" bench/baselines/BENCH_snapshot_restore.json \
+    "$BENCH_JSON_DIR/BENCH_snapshot_restore.json" --keys identity_ratio --tolerance 0.01
+  "$BUILD_DIR/bench_diff" bench/baselines/BENCH_snapshot_restore.json \
+    "$BENCH_JSON_DIR/BENCH_snapshot_restore.json" --keys rewarm_speedup --tolerance 0.25
   echo "bench smoke stage passed; JSON archived in $BENCH_JSON_DIR"
 fi
 

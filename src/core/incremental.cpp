@@ -10,6 +10,7 @@
 
 #include "common/stopwatch.hpp"
 #include "core/coloured_ssb.hpp"
+#include "core/registry.hpp"
 #include "heuristics/branch_bound.hpp"
 #include "tree/serialize.hpp"
 
@@ -554,6 +555,128 @@ std::size_t ResolveSession::cached_bytes() const {
     }
   }
   return bytes;
+}
+
+namespace {
+
+/// Node count encoded by a region-cache key: 5 words per node
+/// (parent position, sensor flag, three cost bit patterns) -- see
+/// encode_region. Rejects anything structurally impossible.
+std::size_t region_key_nodes(const std::vector<std::uint64_t>& words) {
+  TS_REQUIRE(!words.empty() && words.size() % 5 == 0,
+             "import_state: region cache key of " << words.size()
+                                                  << " words is not a whole node encoding");
+  return words.size() / 5;
+}
+
+/// Node count encoded by a colour-cache key: a sequence of
+/// [region size][5 words per node...] blocks (see solve_warm_dp).
+std::size_t colour_key_nodes(const std::vector<std::uint64_t>& words) {
+  std::size_t total = 0;
+  std::size_t i = 0;
+  while (i < words.size()) {
+    const std::uint64_t n = words[i];
+    TS_REQUIRE(n >= 1 && n <= words.size(),
+               "import_state: colour cache key declares a region of " << n << " nodes in "
+                                                                      << words.size()
+                                                                      << " words");
+    TS_REQUIRE(i + 1 + 5 * static_cast<std::size_t>(n) <= words.size(),
+               "import_state: colour cache key truncated mid-region");
+    total += static_cast<std::size_t>(n);
+    i += 1 + 5 * static_cast<std::size_t>(n);
+  }
+  TS_REQUIRE(total > 0, "import_state: empty colour cache key");
+  return total;
+}
+
+}  // namespace
+
+SessionState ResolveSession::export_state() const {
+  SessionState out;
+  out.plan_spec = plan_spec(plan_);
+  out.tree_text = to_text(*tree_);
+  out.cut = report_->assignment.cut_nodes();
+  out.objective_value = report_->objective_value;
+  out.exact = report_->exact;
+  out.method = report_->method;
+  out.requested = report_->requested;
+  if (const auto* dp = report_->stats_as<ParetoDpStats>()) {
+    out.has_dp_stats = true;
+    out.dp_stats = *dp;
+  }
+  out.stats = stats_;
+  out.stats.wall_seconds = 0.0;  // observation, not state (see SessionState)
+  out.attempt = attempt_;
+  const auto dump = [](const FrontierCache& cache) {
+    std::vector<SessionState::CacheEntry> entries;
+    entries.reserve(cache.size());
+    for (const auto& [key, cached] : cache) {
+      entries.push_back({key.words, cached.frontier, cached.last_used});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const SessionState::CacheEntry& a, const SessionState::CacheEntry& b) {
+                return a.key_words < b.key_words;
+              });
+    return entries;
+  };
+  out.colour_cache = dump(colour_cache_);
+  out.region_cache = dump(region_cache_);
+  return out;
+}
+
+ResolveSession::ResolveSession(RestoreTag, const SessionState& state)
+    : plan_(parse_plan(state.plan_spec)),
+      tree_(std::make_unique<CruTree>(tree_from_text(state.tree_text))),
+      colouring_(std::make_unique<Colouring>(*tree_)) {
+  // The Assignment constructor validates the cut against the rebuilt
+  // colouring; delay is a pure function of tree + cut, so recomputing it
+  // reproduces the original bit for bit (the same summation the original
+  // report ran).
+  Assignment assignment(*colouring_, state.cut);
+  DelayBreakdown delay = assignment.delay();
+  MethodStats method_stats;
+  if (state.has_dp_stats) method_stats = state.dp_stats;
+  report_ = std::make_unique<SolveReport>(
+      SolveReport{std::move(assignment), std::move(delay), state.objective_value,
+                  /*wall_seconds=*/0.0, state.exact, state.method, state.requested,
+                  std::move(method_stats)});
+  stats_ = state.stats;
+  stats_.wall_seconds = 0.0;
+  attempt_ = state.attempt;
+
+  const auto adopt = [this](const std::vector<SessionState::CacheEntry>& entries,
+                            bool colour_level, FrontierCache& cache) {
+    for (const SessionState::CacheEntry& e : entries) {
+      const std::size_t nodes =
+          colour_level ? colour_key_nodes(e.key_words) : region_key_nodes(e.key_words);
+      for (const ParetoPoint& point : e.frontier) {
+        for (const CruId v : point.cut) {
+          TS_REQUIRE(v.valid() && v.index() < nodes,
+                     "import_state: cached cut position " << v << " is outside its key's "
+                                                          << nodes << " nodes");
+        }
+      }
+      TS_REQUIRE(e.last_used <= attempt_,
+                 "import_state: cache stamp " << e.last_used << " is ahead of attempt clock "
+                                              << attempt_);
+      ContentKey key;
+      key.words = e.key_words;
+      key.hash = fnv1a(key.words);
+      CachedFrontier cached;
+      cached.frontier = e.frontier;
+      cached.last_used = e.last_used;
+      TS_REQUIRE(cache.emplace(std::move(key), std::move(cached)).second,
+                 "import_state: duplicate cache key");
+    }
+  };
+  adopt(state.colour_cache, /*colour_level=*/true, colour_cache_);
+  adopt(state.region_cache, /*colour_level=*/false, region_cache_);
+}
+
+ResolveSession ResolveSession::import_state(const SessionState& state) {
+  TS_REQUIRE(state.has_session(),
+             "import_state: tree-only state holds no session to rebuild");
+  return ResolveSession(RestoreTag{}, state);
 }
 
 const SolveReport& ResolveSession::resolve(const Perturbation& p) {

@@ -180,6 +180,69 @@ struct ResolveStats {
   std::string cold_reason;            ///< why the cold path ran; empty when warm
 };
 
+/// Plain serializable mirror of a ResolveSession: everything export_state()
+/// captures and import_state() needs to rebuild a session whose *future*
+/// behavior is byte-identical to the original's -- the tree (as the v1 text
+/// of tree/serialize.hpp), the plan, the current optimum reduced to its cut
+/// (Assignment and DelayBreakdown are pure functions of tree + cut and are
+/// recomputed bit-exactly on import), the last ResolveStats, the attempt
+/// clock, and both frontier caches entry by entry with their LRU stamps.
+/// storage/snapshot.hpp turns this struct into the on-disk format.
+///
+/// Deliberate reductions, both documented parts of the snapshot contract:
+///   * wall-clock fields (report/stats wall_seconds) are zeroed on export --
+///     they are observations, not state, and zeroing them makes a snapshot
+///     a pure function of the resolve history, which is what lets the
+///     serving tier treat snapshot byte sizes as deterministic gauges;
+///   * of the per-method stats variants only ParetoDpStats is carried
+///     (has_dp_stats) -- it is the one variant downstream accounting reads
+///     (SessionStore::estimate_bytes charges arena_bytes); other methods'
+///     stats are diagnostics of the solve that produced them and restore as
+///     monostate.
+struct SessionState {
+  /// Canonical plan spec (core/registry.hpp plan_spec). Empty marks a
+  /// tree-only state: a submitted-but-never-solved instance (the serving
+  /// tier spills those too); only `tree_text` (and owner) is meaningful
+  /// then.
+  std::string plan_spec;
+  std::string tree_text;  ///< tree/serialize.hpp v1 text of the current tree
+
+  /// Owning tenant/instance when the state belongs to a session store
+  /// (service/session_store.hpp); empty for standalone snapshots. A spill
+  /// reload verifies these against the key it looked up, so a misplaced
+  /// file cannot impersonate another tenant's instance.
+  std::string tenant;
+  std::string instance;
+
+  // --- the current report, reduced to what rebuilds it bit-exactly ---
+  std::vector<CruId> cut;  ///< optimum cut nodes (Assignment's canonical form)
+  double objective_value = 0.0;
+  bool exact = false;
+  SolveMethod method = SolveMethod::kParetoDp;
+  SolveMethod requested = SolveMethod::kParetoDp;
+  bool has_dp_stats = false;
+  ParetoDpStats dp_stats;  ///< valid iff has_dp_stats
+
+  ResolveStats stats;       ///< last_stats(), wall_seconds zeroed
+  std::size_t attempt = 0;  ///< solve-attempt clock (cache stamp domain)
+
+  /// One frontier-cache entry: the exact content key words, the cached
+  /// frontier with cuts as canonical preorder positions (the form the cache
+  /// stores internally), and the attempt stamp of its last use.
+  struct CacheEntry {
+    std::vector<std::uint64_t> key_words;
+    std::vector<ParetoPoint> frontier;
+    std::size_t last_used = 0;
+  };
+  /// Cache entries sorted by key words, so exporting the same session twice
+  /// yields identical bytes (unordered_map iteration order must not leak
+  /// into a content-hashed snapshot).
+  std::vector<CacheEntry> colour_cache;
+  std::vector<CacheEntry> region_cache;
+
+  [[nodiscard]] bool has_session() const { return !plan_spec.empty(); }
+};
+
 /// A live solved instance with reusable search state.
 ///
 ///   ResolveSession session(std::move(tree));            // initial solve
@@ -218,6 +281,23 @@ class ResolveSession {
   /// incorrectly, only evicted.
   const SolveReport& resolve(const Perturbation& p);
 
+  /// The session as a SessionState: the serializable form a snapshot file
+  /// (storage/snapshot.hpp) persists. Wall-clock fields are zeroed and
+  /// cache entries are emitted in sorted key order (see SessionState), so
+  /// the export is deterministic for a given resolve history.
+  [[nodiscard]] SessionState export_state() const;
+
+  /// Rebuilds a session from an exported state. The result is
+  /// behaviorally byte-identical to the exported session: the same
+  /// current() optimum (bit for bit), the same cached_bytes(), and the
+  /// same warm/cold decisions and reuse counters on every future
+  /// resolve(). Throws InvalidArgument on anything inconsistent (unknown
+  /// plan spec, malformed tree, a cut that is not a valid cut of the tree,
+  /// cache cut positions out of range of their keys) -- a snapshot that
+  /// fails these checks is corrupt and must be rejected, never partially
+  /// adopted.
+  [[nodiscard]] static ResolveSession import_state(const SessionState& state);
+
   /// Bytes retained by the two frontier caches (points, cut ids and content
   /// keys) -- the session-side analogue of ParetoDpStats::arena_bytes, and
   /// what a serving layer charges against its memory budget
@@ -248,6 +328,10 @@ class ResolveSession {
     std::size_t operator()(const ContentKey& k) const { return k.hash; }
   };
   using FrontierCache = std::unordered_map<ContentKey, CachedFrontier, ContentKeyHash>;
+
+  /// import_state's private path: adopts restored state instead of solving.
+  struct RestoreTag {};
+  ResolveSession(RestoreTag, const SessionState& state);
 
   void solve_current(const Perturbation* p);
   [[nodiscard]] SolveReport solve_warm_dp(const SolvePlan& resolved, ResolveStats& fresh);

@@ -16,6 +16,7 @@
 #include "core/solver.hpp"
 #include "io/json.hpp"
 #include "service/protocol.hpp"
+#include "storage/checkpoint.hpp"
 #include "tree/serialize.hpp"
 
 namespace treesat {
@@ -114,6 +115,15 @@ ServiceOptions parse_service_config(std::string_view spec) {
       }
     } else if (key == "mem_budget") {
       options.mem_budget = config_bytes(key, value);
+    } else if (key == "spill_dir") {
+      if (value.empty()) {
+        throw InvalidArgument(
+            "parse_service_config: key 'spill_dir' needs a directory path (omit the key to "
+            "disable the spill tier)");
+      }
+      options.spill_dir = std::string(value);
+    } else if (key == "spill_budget") {
+      options.spill_budget = config_bytes(key, value);
     } else if (key == "deadline_ms") {
       const double ms = config_double(key, value);
       if (!std::isfinite(ms) || ms < 0.0) {
@@ -134,9 +144,14 @@ ServiceOptions parse_service_config(std::string_view spec) {
       options.plan = std::string(value);
     } else {
       throw InvalidArgument("parse_service_config: unknown key '" + std::string(key) +
-                            "' (accepted: shards,mem_budget,deadline_ms,fail_fast,timing,"
-                            "plan)");
+                            "' (accepted: shards,mem_budget,spill_dir,spill_budget,"
+                            "deadline_ms,fail_fast,timing,plan)");
     }
+  }
+  if (options.spill_budget != 0 && options.spill_dir.empty()) {
+    throw InvalidArgument(
+        "parse_service_config: key 'spill_budget' requires 'spill_dir' (nothing can spill "
+        "without a spill directory)");
   }
   return options;
 }
@@ -144,6 +159,8 @@ ServiceOptions parse_service_config(std::string_view spec) {
 std::string service_config_spec(const ServiceOptions& options) {
   std::string spec = "shards=" + std::to_string(options.shards);
   spec += ",mem_budget=" + std::to_string(options.mem_budget);
+  if (!options.spill_dir.empty()) spec += ",spill_dir=" + options.spill_dir;
+  if (options.spill_budget != 0) spec += ",spill_budget=" + std::to_string(options.spill_budget);
   if (options.executor.deadline_seconds != 0.0) {
     spec += ",deadline_ms=" + shortest_round_trip(options.executor.deadline_seconds * 1e3);
   }
@@ -158,26 +175,14 @@ std::string service_config_spec(const ServiceOptions& options) {
 SolverService::SolverService(ServiceOptions options)
     : options_(std::move(options)),
       default_plan_(parse_plan(options_.plan)),
-      store_(options_.shards, options_.mem_budget) {}
+      store_(options_.shards, options_.mem_budget, options_.spill_dir,
+             options_.spill_budget) {}
 
 namespace {
 
-/// Session identity of a plan: the canonical spec with every
-/// result-invisible knob stripped. dp_threads and the executor keys
-/// (threads/deadline_ms/fail_fast/warm_start) are documented -- and
-/// asserted, see service_determinism_test -- to never change a result, so
-/// a client re-tuning parallelism must keep its warm session instead of
-/// triggering a cold "plan changed" rebuild. The session keeps solving
-/// with the options it was built under.
-std::string session_plan_key(SolvePlan plan) {
-  plan.with_executor(ExecutorOptions{});
-  if (plan.method() == SolveMethod::kParetoDp) {
-    ParetoDpOptions o = plan.options_as<ParetoDpOptions>();
-    o.dp_threads = 1;
-    plan = SolvePlan::pareto_dp(std::move(o));
-  }
-  return plan_spec(plan);
-}
+// session_plan_key (the result-invisible-knob stripping) lives in
+// service/session_store.cpp now: the spill tier needs it to recover an
+// entry's plan identity from a reloaded snapshot.
 
 /// The session-store identifiers; '/' is the store's key separator and a
 /// slash-y tenant would alias another tenant's instances.
@@ -279,7 +284,27 @@ const ServiceTelemetry& SolverService::telemetry() {
   telemetry_.bytes_used = store_.bytes_used();
   telemetry_.entries = store_.entries();
   telemetry_.sessions = store_.sessions();
+  telemetry_.spill_budget = store_.spill_budget();
+  telemetry_.spill_bytes = store_.spill_bytes();
+  telemetry_.spill_entries = store_.spill_entries();
+  telemetry_.spills = store_.spills();
+  telemetry_.spill_reloads = store_.spill_reloads();
+  telemetry_.spill_drops = store_.spill_drops();
   return telemetry_;
+}
+
+void SolverService::checkpoint_to(const std::string& dir) {
+  write_checkpoint(dir, store_, telemetry_, next_id_);
+}
+
+void SolverService::restore_from(const std::string& dir) {
+  RestoredService restored = read_checkpoint(dir, options_.shards, options_.mem_budget,
+                                             options_.spill_dir, options_.spill_budget);
+  store_ = std::move(restored.store);
+  telemetry_ = std::move(restored.telemetry);
+  // Ids never move backwards: a mid-stream restore keeps the live stream's
+  // numbering when it is already ahead of the checkpoint's.
+  next_id_ = std::max(next_id_, restored.next_id);
 }
 
 SolverService::Outcome SolverService::handle(const std::string& line) {
@@ -336,11 +361,15 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
                             std::to_string(incoming) + " bytes but the budget is " +
                             std::to_string(store_.mem_budget()));
       }
-      const bool replaced = store_.find(tenant, instance) != nullptr;
+      // Tier-agnostic existence check (no reload: put() replaces warm
+      // state in both tiers anyway, so reloading first would be waste).
+      const bool replaced = store_.contains(tenant, instance);
       SessionEntry& entry = store_.put(tenant, instance, std::move(tree));
       std::size_t lru_evicted = 0;
       for (const EvictedEntry& e : store_.enforce_budget(&entry)) {
-        ++telemetry_.slot(e.tenant).lru_evictions;
+        TenantTelemetry& victim = telemetry_.slot(e.tenant);
+        ++victim.lru_evictions;
+        if (e.spilled) ++victim.spills;
         ++lru_evicted;
       }
       w.field_str("tenant", tenant).field_str("instance", instance);
@@ -360,11 +389,13 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
       const SolvePlan plan =
           req.has("plan") ? parse_plan(req.string_at("plan")) : default_plan_;
       const std::string canonical = session_plan_key(plan);
-      SessionEntry* entry = store_.find(tenant, instance);
+      bool reloaded = false;
+      SessionEntry* entry = store_.find(tenant, instance, &reloaded);
       if (entry == nullptr) {
         throw InvalidArgument("request: unknown instance '" + tenant + '/' + instance +
                               "' (submit it first)");
       }
+      if (reloaded) ++tt->spill_reloads;
 
       const char* path = "cached";
       ResolveStats stats;
@@ -403,7 +434,9 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
       store_.refresh_bytes(*entry);
       std::size_t lru_evicted = 0;
       for (const EvictedEntry& e : store_.enforce_budget(entry)) {
-        ++telemetry_.slot(e.tenant).lru_evictions;
+        TenantTelemetry& victim = telemetry_.slot(e.tenant);
+        ++victim.lru_evictions;
+        if (e.spilled) ++victim.spills;
         ++lru_evicted;
       }
       w.field_str("tenant", tenant).field_str("instance", instance);
@@ -414,11 +447,13 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
       if (tt == nullptr) throw InvalidArgument("request: 'perturb' needs a tenant");
       const std::string& instance = req.string_at("instance");
       ++tt->perturbs;
-      SessionEntry* entry = store_.find(tenant, instance);
+      bool reloaded = false;
+      SessionEntry* entry = store_.find(tenant, instance, &reloaded);
       if (entry == nullptr) {
         throw InvalidArgument("request: unknown instance '" + tenant + '/' + instance +
                               "' (submit it first)");
       }
+      if (reloaded) ++tt->spill_reloads;
       const Perturbation p = parse_perturbation(req, entry->current_tree());
       w.field_str("tenant", tenant).field_str("instance", instance);
       w.field_str("kind", p.kind_name());
@@ -440,7 +475,9 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
       store_.refresh_bytes(*entry);
       std::size_t lru_evicted = 0;
       for (const EvictedEntry& e : store_.enforce_budget(entry)) {
-        ++telemetry_.slot(e.tenant).lru_evictions;
+        TenantTelemetry& victim = telemetry_.slot(e.tenant);
+        ++victim.lru_evictions;
+        if (e.spilled) ++victim.spills;
         ++lru_evicted;
       }
       w.field_uint("bytes", entry->bytes);
@@ -462,6 +499,12 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
         scoped.bytes_used = full.bytes_used;
         scoped.entries = full.entries;
         scoped.sessions = full.sessions;
+        scoped.spill_budget = full.spill_budget;
+        scoped.spill_bytes = full.spill_bytes;
+        scoped.spill_entries = full.spill_entries;
+        scoped.spills = full.spills;
+        scoped.spill_reloads = full.spill_reloads;
+        scoped.spill_drops = full.spill_drops;
         scoped.requests = full.requests;
         scoped.errors = full.errors;
         const auto it = full.tenants.find(tenant);
@@ -474,13 +517,35 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
       if (tt == nullptr) throw InvalidArgument("request: 'evict' needs a tenant");
       const std::string& instance = req.string_at("instance");
       ++tt->evict_requests;
-      const bool evicted = store_.erase(tenant, instance);
+      const bool drop = req.bool_or("drop", false);
+      const std::size_t spills_before = store_.spills();
+      const EvictFate fate = store_.evict(tenant, instance, drop);
+      const bool evicted = fate != EvictFate::kAbsent;
       if (evicted) ++tt->explicit_evictions;
+      // Attribute an actual spill write (not an already-spilled no-op).
+      if (store_.spills() > spills_before) ++tt->spills;
       w.field_str("tenant", tenant).field_str("instance", instance);
       w.field_bool("evicted", evicted);
+      w.field_str("fate", fate == EvictFate::kAbsent    ? "absent"
+                          : fate == EvictFate::kDropped ? "dropped"
+                                                        : "spilled");
+    } else if (op == "checkpoint") {
+      const std::string& dir = req.string_at("dir");
+      checkpoint_to(dir);
+      w.field_str("dir", dir);
+      w.field_uint("entries", store_.entries());
+      w.field_uint("spilled", store_.spill_entries());
+    } else if (op == "restore") {
+      const std::string& dir = req.string_at("dir");
+      restore_from(dir);
+      w.field_str("dir", dir);
+      w.field_uint("entries", store_.entries());
+      w.field_uint("sessions", store_.sessions());
+      w.field_uint("spilled", store_.spill_entries());
+      w.field_uint("next_id", next_id_);
     } else {
       throw InvalidArgument("request: unknown op '" + op +
-                            "' (submit, solve, perturb, stats, evict)");
+                            "' (submit, solve, perturb, stats, evict, checkpoint, restore)");
     }
 
     if (tt != nullptr && (op == "solve" || op == "perturb")) {

@@ -29,8 +29,16 @@
 //       the id compaction a satellite loss performs; ids are not).
 //   {"op":"stats"}            (optional "tenant", optional "timing":true)
 //       Telemetry document (io/json.cpp service_telemetry_to_json).
-//   {"op":"evict","tenant":"t0","instance":"w0"}
-//       Drops the entry and its warm state.
+//   {"op":"evict","tenant":"t0","instance":"w0"}   (optional "drop":true)
+//       Removes the entry from memory. With a spill tier configured the
+//       warm state is preserved on disk unless "drop":true; the response
+//       reports the session's "fate": "dropped", "spilled" or "absent".
+//   {"op":"checkpoint","dir":"/path"}
+//       Writes a full checkpoint (storage/checkpoint.hpp): every warm
+//       session, tier placement, LRU clock and telemetry counters.
+//   {"op":"restore","dir":"/path"}
+//       Replaces the live store/telemetry with a checkpoint's contents;
+//       the next warm request is answered without re-solving.
 //
 // Every response carries {"id":N,"op":...,"ok":true|false}; errors report
 // {"ok":false,"error":"..."} and never tear the service down.
@@ -76,6 +84,12 @@ struct ServiceOptions {
   /// Warm-state byte budget; 0 = unlimited. LRU eviction keeps the store
   /// under it (session_store.hpp).
   std::size_t mem_budget = 0;
+  /// Spill tier (session_store.hpp): when non-empty, LRU victims are
+  /// written as storage/snapshot.hpp files into this directory instead of
+  /// being destroyed, and a store miss reloads from it on demand.
+  std::string spill_dir;
+  /// Byte budget of the spill tier; 0 = unlimited. Requires spill_dir.
+  std::size_t spill_budget = 0;
   /// Default plan spec for solve requests that carry none. Must be a valid
   /// registry spec (core/registry.hpp).
   std::string plan = "pareto-dp";
@@ -91,7 +105,9 @@ struct ServiceOptions {
 
 /// Parses "key=value[,key=value...]" into ServiceOptions. Accepted keys:
 /// shards (>= 1), mem_budget (bytes, optional k/m/g suffix, 0 = unlimited),
-/// deadline_ms (finite, >= 0), fail_fast (bool), timing (bool), plan (a
+/// spill_dir (a directory path; enables the spill tier), spill_budget
+/// (bytes with k/m/g, 0 = unlimited; requires spill_dir), deadline_ms
+/// (finite, >= 0), fail_fast (bool), timing (bool), plan (a
 /// registry spec; comma-free -- per-request plans carry the full grammar).
 /// Throws InvalidArgument naming the offending token on anything malformed,
 /// with the same diagnostics style as parse_plan
@@ -119,6 +135,16 @@ class SolverService {
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
   /// Telemetry with the store gauges refreshed.
   [[nodiscard]] const ServiceTelemetry& telemetry();
+
+  /// Writes a full checkpoint (storage/checkpoint.hpp) of the store and
+  /// the deterministic telemetry under `dir`. Also reachable in-protocol
+  /// via {"op":"checkpoint","dir":...}.
+  void checkpoint_to(const std::string& dir);
+  /// Replaces the store and telemetry with a checkpoint's contents (tier
+  /// placement, LRU clock and request-id high-water mark preserved), so
+  /// the next warm request is answered without re-solving. Also reachable
+  /// via {"op":"restore","dir":...}.
+  void restore_from(const std::string& dir);
 
  private:
   struct Outcome {

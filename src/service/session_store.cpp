@@ -1,9 +1,14 @@
 #include "service/session_store.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <utility>
 
 #include "common/check.hpp"
+#include "core/registry.hpp"
+#include "storage/snapshot.hpp"
+#include "tree/serialize.hpp"
 
 namespace treesat {
 
@@ -22,9 +27,60 @@ std::uint64_t key_hash(const std::string& key) {
 
 }  // namespace
 
-SessionStore::SessionStore(std::size_t shards, std::size_t mem_budget)
-    : shards_(shards), mem_budget_(mem_budget) {
+std::string session_plan_key(SolvePlan plan) {
+  plan.with_executor(ExecutorOptions{});
+  if (plan.method() == SolveMethod::kParetoDp) {
+    ParetoDpOptions o = plan.options_as<ParetoDpOptions>();
+    o.dp_threads = 1;
+    plan = SolvePlan::pareto_dp(std::move(o));
+  }
+  return plan_spec(plan);
+}
+
+SessionState session_entry_state(const SessionEntry& entry) {
+  SessionState state;
+  if (entry.session != nullptr) {
+    state = entry.session->export_state();
+  } else {
+    state.tree_text = to_text(*entry.tree);
+  }
+  state.tenant = entry.tenant;
+  state.instance = entry.instance;
+  return state;
+}
+
+SessionEntry session_entry_from_state(const SessionState& state) {
+  SessionEntry entry;
+  entry.tenant = state.tenant;
+  entry.instance = state.instance;
+  if (state.has_session()) {
+    entry.session = std::make_unique<ResolveSession>(ResolveSession::import_state(state));
+    entry.plan_spec = session_plan_key(parse_plan(state.plan_spec));
+    entry.bytes = SessionStore::estimate_bytes(entry.session->tree(), entry.session.get());
+  } else {
+    entry.tree = std::make_unique<CruTree>(tree_from_text(state.tree_text));
+    entry.bytes = SessionStore::estimate_bytes(*entry.tree, nullptr);
+  }
+  return entry;
+}
+
+SessionStore::SessionStore(std::size_t shards, std::size_t mem_budget, std::string spill_dir,
+                           std::size_t spill_budget)
+    : shards_(shards),
+      mem_budget_(mem_budget),
+      spill_dir_(std::move(spill_dir)),
+      spill_budget_(spill_budget) {
   TS_REQUIRE(shards >= 1, "SessionStore: shards must be >= 1, got " << shards);
+  TS_REQUIRE(spill_budget_ == 0 || spill_enabled(),
+             "SessionStore: spill_budget without a spill_dir");
+  if (spill_enabled()) {
+    std::error_code ec;
+    std::filesystem::create_directories(spill_dir_, ec);
+    if (ec) {
+      throw ResourceLimit("SessionStore: cannot create spill directory '" + spill_dir_ +
+                          "': " + ec.message());
+    }
+  }
 }
 
 std::string SessionStore::key_of(const std::string& tenant, const std::string& instance) {
@@ -35,13 +91,49 @@ std::size_t SessionStore::shard_of(const std::string& key) const {
   return static_cast<std::size_t>(key_hash(key) % shards_.size());
 }
 
-SessionEntry* SessionStore::find(const std::string& tenant, const std::string& instance) {
+std::string SessionStore::spill_path(const std::string& tenant,
+                                     const std::string& instance) const {
+  return spill_dir_ + "/" + snapshot_file_name(tenant, instance);
+}
+
+SessionEntry* SessionStore::find(const std::string& tenant, const std::string& instance,
+                                 bool* reloaded) {
+  if (reloaded != nullptr) *reloaded = false;
   const std::string key = key_of(tenant, instance);
   Shard& shard = shards_[shard_of(key)];
   const auto it = shard.entries.find(key);
-  if (it == shard.entries.end()) return nullptr;
-  it->second.stamp = ++clock_;
-  return &it->second;
+  if (it != shard.entries.end()) {
+    it->second.stamp = ++clock_;
+    return &it->second;
+  }
+  const auto spilled = spill_records_.find(key);
+  if (spilled == spill_records_.end()) return nullptr;
+
+  // Spill-tier hit: decode the snapshot, verify it really is this owner's
+  // (a misplaced file must not impersonate another tenant's instance),
+  // rebuild the entry and consume the spill copy.
+  const std::string path = spill_path(tenant, instance);
+  const SessionState state = read_snapshot_file(path);
+  TS_REQUIRE(state.tenant == tenant && state.instance == instance,
+             "SessionStore: spill file " << path << " belongs to '" << state.tenant << '/'
+                                         << state.instance << "', not '" << tenant << '/'
+                                         << instance << "'");
+  SessionEntry entry = session_entry_from_state(state);
+  entry.stamp = ++clock_;
+  bytes_used_ += entry.bytes;
+  spill_bytes_ -= spilled->second.bytes;
+  spill_records_.erase(spilled);
+  std::remove(path.c_str());
+  ++spill_reloads_;
+  if (reloaded != nullptr) *reloaded = true;
+  return &shard.entries.emplace(key, std::move(entry)).first->second;
+}
+
+bool SessionStore::contains(const std::string& tenant, const std::string& instance) const {
+  const std::string key = key_of(tenant, instance);
+  const Shard& shard = shards_[shard_of(key)];
+  return shard.entries.find(key) != shard.entries.end() ||
+         spill_records_.find(key) != spill_records_.end();
 }
 
 SessionEntry& SessionStore::put(const std::string& tenant, const std::string& instance,
@@ -53,6 +145,11 @@ SessionEntry& SessionStore::put(const std::string& tenant, const std::string& in
     bytes_used_ -= it->second.bytes;
     shard.entries.erase(it);
   }
+  // A re-submit replaces warm state in *both* tiers: a stale spill copy
+  // must never resurrect the pre-replacement instance on a later miss.
+  if (spill_records_.find(key) != spill_records_.end()) {
+    drop_spilled(key, /*budget_drop=*/false);
+  }
   SessionEntry entry;
   entry.tenant = tenant;
   entry.instance = instance;
@@ -63,14 +160,30 @@ SessionEntry& SessionStore::put(const std::string& tenant, const std::string& in
   return shard.entries.emplace(key, std::move(entry)).first->second;
 }
 
-bool SessionStore::erase(const std::string& tenant, const std::string& instance) {
+EvictFate SessionStore::evict(const std::string& tenant, const std::string& instance,
+                              bool drop) {
   const std::string key = key_of(tenant, instance);
   Shard& shard = shards_[shard_of(key)];
   const auto it = shard.entries.find(key);
-  if (it == shard.entries.end()) return false;
-  bytes_used_ -= it->second.bytes;
-  shard.entries.erase(it);
-  return true;
+  if (it != shard.entries.end()) {
+    const bool spill = spill_enabled() && !drop;
+    if (spill) spill_entry(it->second);
+    bytes_used_ -= it->second.bytes;
+    shard.entries.erase(it);
+    if (spill) {
+      enforce_spill_budget();
+      // The budget sweep may have dropped the very entry we just spilled
+      // (it can be the coldest file); its fate is then a drop after all.
+      return spill_records_.find(key) != spill_records_.end() ? EvictFate::kSpilled
+                                                              : EvictFate::kDropped;
+    }
+    return EvictFate::kDropped;
+  }
+  const auto spilled = spill_records_.find(key);
+  if (spilled == spill_records_.end()) return EvictFate::kAbsent;
+  if (!drop) return EvictFate::kSpilled;  // already exactly where evict puts things
+  drop_spilled(key, /*budget_drop=*/false);
+  return EvictFate::kDropped;
 }
 
 void SessionStore::refresh_bytes(SessionEntry& entry) {
@@ -78,6 +191,57 @@ void SessionStore::refresh_bytes(SessionEntry& entry) {
   bytes_used_ += fresh;
   bytes_used_ -= entry.bytes;
   entry.bytes = fresh;
+}
+
+void SessionStore::spill_entry(const SessionEntry& entry) {
+  const SessionState state = session_entry_state(entry);
+  const std::string path = spill_path(entry.tenant, entry.instance);
+  write_snapshot_file(path, state);
+  // Charge the exact snapshot size. encode_snapshot is deterministic for a
+  // given resolve history (wall-clock zeroed, caches sorted), so the
+  // spill-tier gauges replay byte-identically at any shard count.
+  const std::size_t file_bytes = encode_snapshot(state).size();
+  SpillRecord record;
+  record.tenant = entry.tenant;
+  record.instance = entry.instance;
+  record.bytes = file_bytes;
+  record.stamp = entry.stamp;
+  spill_bytes_ += file_bytes;
+  spill_records_[key_of(entry.tenant, entry.instance)] = std::move(record);
+  ++spills_;
+}
+
+void SessionStore::drop_spilled(const std::string& key, bool budget_drop) {
+  const auto it = spill_records_.find(key);
+  TS_CHECK(it != spill_records_.end(), "SessionStore: dropping unknown spill record " << key);
+  const std::string path = spill_path(it->second.tenant, it->second.instance);
+  spill_bytes_ -= it->second.bytes;
+  spill_records_.erase(it);
+  std::remove(path.c_str());
+  if (budget_drop) ++spill_drops_;
+}
+
+void SessionStore::enforce_spill_budget() {
+  if (spill_budget_ == 0) return;
+  while (spill_bytes_ > spill_budget_) {
+    // Coldest spilled entry: smallest stamp, ties by (tenant, instance) --
+    // the same strict total order the memory tier evicts by.
+    const SpillRecord* victim = nullptr;
+    std::string victim_key;
+    for (const auto& [key, record] : spill_records_) {
+      const bool better =
+          victim == nullptr || record.stamp < victim->stamp ||
+          (record.stamp == victim->stamp &&
+           std::make_pair(record.tenant, record.instance) <
+               std::make_pair(victim->tenant, victim->instance));
+      if (better) {
+        victim = &record;
+        victim_key = key;
+      }
+    }
+    if (victim == nullptr) break;
+    drop_spilled(victim_key, /*budget_drop=*/true);
+  }
 }
 
 std::vector<EvictedEntry> SessionStore::enforce_budget(const SessionEntry* protect) {
@@ -107,11 +271,14 @@ std::vector<EvictedEntry> SessionStore::enforce_budget(const SessionEntry* prote
       }
     }
     if (victim == nullptr) break;  // only the protected entry is resident
-    evicted.push_back({victim->tenant, victim->instance, victim->bytes});
+    const bool spill = spill_enabled();
+    if (spill) spill_entry(*victim);
+    evicted.push_back({victim->tenant, victim->instance, victim->bytes, spill});
     bytes_used_ -= victim->bytes;
     victim_shard->entries.erase(victim_key);
     ++lru_evictions_;
   }
+  enforce_spill_budget();
   return evicted;
 }
 
@@ -142,6 +309,51 @@ std::size_t SessionStore::sessions() const {
     }
   }
   return n;
+}
+
+void SessionStore::restore_counters(std::size_t lru_evictions, std::size_t spills,
+                                    std::size_t spill_reloads, std::size_t spill_drops) {
+  lru_evictions_ = lru_evictions;
+  spills_ = spills;
+  spill_reloads_ = spill_reloads;
+  spill_drops_ = spill_drops;
+}
+
+SessionEntry& SessionStore::restore_entry(SessionEntry entry, std::uint64_t stamp) {
+  const std::string key = key_of(entry.tenant, entry.instance);
+  TS_REQUIRE(!contains(entry.tenant, entry.instance),
+             "SessionStore: restore of an already-present entry " << key);
+  entry.stamp = stamp;
+  bytes_used_ += entry.bytes;
+  Shard& shard = shards_[shard_of(key)];
+  return shard.entries.emplace(key, std::move(entry)).first->second;
+}
+
+void SessionStore::restore_spilled(const std::string& tenant, const std::string& instance,
+                                   std::uint64_t stamp, std::size_t bytes) {
+  TS_REQUIRE(spill_enabled(),
+             "SessionStore: cannot restore a spilled entry without a spill_dir");
+  const std::string key = key_of(tenant, instance);
+  TS_REQUIRE(!contains(tenant, instance),
+             "SessionStore: restore of an already-present spilled entry " << key);
+  SpillRecord record;
+  record.tenant = tenant;
+  record.instance = instance;
+  record.bytes = bytes;
+  record.stamp = stamp;
+  spill_bytes_ += bytes;
+  spill_records_[key] = std::move(record);
+}
+
+std::vector<const SessionEntry*> SessionStore::resident_by_key() const {
+  std::vector<const SessionEntry*> out;
+  for (const Shard& shard : shards_) {
+    for (const auto& [key, entry] : shard.entries) out.push_back(&entry);
+  }
+  std::sort(out.begin(), out.end(), [](const SessionEntry* a, const SessionEntry* b) {
+    return std::make_pair(a->tenant, a->instance) < std::make_pair(b->tenant, b->instance);
+  });
+  return out;
 }
 
 }  // namespace treesat

@@ -1,4 +1,4 @@
-// The sharded warm-session store behind treesat-serve.
+// The sharded, tiered warm-session store behind treesat-serve.
 //
 // A serving deployment keeps one warm ResolveSession per live
 // tenant/instance pair: the session's frontier caches are what turn a
@@ -11,25 +11,36 @@
 // and when the total exceeds the configured budget the least-recently-used
 // entries are evicted until it fits.
 //
+// Tiering. With a spill directory configured, budget victims are not
+// destroyed: they are written as storage/snapshot.hpp files into the spill
+// tier (keeping their LRU stamp), and a store miss checks that tier and
+// reloads the session on demand -- warm state survives memory pressure at
+// the cost of one snapshot round-trip. The spill tier has its own byte
+// budget; when it overflows, the coldest spilled sessions are dropped for
+// real. An instance lives in at most one tier at a time.
+//
 // Sharding and determinism. Entries hash-partition across `shards` buckets
 // (the layout a concurrent frontend would lock per shard), but nothing
 // observable depends on the shard count: lookups go straight to the owning
 // shard, and eviction picks its victim by a *global* strict total order --
 // smallest last-touch stamp, ties broken by key -- scanning every shard.
-// The same request stream therefore produces the same hits, the same
-// evictions and the same telemetry at shards=1 and shards=8, which is the
-// half of the service's byte-identity contract that the store owns
-// (tests/service_determinism_test.cpp asserts it end to end).
+// Spilling preserves this: snapshot bytes are a pure function of the
+// resolve history (wall-clock is zeroed on export), so spill file sizes,
+// spill-tier gauges and reload outcomes replay identically at shards=1 and
+// shards=8 -- the half of the service's byte-identity contract that the
+// store owns (tests/service_determinism_test.cpp asserts it end to end).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/incremental.hpp"
+#include "core/plan.hpp"
 
 namespace treesat {
 
@@ -50,27 +61,79 @@ struct SessionEntry {
   }
 };
 
-/// What one eviction sweep removed (telemetry attribution).
+/// What one eviction sweep removed from memory (telemetry attribution).
 struct EvictedEntry {
   std::string tenant;
   std::string instance;
   std::size_t bytes = 0;
+  bool spilled = false;  ///< preserved in the spill tier vs destroyed
 };
+
+/// One spilled tenant/instance: a snapshot file in the spill directory.
+/// The LRU stamp is carried over from residency so the spill tier's own
+/// budget evicts in the same global order the memory tier would have.
+struct SpillRecord {
+  std::string tenant;
+  std::string instance;
+  std::size_t bytes = 0;    ///< snapshot file size
+  std::uint64_t stamp = 0;  ///< stamp at spill time
+};
+
+/// What an explicit evict did with the entry.
+enum class EvictFate : std::uint8_t {
+  kAbsent,   ///< not in either tier
+  kDropped,  ///< destroyed (no spill tier, spilled-and-dropped, or drop=true)
+  kSpilled,  ///< preserved in (or already resident in) the spill tier
+};
+
+/// Session identity of a plan: the canonical spec with every
+/// result-invisible knob stripped. dp_threads and the executor keys
+/// (threads/deadline_ms/fail_fast/warm_start) are documented -- and
+/// asserted, see service_determinism_test -- to never change a result, so
+/// a client re-tuning parallelism must keep its warm session instead of
+/// triggering a cold "plan changed" rebuild. The session keeps solving
+/// with the options it was built under. Also how a spill reload recovers
+/// an entry's plan identity from the snapshot's full plan spec.
+[[nodiscard]] std::string session_plan_key(SolvePlan plan);
+
+/// The SessionState a snapshot of `entry` carries: the session's
+/// export_state() (or a tree-only state before the first solve) stamped
+/// with the entry's owner. Shared by the spill tier and checkpointing.
+[[nodiscard]] SessionState session_entry_state(const SessionEntry& entry);
+
+/// Inverse of session_entry_state(): rebuilds a SessionEntry (owner, tree
+/// or imported session, canonical plan key, byte estimate) from a decoded
+/// state. The caller assigns the LRU stamp.
+[[nodiscard]] SessionEntry session_entry_from_state(const SessionState& state);
 
 class SessionStore {
  public:
-  /// `shards` >= 1; `mem_budget` in bytes, 0 = unlimited.
-  SessionStore(std::size_t shards, std::size_t mem_budget);
+  /// `shards` >= 1; `mem_budget` in bytes, 0 = unlimited. A non-empty
+  /// `spill_dir` enables the spill tier (the directory is created if
+  /// missing); `spill_budget` bounds its bytes, 0 = unlimited.
+  SessionStore(std::size_t shards, std::size_t mem_budget, std::string spill_dir = "",
+               std::size_t spill_budget = 0);
 
-  /// Looks an entry up and touches its LRU stamp. nullptr when absent.
-  [[nodiscard]] SessionEntry* find(const std::string& tenant, const std::string& instance);
+  /// Looks an entry up and touches its LRU stamp. On a memory miss the
+  /// spill tier is consulted and a hit is reloaded into memory (the spill
+  /// copy is consumed); `*reloaded` reports when that happened. nullptr
+  /// when the entry is in neither tier.
+  [[nodiscard]] SessionEntry* find(const std::string& tenant, const std::string& instance,
+                                   bool* reloaded = nullptr);
 
-  /// Inserts (or replaces -- a re-submit drops any warm state) an entry and
-  /// touches it. The caller runs enforce_budget afterwards.
+  /// True when the entry is in either tier. No stamp touch, no reload.
+  [[nodiscard]] bool contains(const std::string& tenant, const std::string& instance) const;
+
+  /// Inserts (or replaces -- a re-submit drops any warm state, spilled
+  /// copies included) an entry and touches it. The caller runs
+  /// enforce_budget afterwards.
   SessionEntry& put(const std::string& tenant, const std::string& instance, CruTree tree);
 
-  /// Removes one entry. False when it was not resident.
-  bool erase(const std::string& tenant, const std::string& instance);
+  /// Explicitly evicts one entry. Without `drop`, a resident entry moves
+  /// to the spill tier when one is configured (kSpilled) and is destroyed
+  /// otherwise (kDropped); an already-spilled entry stays put (kSpilled).
+  /// With `drop`, the entry is destroyed wherever it lives.
+  EvictFate evict(const std::string& tenant, const std::string& instance, bool drop);
 
   /// Re-estimates `entry`'s bytes (its session may have grown) and updates
   /// the store total.
@@ -79,7 +142,9 @@ class SessionStore {
   /// Evicts least-recently-used entries -- never `protect`, the entry the
   /// current request is operating on -- until the total fits the budget.
   /// Victim order is shard-count-invariant: smallest stamp first, ties by
-  /// (tenant, instance). Returns what was evicted, oldest first.
+  /// (tenant, instance). With a spill tier, victims are spilled (and the
+  /// spill tier's own budget then drops its coldest files). Returns what
+  /// left memory, oldest first.
   std::vector<EvictedEntry> enforce_budget(const SessionEntry* protect);
 
   /// Deterministic byte estimate: structural tree footprint plus the
@@ -96,6 +161,41 @@ class SessionStore {
   [[nodiscard]] std::size_t sessions() const;
   [[nodiscard]] std::size_t lru_evictions() const { return lru_evictions_; }
 
+  // --- spill tier ---
+  [[nodiscard]] bool spill_enabled() const { return !spill_dir_.empty(); }
+  [[nodiscard]] const std::string& spill_dir() const { return spill_dir_; }
+  [[nodiscard]] std::size_t spill_budget() const { return spill_budget_; }
+  [[nodiscard]] std::size_t spill_bytes() const { return spill_bytes_; }
+  [[nodiscard]] std::size_t spill_entries() const { return spill_records_.size(); }
+  [[nodiscard]] std::size_t spills() const { return spills_; }
+  [[nodiscard]] std::size_t spill_reloads() const { return spill_reloads_; }
+  [[nodiscard]] std::size_t spill_drops() const { return spill_drops_; }
+
+  // --- checkpoint/restore seams (storage/checkpoint.cpp) ---
+  /// The global LRU clock, so a restored store keeps aging exactly where
+  /// the checkpointed one stopped.
+  [[nodiscard]] std::uint64_t clock() const { return clock_; }
+  void restore_clock(std::uint64_t clock) { clock_ = clock; }
+  void restore_counters(std::size_t lru_evictions, std::size_t spills,
+                        std::size_t spill_reloads, std::size_t spill_drops);
+  /// Inserts a rebuilt entry with an explicit stamp (no clock touch). The
+  /// key must be vacant in both tiers.
+  SessionEntry& restore_entry(SessionEntry entry, std::uint64_t stamp);
+  /// Registers a spill-tier entry whose snapshot file the caller already
+  /// placed in the spill directory.
+  void restore_spilled(const std::string& tenant, const std::string& instance,
+                       std::uint64_t stamp, std::size_t bytes);
+  /// Resident entries in (tenant, instance) order -- the deterministic
+  /// enumeration a checkpoint serializes.
+  [[nodiscard]] std::vector<const SessionEntry*> resident_by_key() const;
+  /// Spilled entries, keyed by tenant + '/' + instance (sorted by key).
+  [[nodiscard]] const std::map<std::string, SpillRecord>& spill_records() const {
+    return spill_records_;
+  }
+  /// Absolute path of an owner's snapshot file inside the spill directory.
+  [[nodiscard]] std::string spill_path(const std::string& tenant,
+                                       const std::string& instance) const;
+
  private:
   struct Shard {
     std::unordered_map<std::string, SessionEntry> entries;  ///< key: tenant + '/' + instance
@@ -104,12 +204,27 @@ class SessionStore {
   [[nodiscard]] static std::string key_of(const std::string& tenant,
                                           const std::string& instance);
   [[nodiscard]] std::size_t shard_of(const std::string& key) const;
+  /// Writes `entry`'s snapshot into the spill directory and registers the
+  /// record (stamp preserved). The caller removes the resident entry.
+  void spill_entry(const SessionEntry& entry);
+  /// Deletes a spill record and its file. `budget_drop` attributes the
+  /// removal to spill-budget pressure (counter + telemetry).
+  void drop_spilled(const std::string& key, bool budget_drop);
+  /// Drops the coldest spilled entries until the spill budget fits.
+  void enforce_spill_budget();
 
   std::vector<Shard> shards_;
   std::size_t mem_budget_;
+  std::string spill_dir_;
+  std::size_t spill_budget_;
+  std::map<std::string, SpillRecord> spill_records_;
   std::size_t bytes_used_ = 0;
+  std::size_t spill_bytes_ = 0;
   std::uint64_t clock_ = 0;
   std::size_t lru_evictions_ = 0;
+  std::size_t spills_ = 0;
+  std::size_t spill_reloads_ = 0;
+  std::size_t spill_drops_ = 0;
 };
 
 }  // namespace treesat

@@ -22,7 +22,8 @@ void tenant_telemetry_json(std::ostringstream& os, const TenantTelemetry& t,
      << ",\"cold_solves\":" << t.cold_solves
      << ",\"warm_hit_ratio\":" << number(t.warm_hit_ratio())
      << ",\"lru_evictions\":" << t.lru_evictions
-     << ",\"explicit_evictions\":" << t.explicit_evictions << ",\"method_counts\":{";
+     << ",\"explicit_evictions\":" << t.explicit_evictions << ",\"spills\":" << t.spills
+     << ",\"spill_reloads\":" << t.spill_reloads << ",\"method_counts\":{";
   bool first = true;
   for (std::size_t m = 0; m < t.method_counts.size(); ++m) {
     if (t.method_counts[m] == 0) continue;
@@ -50,7 +51,13 @@ std::string service_telemetry_to_json(const ServiceTelemetry& telemetry,
   // eviction behavior the surrounding counters describe.
   os << "{\"mem_budget\":" << telemetry.mem_budget
      << ",\"bytes_used\":" << telemetry.bytes_used << ",\"entries\":" << telemetry.entries
-     << ",\"sessions\":" << telemetry.sessions << ",\"requests\":" << telemetry.requests
+     << ",\"sessions\":" << telemetry.sessions
+     << ",\"spill_budget\":" << telemetry.spill_budget
+     << ",\"spill_bytes\":" << telemetry.spill_bytes
+     << ",\"spill_entries\":" << telemetry.spill_entries
+     << ",\"spills\":" << telemetry.spills
+     << ",\"spill_reloads\":" << telemetry.spill_reloads
+     << ",\"spill_drops\":" << telemetry.spill_drops << ",\"requests\":" << telemetry.requests
      << ",\"errors\":" << telemetry.errors << ",\"totals\":{";
   tenant_telemetry_json(os, telemetry.totals(), include_timing);
   os << "},\"tenants\":[";

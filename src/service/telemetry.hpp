@@ -86,6 +86,8 @@ struct TenantTelemetry {
 
   std::size_t lru_evictions = 0;      ///< sessions this tenant lost to the byte budget
   std::size_t explicit_evictions = 0; ///< sessions dropped by an evict request
+  std::size_t spills = 0;             ///< sessions written to the spill tier
+  std::size_t spill_reloads = 0;      ///< sessions reloaded from the spill tier
 
   /// Solves per method that ran for this tenant, indexed by SolveMethod.
   std::array<std::size_t, kSolveMethodCount> method_counts{};
@@ -113,6 +115,8 @@ struct TenantTelemetry {
     cold_solves += other.cold_solves;
     lru_evictions += other.lru_evictions;
     explicit_evictions += other.explicit_evictions;
+    spills += other.spills;
+    spill_reloads += other.spill_reloads;
     for (std::size_t m = 0; m < method_counts.size(); ++m) {
       method_counts[m] += other.method_counts[m];
     }
@@ -153,6 +157,16 @@ struct ServiceTelemetry {
   std::size_t bytes_used = 0;   ///< store accounting after the last request
   std::size_t entries = 0;      ///< resident instances (warm or not)
   std::size_t sessions = 0;     ///< ...of which hold a live ResolveSession
+  // Spill-tier gauges and lifetime counters (session_store.hpp). All a
+  // pure function of the request stream: spill file sizes derive from the
+  // deterministic snapshot encoding, so they stay inside the byte-identity
+  // contract.
+  std::size_t spill_budget = 0;   ///< bytes; 0 = unlimited (or tier disabled)
+  std::size_t spill_bytes = 0;    ///< snapshot bytes currently spilled
+  std::size_t spill_entries = 0;  ///< sessions currently in the spill tier
+  std::size_t spills = 0;         ///< lifetime spill writes
+  std::size_t spill_reloads = 0;  ///< lifetime reloads back into memory
+  std::size_t spill_drops = 0;    ///< spilled sessions lost to the spill budget
   std::size_t requests = 0;     ///< all request lines, unattributable included
   std::size_t errors = 0;
 

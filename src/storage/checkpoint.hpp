@@ -1,0 +1,66 @@
+// Whole-service checkpoint/restore -- the storage subsystem's top layer.
+//
+// A checkpoint is a directory:
+//
+//   <dir>/MANIFEST.tsc     versioned manifest (same framed header as
+//                          storage/snapshot.hpp: magic, byte count,
+//                          FNV-1a 64 content hash)
+//   <dir>/sessions/*.tss   one snapshot per memory-resident entry
+//   <dir>/spilled/*.tss    the spill tier's snapshot files, copied verbatim
+//
+// The manifest records everything a restarted process needs to answer its
+// first warm request without re-solving and with byte-identical responses:
+// the next request id, the store's global LRU clock and lifetime counters,
+// every entry's owner + stamp + byte estimate (tier placement preserved --
+// a spilled session restores spilled, so store gauges replay exactly), and
+// the deterministic half of the service telemetry (per-tenant counters,
+// overflow aggregate, request/error totals). Latency rings are wall-clock
+// observations and deliberately not persisted: a restored service reports
+// empty quantiles until it records fresh samples.
+//
+// The manifest is written last (atomically), so a directory with a valid
+// manifest is a complete checkpoint; a crash mid-checkpoint leaves a
+// manifest-less directory that restore rejects loudly. Restore validates
+// every snapshot (framed hash + strict payload parse + owner match against
+// the manifest row) before touching the store, and the rebuilt entries'
+// recomputed byte estimates must equal the manifest's -- a mismatch means
+// a foreign or tampered file and fails the restore.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "service/session_store.hpp"
+#include "service/telemetry.hpp"
+
+namespace treesat {
+
+/// Writes a complete checkpoint of the store + telemetry under `dir`
+/// (created if missing). `next_id` is the service's request-id high-water
+/// mark. Throws ResourceLimit on IO failure; the store is not modified.
+void write_checkpoint(const std::string& dir, const SessionStore& store,
+                      const ServiceTelemetry& telemetry, std::size_t next_id);
+
+/// A restored service core: the store (sessions warm, tiers as
+/// checkpointed), the deterministic telemetry counters, and the request-id
+/// high-water mark.
+struct RestoredService {
+  SessionStore store;
+  ServiceTelemetry telemetry;
+  std::size_t next_id = 0;
+};
+
+/// Rebuilds a service core from a checkpoint directory. The store is
+/// created with the *restoring* service's configuration (`shards`,
+/// `mem_budget`, `spill_dir`, `spill_budget` -- shard count is
+/// behavior-invariant, budgets are deployment config); clock, stamps and
+/// counters come from the manifest. A checkpoint holding spilled sessions
+/// requires a configured spill_dir (their files are copied into it).
+/// Throws InvalidArgument on a corrupt/foreign/incomplete checkpoint,
+/// ResourceLimit on IO failure.
+[[nodiscard]] RestoredService read_checkpoint(const std::string& dir, std::size_t shards,
+                                              std::size_t mem_budget,
+                                              const std::string& spill_dir,
+                                              std::size_t spill_budget);
+
+}  // namespace treesat

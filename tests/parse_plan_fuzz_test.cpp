@@ -130,10 +130,32 @@ const BadSpec kBadServiceConfigs[] = {
     {"plan=", "unknown method"},
     {"plan=pareto-dp:dp_threads=0", "dp_threads"},
     {"plan=pareto-dp:max_frontier", "malformed"},
+    // Spill tier (storage/snapshot.hpp + session_store.hpp): the directory
+    // must be a real value, the budget shares mem_budget's byte grammar,
+    // and a budget without a directory is a contradiction, not a default.
+    {"spill_dir=", "spill_dir"},
+    {"spill_budget=0,spill_dir=", "spill_dir"},  // budget 0 does not excuse it
+    {"spill_budget=1m", "requires 'spill_dir'"},
+    {"mem_budget=1m,spill_budget=512k", "requires 'spill_dir'"},
+    {"spill_dir=/tmp/a,spill_dir=/tmp/b", "duplicate key"},
+    {"spill_budget=1m,spill_budget=2m,spill_dir=/tmp/a", "duplicate key"},
+    {"spill_budget=", "cannot parse value"},
+    {"spill_budget=-1,spill_dir=/tmp/a", "cannot parse value"},
+    {"spill_budget=64q,spill_dir=/tmp/a", "cannot parse value"},
+    {"spill_budget=1.5m,spill_dir=/tmp/a", "cannot parse value"},
+    {"spill_budget=lots,spill_dir=/tmp/a", "cannot parse value"},
+    {"spill_budget=20000000000g,spill_dir=/tmp/a", "overflows"},
+    {"spill_budget=99999999999999999999,spill_dir=/tmp/a", "cannot parse value"},
+    {"spill_budget", "malformed"},
+    {"spill_dir", "malformed"},
+    {"spill_dir=/tmp/a,", "malformed"},
     // Unknown keys.
     {"ports=8080", "unknown key"},
     {"mem-budget=1m", "unknown key"},
     {"Shards=2", "unknown key"},
+    {"spill-dir=/tmp/a", "unknown key"},
+    {"Spill_dir=/tmp/a", "unknown key"},
+    {"snapshot_dir=/tmp/a", "unknown key"},
 };
 
 TEST(ParseServiceConfigFuzz, MalformedConfigsThrowDescriptiveErrors) {
@@ -159,6 +181,12 @@ TEST(ParseServiceConfigFuzz, NearMissesStillParse) {
   EXPECT_EQ(parse_service_config("deadline_ms=0").executor.deadline_seconds, 0.0);
   EXPECT_EQ(parse_service_config("fail_fast=no").executor.fail_fast, false);
   EXPECT_EQ(parse_service_config("plan=coloured_ssb").plan, "coloured_ssb");
+  // Spill keys: budget 0 without a directory means "disabled", which is
+  // exactly the default; a directory alone enables an unlimited tier.
+  EXPECT_EQ(parse_service_config("spill_budget=0").spill_budget, 0u);
+  EXPECT_EQ(parse_service_config("spill_dir=/tmp/spill").spill_dir, "/tmp/spill");
+  EXPECT_EQ(parse_service_config("spill_dir=/tmp/spill,spill_budget=2M").spill_budget,
+            std::size_t{2} << 20);
 }
 
 TEST(ParsePlanFuzz, NearMissesOfValidSpecsStillParse) {

@@ -17,6 +17,7 @@
 // work-list pool through the service path.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -85,6 +86,95 @@ TEST(ServiceDeterminism, EvictionOrderIsShardCountInvariant) {
   std::ostringstream out;
   static_cast<void>(probe.serve(in, out));
   EXPECT_GT(probe.telemetry().totals().lru_evictions, 0u);
+}
+
+TEST(ServiceDeterminism, SpillTierKeepsShardCountInvariance) {
+  // The eviction-order sweep again, but with victims *spilling* instead of
+  // dropping: reload-on-miss changes which requests run warm, so a
+  // shard-dependent victim order would now diverge twice over (the spill
+  // population and the reload moments). Each replay gets its own spill
+  // directory; the directory path never appears in a response, so the
+  // streams must still match byte for byte.
+  TrafficOptions options;
+  options.seed = 0xE71C7;
+  options.tenants = 4;
+  options.ticks = 60;
+  options.p_churn = 0.08;
+  const std::string trace = trace_text(traffic_trace(options));
+
+  const auto config = [](std::size_t shards) {
+    const std::string dir = ::testing::TempDir() + "/treesat_det_spill_s" +
+                            std::to_string(shards);
+    std::filesystem::remove_all(dir);
+    return "shards=" + std::to_string(shards) +
+           ",mem_budget=28k,fail_fast=false,spill_dir=" + dir;
+  };
+  const std::string one = replay(trace, config(1));
+  EXPECT_EQ(one, replay(trace, config(2)));
+  EXPECT_EQ(one, replay(trace, config(8)));
+
+  // The sweep actually spilled and reloaded (otherwise it is the plain
+  // eviction test again).
+  SolverService probe(parse_service_config(config(2)));
+  std::istringstream in(trace);
+  std::ostringstream out;
+  static_cast<void>(probe.serve(in, out));
+  EXPECT_GT(probe.telemetry().totals().spills, 0u);
+  EXPECT_GT(probe.telemetry().totals().spill_reloads, 0u);
+}
+
+TEST(ServiceDeterminism, CheckpointRestartResumesByteIdentically) {
+  // The zero-rewarm restart contract: serve the head of a trace, write a
+  // checkpoint, restore it into a *fresh* service, serve the tail there --
+  // head + tail responses must equal the single-process replay exactly.
+  // (ci.sh re-proves this end to end through the treesat_serve binary.)
+  TrafficOptions options;
+  options.seed = 0xC4EC;
+  options.tenants = 3;
+  options.ticks = 50;
+  const TrafficTrace trace = traffic_trace(options);
+  const std::vector<std::string>& lines = trace.lines;
+  ASSERT_GT(lines.size(), 10u);
+  const std::size_t split = lines.size() / 2;
+
+  std::string head, tail, whole;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    (i < split ? head : tail) += lines[i] + "\n";
+    whole += lines[i] + "\n";
+  }
+
+  const std::string config = "shards=2,fail_fast=false";
+  const std::string golden = replay(whole, config);
+
+  const std::string dir = ::testing::TempDir() + "/treesat_det_ckpt";
+  std::filesystem::remove_all(dir);
+
+  SolverService first(parse_service_config(config));
+  std::istringstream head_in(head);
+  std::ostringstream head_out;
+  static_cast<void>(first.serve(head_in, head_out));
+  first.checkpoint_to(dir);
+
+  SolverService second(parse_service_config(config));
+  second.restore_from(dir);
+  std::istringstream tail_in(tail);
+  std::ostringstream tail_out;
+  static_cast<void>(second.serve(tail_in, tail_out));
+
+  EXPECT_EQ(head_out.str() + tail_out.str(), golden);
+
+  // The restart resumed *warm*: the restored service must not have had to
+  // run a single initial or cold solve the one-process run did not.
+  SolverService oracle(parse_service_config(config));
+  std::istringstream whole_in(whole);
+  std::ostringstream whole_out;
+  static_cast<void>(oracle.serve(whole_in, whole_out));
+  const TenantTelemetry a = oracle.telemetry().totals();
+  const TenantTelemetry b = second.telemetry().totals();
+  EXPECT_EQ(b.requests, a.requests);
+  EXPECT_EQ(b.warm_hits, a.warm_hits);
+  EXPECT_EQ(b.initial_solves, a.initial_solves);
+  EXPECT_EQ(b.cold_solves, a.cold_solves);
 }
 
 TEST(ServiceDeterminism, DpThreadCountIsInvisible) {

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <sstream>
 #include <string>
 
@@ -38,6 +39,14 @@ std::string submit_line(const std::string& tenant, const std::string& instance,
 
 bool contains(const std::string& haystack, const std::string& needle) {
   return haystack.find(needle) != std::string::npos;
+}
+
+/// A fresh per-test scratch directory (spill tiers, checkpoints). Wiped up
+/// front so a previous run's files cannot leak into this one.
+std::string temp_subdir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/treesat_service_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
 }
 
 #define EXPECT_CONTAINS(response, needle) \
@@ -252,6 +261,155 @@ TEST(Service, LruEvictionUnderByteBudget) {
   EXPECT_CONTAINS(service.handle_line("{\"op\":\"stats\"}"), "\"lru_evictions\":1");
 }
 
+TEST(Service, SpillTierPreservesWarmStateAcrossEviction) {
+  // Same byte arithmetic as LruEvictionUnderByteBudget (two epilepsy trees
+  // fit 6 KiB, a warm session plus anything does not), but with a spill
+  // tier: LRU victims land on disk and come back warm -- the re-solve that
+  // eviction used to cost disappears.
+  const std::string spill = temp_subdir("spill_warm");
+  SolverService service(parse_service_config(
+      "shards=4,mem_budget=6k,fail_fast=false,spill_dir=" + spill));
+  const Scenario scenario = epilepsy_scenario();
+  const CruTree tree = scenario.workload.lower(scenario.platform);
+  static_cast<void>(service.handle_line(submit_line("t0", "a", tree)));
+  static_cast<void>(service.handle_line(submit_line("t0", "b", tree)));
+
+  // Warming b evicts a's (tree-only) entry -- spilled, not destroyed.
+  const std::string warm_b =
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"b\"}");
+  EXPECT_CONTAINS(warm_b, "\"path\":\"initial\"");
+  EXPECT_CONTAINS(warm_b, "\"lru_evicted\":1");
+  std::string stats = service.handle_line("{\"op\":\"stats\"}");
+  EXPECT_CONTAINS(stats, "\"spill_entries\":1");
+  EXPECT_CONTAINS(stats, "\"spills\":1");
+  EXPECT_CONTAINS(stats, "\"spill_reloads\":0");
+
+  // a is NOT unknown (the no-spill test's outcome): it reloads from the
+  // spill tier and solves; the warm b session is the next victim.
+  const std::string solve_a =
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"a\"}");
+  EXPECT_CONTAINS(solve_a, "\"ok\":true");
+  EXPECT_CONTAINS(solve_a, "\"path\":\"initial\"");
+  EXPECT_CONTAINS(solve_a, "\"lru_evicted\":1");
+
+  // b comes back *warm*: "cached", not a re-solve -- the whole point of
+  // spilling sessions instead of dropping them.
+  const std::string back_b =
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"b\"}");
+  EXPECT_CONTAINS(back_b, "\"ok\":true");
+  EXPECT_CONTAINS(back_b, "\"path\":\"cached\"");
+
+  stats = service.handle_line("{\"op\":\"stats\"}");
+  EXPECT_CONTAINS(stats, "\"spill_reloads\":2");  // a (tree-only) + b (warm)
+  EXPECT_CONTAINS(stats, "\"spill_budget\":0");
+  // The spilled entry's bytes are on disk, not in the RAM gauge.
+  EXPECT_CONTAINS(stats, "\"spill_entries\":1");
+}
+
+TEST(Service, EvictFateReporting) {
+  const std::string spill = temp_subdir("spill_fate");
+  SolverService service(parse_service_config("mem_budget=64m,spill_dir=" + spill));
+  const CruTree tree = paper_running_example();
+  static_cast<void>(service.handle_line(submit_line("t0", "w0", tree)));
+  static_cast<void>(
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}"));
+
+  // A warm session evicts to the spill tier...
+  const std::string spilled =
+      service.handle_line("{\"op\":\"evict\",\"tenant\":\"t0\",\"instance\":\"w0\"}");
+  EXPECT_CONTAINS(spilled, "\"evicted\":true");
+  EXPECT_CONTAINS(spilled, "\"fate\":\"spilled\"");
+
+  // ...and a later solve reloads it warm ("cached": no re-solve happened).
+  EXPECT_CONTAINS(
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}"),
+      "\"path\":\"cached\"");
+
+  // "drop":true destroys it everywhere, spill tier included.
+  const std::string dropped = service.handle_line(
+      "{\"op\":\"evict\",\"tenant\":\"t0\",\"instance\":\"w0\",\"drop\":true}");
+  EXPECT_CONTAINS(dropped, "\"fate\":\"dropped\"");
+  const std::string absent =
+      service.handle_line("{\"op\":\"evict\",\"tenant\":\"t0\",\"instance\":\"w0\"}");
+  EXPECT_CONTAINS(absent, "\"evicted\":false");
+  EXPECT_CONTAINS(absent, "\"fate\":\"absent\"");
+  EXPECT_CONTAINS(
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}"),
+      "unknown instance");
+
+  // Evicting an already-spilled entry is a no-op that reports its tier;
+  // dropping it then removes the file.
+  static_cast<void>(service.handle_line(submit_line("t0", "w0", tree)));
+  static_cast<void>(
+      service.handle_line("{\"op\":\"evict\",\"tenant\":\"t0\",\"instance\":\"w0\"}"));
+  EXPECT_CONTAINS(
+      service.handle_line("{\"op\":\"evict\",\"tenant\":\"t0\",\"instance\":\"w0\"}"),
+      "\"fate\":\"spilled\"");
+  EXPECT_CONTAINS(service.handle_line(
+                      "{\"op\":\"evict\",\"tenant\":\"t0\",\"instance\":\"w0\",\"drop\":true}"),
+                  "\"fate\":\"dropped\"");
+
+  // Without a spill tier an evict can only drop (the pre-tier behavior).
+  SolverService bare;
+  static_cast<void>(bare.handle_line(submit_line("t0", "w0", tree)));
+  EXPECT_CONTAINS(
+      bare.handle_line("{\"op\":\"evict\",\"tenant\":\"t0\",\"instance\":\"w0\"}"),
+      "\"fate\":\"dropped\"");
+}
+
+TEST(Service, SpillBudgetDropsColdestSpilledEntries) {
+  // A 1-byte spill budget: every spill is immediately swept back out, so
+  // the tier holds nothing but the counters still tell the story.
+  const std::string spill = temp_subdir("spill_tiny");
+  SolverService service(parse_service_config(
+      "mem_budget=64m,spill_dir=" + spill + ",spill_budget=1"));
+  static_cast<void>(service.handle_line(submit_line("t0", "w0", paper_running_example())));
+  const std::string evicted =
+      service.handle_line("{\"op\":\"evict\",\"tenant\":\"t0\",\"instance\":\"w0\"}");
+  // The entry was spilled, then the budget sweep dropped the file: the
+  // observable fate is "dropped", and the instance really is gone.
+  EXPECT_CONTAINS(evicted, "\"fate\":\"dropped\"");
+  EXPECT_CONTAINS(
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}"),
+      "unknown instance");
+  const std::string stats = service.handle_line("{\"op\":\"stats\"}");
+  EXPECT_CONTAINS(stats, "\"spill_budget\":1");
+  EXPECT_CONTAINS(stats, "\"spill_entries\":0");
+  EXPECT_CONTAINS(stats, "\"spill_bytes\":0");
+}
+
+TEST(Service, CheckpointRestoreOps) {
+  const std::string dir = temp_subdir("ckpt_ops");
+  SolverService service;
+  static_cast<void>(service.handle_line(submit_line("t0", "w0", paper_running_example())));
+  static_cast<void>(
+      service.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}"));
+
+  const std::string saved =
+      service.handle_line("{\"op\":\"checkpoint\",\"dir\":\"" + json_escape(dir) + "\"}");
+  EXPECT_CONTAINS(saved, "\"ok\":true");
+  EXPECT_CONTAINS(saved, "\"entries\":1");
+
+  // A fresh service restores it and serves the warm session immediately.
+  SolverService twin;
+  const std::string restored =
+      twin.handle_line("{\"op\":\"restore\",\"dir\":\"" + json_escape(dir) + "\"}");
+  EXPECT_CONTAINS(restored, "\"ok\":true");
+  EXPECT_CONTAINS(restored, "\"sessions\":1");
+  EXPECT_CONTAINS(
+      twin.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}"),
+      "\"path\":\"cached\"");
+
+  // Restoring from a missing / empty directory is an error response, not a
+  // torn-down service.
+  const std::string bad = twin.handle_line(
+      "{\"op\":\"restore\",\"dir\":\"" + json_escape(dir + "/nope") + "\"}");
+  EXPECT_CONTAINS(bad, "\"ok\":false");
+  EXPECT_CONTAINS(
+      twin.handle_line("{\"op\":\"solve\",\"tenant\":\"t0\",\"instance\":\"w0\"}"),
+      "\"ok\":true");
+}
+
 TEST(Service, DeadlineRejectsLateRequests) {
   // An absurdly small service deadline: every request arrives after it.
   SolverService late(parse_service_config("deadline_ms=1e-9,fail_fast=false"));
@@ -343,6 +501,18 @@ TEST(Service, ConfigSpecRoundTrips) {
   EXPECT_EQ(parse_service_config("mem_budget=512k").mem_budget, std::size_t{512} << 10);
   EXPECT_EQ(parse_service_config("mem_budget=1G").mem_budget, std::size_t{1} << 30);
   EXPECT_EQ(parse_service_config("mem_budget=0").mem_budget, 0u);
+
+  // Spill keys ride the same round trip.
+  const ServiceOptions tiered =
+      parse_service_config("mem_budget=6k,spill_dir=/tmp/spill,spill_budget=2m");
+  EXPECT_EQ(tiered.spill_dir, "/tmp/spill");
+  EXPECT_EQ(tiered.spill_budget, std::size_t{2} << 20);
+  const ServiceOptions tiered_back = parse_service_config(service_config_spec(tiered));
+  EXPECT_EQ(tiered_back.spill_dir, tiered.spill_dir);
+  EXPECT_EQ(tiered_back.spill_budget, tiered.spill_budget);
+  // Untiered configs keep round-tripping without the keys appearing.
+  EXPECT_EQ(service_config_spec(parse_service_config("shards=2")).find("spill"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -33,6 +33,10 @@ int usage(const char* argv0) {
       << "                     fail_fast=,timing=,plan= (see parse_service_config)\n"
       << "  --shards N         shorthand for shards=N\n"
       << "  --mem-budget B     shorthand for mem_budget=B (k/m/g suffixes)\n"
+      << "  --spill-dir DIR    shorthand for spill_dir=DIR (spill tier)\n"
+      << "  --spill-budget B   shorthand for spill_budget=B (k/m/g suffixes)\n"
+      << "  --restore DIR      restore a checkpoint before serving\n"
+      << "  --checkpoint-dir DIR  write a checkpoint after the stream ends\n"
       << "  --plan SPEC        default plan for solve requests without one\n"
       << "  --gen-trace TICKS  emit a deterministic traffic trace and exit\n"
       << "  --tenants N        tenants for --gen-trace (default 3)\n"
@@ -48,6 +52,10 @@ int main(int argc, char** argv) {
   std::string config_spec;
   std::string shards_flag;
   std::string mem_flag;
+  std::string spill_dir_flag;
+  std::string spill_budget_flag;
+  std::string restore_dir;
+  std::string checkpoint_dir;
   std::string plan_flag;
   std::string trace_file;
   bool gen_trace = false;
@@ -68,6 +76,14 @@ int main(int argc, char** argv) {
       shards_flag = next();
     } else if (arg == "--mem-budget") {
       mem_flag = next();
+    } else if (arg == "--spill-dir") {
+      spill_dir_flag = next();
+    } else if (arg == "--spill-budget") {
+      spill_budget_flag = next();
+    } else if (arg == "--restore") {
+      restore_dir = next();
+    } else if (arg == "--checkpoint-dir") {
+      checkpoint_dir = next();
     } else if (arg == "--plan") {
       plan_flag = next();
     } else if (arg == "--gen-trace") {
@@ -109,9 +125,20 @@ int main(int argc, char** argv) {
       config_spec += (config_spec.empty() ? "" : ",");
       config_spec += "mem_budget=" + mem_flag;
     }
+    if (!spill_dir_flag.empty()) {
+      config_spec += (config_spec.empty() ? "" : ",");
+      config_spec += "spill_dir=" + spill_dir_flag;
+    }
+    if (!spill_budget_flag.empty()) {
+      config_spec += (config_spec.empty() ? "" : ",");
+      config_spec += "spill_budget=" + spill_budget_flag;
+    }
     ServiceOptions options = parse_service_config(config_spec);
     if (!plan_flag.empty()) options.plan = plan_flag;
     SolverService service(std::move(options));
+    // Zero-rewarm restart: load the previous process's checkpoint before
+    // the first request, so warm traffic resumes without re-solving.
+    if (!restore_dir.empty()) service.restore_from(restore_dir);
 
     std::ifstream file;
     if (!trace_file.empty()) {
@@ -123,6 +150,7 @@ int main(int argc, char** argv) {
     }
     std::istream& in = trace_file.empty() ? std::cin : file;
     const std::size_t errors = service.serve(in, std::cout);
+    if (!checkpoint_dir.empty()) service.checkpoint_to(checkpoint_dir);
     if (errors > 0 && service.options().executor.fail_fast) {
       std::cerr << argv[0] << ": aborted after the first error response (fail_fast)\n";
       return 1;

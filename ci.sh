@@ -77,15 +77,16 @@ else
 fi
 
 # TSan stage: only the threaded suites, benches/examples skipped for speed.
-# The service suites ride along: dp_threads= plans drive the work-list pool
-# through the session/service path.
+# worklist_test hammers the stealing scheduler directly (exactly-once under
+# concurrent deque pops/steals); the service suites ride along: dp_threads=
+# plans drive the work-list pool through the session/service path.
 cmake -B "$TSAN_DIR" -S . -DTREESAT_WERROR=ON -DTREESAT_TSAN=ON \
   -DTREESAT_BUILD_BENCHES=OFF -DTREESAT_BUILD_EXAMPLES=OFF
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-  --target batch_executor_test determinism_test plan_test \
-           service_test service_determinism_test snapshot_test
+  --target worklist_test batch_executor_test determinism_test plan_test \
+           service_test service_determinism_test snapshot_test telemetry_test
 (cd "$TSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
-  -R 'batch_executor_test|determinism_test|plan_test|service_test|service_determinism_test|snapshot_test')
+  -R 'worklist_test|batch_executor_test|determinism_test|plan_test|service_test|service_determinism_test|snapshot_test|telemetry_test')
 
 # Bench smoke stage (opt-in: TREESAT_BENCH=1): reduced-size benches with
 # machine-readable output, archived for the perf trajectory, then gated by

@@ -59,8 +59,12 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
   std::cout << "\nbatch: " << reports.size() << " instances on " << batch.threads_used
-            << " thread(s) in " << batch.wall_seconds * 1e3 << " ms (straggler: instance "
-            << batch.slowest_index << ", " << batch.slowest_seconds * 1e3 << " ms)\n";
+            << " thread(s) in " << batch.wall_seconds * 1e3 << " ms";
+  if (batch.slowest_index.has_value()) {
+    std::cout << " (straggler: instance " << *batch.slowest_index << ", "
+              << batch.slowest_seconds * 1e3 << " ms)";
+  }
+  std::cout << "\n";
 
   std::cout << "\nper-method agreement on the largest instance:\n";
   const Scenario scenario = snmp_scenario(max_probes);

@@ -1,7 +1,6 @@
 #include "core/executor.hpp"
 
 #include <atomic>
-#include <thread>
 #include <utility>
 
 #include "common/stopwatch.hpp"
@@ -16,29 +15,6 @@ std::uint64_t derive_instance_seed(std::uint64_t plan_seed, std::uint64_t instan
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
-}
-
-void run_worklist(std::size_t count, std::size_t threads,
-                  const std::function<void(std::size_t)>& task) {
-  if (count == 0) return;
-  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  threads = std::min(threads, count);
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) task(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&]() {
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
-      task(i);
-    }
-  };
-  std::vector<std::jthread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  // ~jthread joins every worker before return.
 }
 
 namespace {
@@ -103,24 +79,33 @@ BatchReport BatchExecutor::run(std::span<const Colouring* const> instances,
   BatchReport report;
   report.results.resize(count);
 
-  std::size_t threads =
-      options_.threads == 0
-          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
-          : options_.threads;
-  threads = std::min(threads, std::max<std::size_t>(count, 1));
+  const std::size_t threads = resolve_threads(options_.threads, count);
   report.threads_used = threads;
 
   std::stop_source abort;  // fail-fast fuse, shared by all workers
   std::vector<std::exception_ptr> errors(count);
-  std::atomic<bool> deadline_hit{false};
+
+  // Cost-ordered schedule (the default): largest trees first through the
+  // scheduler's priority bins, so the likely stragglers start early. The
+  // estimate is free -- the node count is a precomputed tree property.
+  // Only the wall clock sees the order; results are index-addressed.
+  WorklistOptions worklist;
+  worklist.threads = threads;
+  std::vector<double> cost;
+  if (options_.priority == BatchPriority::kCost && threads > 1) {
+    cost.reserve(count);
+    for (const Colouring* instance : instances) {
+      cost.push_back(static_cast<double>(instance->tree().size()));
+    }
+    worklist.cost = cost;
+  }
 
   // One work-list task per instance; the pre-claim checks of the old worker
   // loop become early returns, so an aborted/expired batch still marks every
   // unstarted instance below.
-  run_worklist(count, threads, [&](std::size_t i) {
+  static_cast<void>(run_worklist(count, worklist, [&](std::size_t i) {
     if (abort.stop_requested() || cancel.stop_requested()) return;
     if (options_.deadline_seconds > 0.0 && watch.seconds() > options_.deadline_seconds) {
-      deadline_hit.store(true, std::memory_order_relaxed);
       return;
     }
     try {
@@ -129,16 +114,27 @@ BatchReport BatchExecutor::run(std::span<const Colouring* const> instances,
       errors[i] = std::current_exception();
       if (options_.fail_fast) abort.request_stop();
     }
-  });
+  }));
 
+  // Failure attribution is settled *after* the join, from facts that no
+  // longer move, under one precedence order: the instance's own error >
+  // deadline > cancellation > fail-fast abort. Whether the deadline
+  // expired is re-derived from the wall clock here rather than from a
+  // flag a worker may or may not have reached before the cancel/abort
+  // early-returns fired -- the old flag capture made the message depend
+  // on worker interleaving when a deadline expiry and a cancel (or
+  // abort) overlapped.
+  const bool deadline_expired = options_.deadline_seconds > 0.0 &&
+                                watch.seconds() > options_.deadline_seconds;
+  const bool cancelled = cancel.stop_requested();
   for (std::size_t i = 0; i < count; ++i) {
     if (report.results[i].has_value()) continue;
     std::string message;
     if (errors[i]) {
       message = describe(errors[i]);
-    } else if (deadline_hit.load(std::memory_order_relaxed)) {
+    } else if (deadline_expired) {
       message = "not started: batch deadline expired";
-    } else if (cancel.stop_requested()) {
+    } else if (cancelled) {
       message = "not started: batch cancelled";
     } else {
       message = "not started: batch aborted after an earlier failure";
@@ -151,7 +147,9 @@ BatchReport BatchExecutor::run(std::span<const Colouring* const> instances,
     const SolveReport& solved = *report.results[i];
     ++report.method_counts[static_cast<std::size_t>(solved.method)];
     report.total_solve_seconds += solved.wall_seconds;
-    if (solved.wall_seconds > report.slowest_seconds) {
+    // The first solved instance engages the straggler even at a 0.0-second
+    // wall time; a batch where nothing solved keeps nullopt.
+    if (!report.slowest_index.has_value() || solved.wall_seconds > report.slowest_seconds) {
       report.slowest_seconds = solved.wall_seconds;
       report.slowest_index = i;
     }

@@ -1,10 +1,12 @@
 // The batch executor: the worker pool behind solve_batch().
 //
-// A BatchExecutor solves a span of instances under one plan on a fixed pool
-// of std::jthread workers that pull work from an atomic index queue (the
-// work-stealing-friendly shape for irregular solve costs: a worker that
-// finishes a cheap instance immediately claims the next one, so stragglers
-// never serialize the batch). Three guarantees shape the design:
+// A BatchExecutor solves a span of instances under one plan on the
+// work-stealing scheduler of core/worklist.hpp: per-thread chunked deques
+// with randomized stealing, and -- because solve costs are irregular by
+// orders of magnitude -- a cost-ordered schedule by default
+// (ExecutorOptions::priority): instances are binned largest-tree-first,
+// so the likely stragglers start early instead of being claimed last and
+// serializing the tail of the batch. Three guarantees shape the design:
 //
 //   * Determinism. Results are a pure function of (instances, plan): for
 //     seeded plans every instance i solves under
@@ -39,20 +41,9 @@
 #include <vector>
 
 #include "core/solver.hpp"
+#include "core/worklist.hpp"
 
 namespace treesat {
-
-/// The executor's work-list shape as a free function: runs task(i) for
-/// every i in [0, count) on `threads` workers claiming indices from one
-/// atomic cursor, so a worker that finishes a cheap item immediately takes
-/// the next one. threads is clamped to count; 0 means one worker per
-/// hardware thread; 1 (or count <= 1) runs inline on the calling thread.
-/// `task` must be safe to call concurrently for distinct indices and must
-/// not throw -- capture exceptions per index and rethrow after the join
-/// (deterministically, e.g. smallest index first), as BatchExecutor and
-/// pareto_dp_solve's intra-solve colour pipelines do.
-void run_worklist(std::size_t count, std::size_t threads,
-                  const std::function<void(std::size_t)>& task);
 
 /// The seed instance i solves under when a seeded plan with seed s is
 /// batched: splitmix64 of s offset by the golden-ratio stride per index.
@@ -88,8 +79,11 @@ struct BatchReport {
   /// spread across the methods resolution picked).
   std::array<std::size_t, kSolveMethodCount> method_counts{};
   double total_solve_seconds = 0.0; ///< sum of per-instance wall times
-  double slowest_seconds = 0.0;     ///< the straggler's wall time
-  std::size_t slowest_index = 0;    ///< ...and its instance index
+  double slowest_seconds = 0.0;     ///< the straggler's wall time; 0 when none solved
+  /// The straggler's instance index; disengaged when no instance solved
+  /// (an all-failed batch has no straggler -- callers used to misreport
+  /// instance 0 as the slow one of a batch that did no work).
+  std::optional<std::size_t> slowest_index;
 
   [[nodiscard]] bool complete() const { return failures.empty(); }
   [[nodiscard]] std::size_t solved() const { return results.size() - failures.size(); }

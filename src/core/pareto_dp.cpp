@@ -5,7 +5,7 @@
 #include <exception>
 #include <limits>
 
-#include "core/executor.hpp"
+#include "core/worklist.hpp"
 
 namespace treesat {
 
@@ -539,21 +539,37 @@ ParetoDpResult pareto_dp_solve(const Colouring& colouring, const ParetoDpOptions
   if (!options.arena) return pareto_dp_solve_reference(colouring, options);
 
   // Per-colour pipelines are independent: each builds its region frontiers
-  // and Minkowski fold in its own arena. They are farmed to a work-list
-  // pool (deterministic per-colour content, colour-ordered combine), so the
-  // result -- stats included -- is byte-identical at any dp_threads.
+  // and Minkowski fold in its own arena. They are farmed to the
+  // work-stealing scheduler (deterministic per-colour content,
+  // colour-ordered combine), so the result -- stats included -- is
+  // byte-identical at any dp_threads. Colours are scheduled widest-first:
+  // a colour's frontier work grows with the sensors under its regions, and
+  // the region sizes vary by orders of magnitude, so the widest colour
+  // claimed last would serialize the tail of the solve.
   const std::size_t colours = colouring.tree().satellite_count();
   std::vector<ColourPipeline> pipes(colours);
   std::vector<std::exception_ptr> errors(colours);
-  // run_worklist resolves dp_threads == 0 to the hardware thread count and
+  WorklistOptions worklist;
+  // resolve_threads maps dp_threads == 0 to the hardware thread count and
   // clamps to the colour count.
-  run_worklist(colours, options.dp_threads, [&](std::size_t c) {
+  worklist.threads = options.dp_threads;
+  std::vector<double> cost;
+  if (options.dp_threads != 1) {  // the scheduler ignores cost on one thread
+    cost.assign(colours, 0.0);
+    for (std::size_t c = 0; c < colours; ++c) {
+      for (const CruId r : colouring.regions_of(SatelliteId{c})) {
+        cost[c] += static_cast<double>(colouring.tree().leaf_span(r).width());
+      }
+    }
+    worklist.cost = cost;
+  }
+  static_cast<void>(run_worklist(colours, worklist, [&](std::size_t c) {
     try {
       pipes[c].build(colouring, SatelliteId{c}, options.max_frontier);
     } catch (...) {
       errors[c] = std::current_exception();
     }
-  });
+  }));
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
   }

@@ -39,9 +39,10 @@
 //     the stack (workload/generator.hpp's chain_tree is the regression
 //     workload for this).
 //   * Colour pipelines are independent; ParetoDpOptions::dp_threads farms
-//     them to a work-list worker pool (core/executor.hpp's run_worklist,
-//     the BatchExecutor idiom) with a deterministic combine order, so
-//     reports are byte-identical at any thread count.
+//     them to the work-stealing scheduler (core/worklist.hpp's
+//     run_worklist, the BatchExecutor idiom), widest-colour-first through
+//     the scheduler's priority bins, with a deterministic colour-ordered
+//     combine, so reports are byte-identical at any thread count.
 //
 // Frontier sizes are worst-case exponential (the problem embeds tree
 // knapsack) but domination pruning keeps them tiny on realistic cost

@@ -24,10 +24,14 @@
 // threads=) parallelizes *across* the instances of a batch, while
 // ParetoDpOptions::dp_threads (spec key dp_threads=) parallelizes *inside*
 // one pareto-dp solve, farming its independent per-colour frontier
-// pipelines to the same work-list pool idiom. Both are byte-identity
-// preserving at any thread count. ParetoDpOptions::arena (spec key arena=)
-// selects the allocation-free arena engine (default) or the retained
-// pre-arena reference engine used for cross-validation.
+// pipelines to the same work-stealing scheduler (core/worklist.hpp).
+// ExecutorOptions::priority (spec key priority=) picks the batch's
+// schedule order: cost (default -- largest instances first, through the
+// scheduler's priority bins) or none (input order). Every combination is
+// byte-identity preserving at any thread count: scheduling decides when
+// an instance runs, never what it computes. ParetoDpOptions::arena (spec
+// key arena=) selects the allocation-free arena engine (default) or the
+// retained pre-arena reference engine used for cross-validation.
 #pragma once
 
 #include <cstdint>
@@ -63,11 +67,25 @@ enum class SolveMethod : std::uint8_t {
 inline constexpr std::size_t kSolveMethodCount =
     static_cast<std::size_t>(SolveMethod::kAutomatic) + 1;
 
+/// Schedule order of a batch on the work-stealing pool
+/// (core/worklist.hpp). Result-invisible: reports are byte-identical
+/// either way; only the wall clock (and which instances start before a
+/// deadline expires) can differ.
+enum class BatchPriority : std::uint8_t {
+  /// Estimated-cost-ordered, largest first (LPT): the instances most
+  /// likely to straggle start early instead of being claimed last and
+  /// serializing the tail. The default -- the cost model is the instance's
+  /// tree size, free to compute.
+  kCost,
+  /// Input order, single priority bin (the pre-scheduler behavior).
+  kNone,
+};
+
 /// Cross-cutting batch-execution knobs, carried by every plan alongside the
 /// objective and the seed. They only take effect when the plan is handed to
 /// solve_batch() / BatchExecutor (core/executor.hpp); a single solve()
 /// ignores them. The spec grammar spells them threads= / deadline_ms= /
-/// fail_fast= on every method.
+/// fail_fast= / priority= on every method.
 struct ExecutorOptions {
   /// Worker threads for a batch. 1 (default) solves inline on the calling
   /// thread; 0 means one worker per hardware thread. parse_plan rejects 0 --
@@ -81,6 +99,10 @@ struct ExecutorOptions {
   /// false the executor finishes the remaining instances and reports every
   /// failure in BatchReport::failures.
   bool fail_fast = true;
+  /// Schedule order on the worker pool (spec key priority=cost|none).
+  /// Cost-ordered by default; see BatchPriority. Ignored at threads <= 1,
+  /// which always runs in input order (sequential fail-fast semantics).
+  BatchPriority priority = BatchPriority::kCost;
   /// Carry search state across the instances of a perturbation stream
   /// (core/incremental.hpp): solve_stream() threads a ResolveSession along
   /// the sequence instead of cold-solving every step on the worker pool.

@@ -74,7 +74,8 @@ bool parse_bool(std::string_view key, std::string_view value) {
 [[noreturn]] void unknown_key(const MethodInfo& info, std::string_view key) {
   std::ostringstream oss;
   oss << "parse_plan: unknown key '" << key << "' for method '" << info.name << "'"
-      << " (accepted: lambda,s_coeff,b_coeff,threads,deadline_ms,fail_fast,warm_start"
+      << " (accepted: lambda,s_coeff,b_coeff,threads,deadline_ms,fail_fast,warm_start,"
+      << "priority"
       << (info.seeded ? ",seed" : "");
   if (info.option_keys[0] != '\0') oss << ',' << info.option_keys;
   oss << ")";
@@ -146,6 +147,18 @@ bool apply_executor_key(ExecutorOptions& executor, std::string_view key,
   if (key == "warm_start") {
     executor.warm_start = parse_bool(key, value);
     return true;
+  }
+  if (key == "priority") {
+    if (value == "cost") {
+      executor.priority = BatchPriority::kCost;
+      return true;
+    }
+    if (value == "none") {
+      executor.priority = BatchPriority::kNone;
+      return true;
+    }
+    throw InvalidArgument("parse_plan: key 'priority' must be 'cost' or 'none', got '" +
+                          std::string(value) + "'");
   }
   return false;
 }
@@ -436,6 +449,7 @@ std::string plan_spec(const SolvePlan& plan) {
   }
   if (!executor.fail_fast) add("fail_fast", fmt(false));
   if (executor.warm_start) add("warm_start", fmt(true));
+  if (executor.priority != BatchPriority::kCost) add("priority", "none");
   switch (plan.method()) {
     case SolveMethod::kColouredSsb: {
       const auto& o = plan.options_as<ColouredSsbOptions>();

@@ -134,6 +134,8 @@ ServiceOptions parse_service_config(std::string_view spec) {
       options.executor.deadline_seconds = ms / 1e3;
     } else if (key == "fail_fast") {
       options.executor.fail_fast = config_bool(key, value);
+    } else if (key == "predict_straggler") {
+      options.predict_straggler = config_bool(key, value);
     } else if (key == "timing") {
       options.timing_in_stats = config_bool(key, value);
     } else if (key == "plan") {
@@ -145,7 +147,7 @@ ServiceOptions parse_service_config(std::string_view spec) {
     } else {
       throw InvalidArgument("parse_service_config: unknown key '" + std::string(key) +
                             "' (accepted: shards,mem_budget,spill_dir,spill_budget,"
-                            "deadline_ms,fail_fast,timing,plan)");
+                            "deadline_ms,fail_fast,predict_straggler,timing,plan)");
     }
   }
   if (options.spill_budget != 0 && options.spill_dir.empty()) {
@@ -165,9 +167,15 @@ std::string service_config_spec(const ServiceOptions& options) {
     spec += ",deadline_ms=" + shortest_round_trip(options.executor.deadline_seconds * 1e3);
   }
   if (!options.executor.fail_fast) spec += ",fail_fast=false";
+  if (options.predict_straggler) spec += ",predict_straggler=true";
   if (options.timing_in_stats) spec += ",timing=true";
   spec += ",plan=" + options.plan;
   return spec;
+}
+
+bool predicted_overrun(double now_seconds, double limit_seconds, double estimate_seconds) {
+  return limit_seconds > 0.0 && estimate_seconds > 0.0 &&
+         now_seconds + estimate_seconds > limit_seconds;
 }
 
 // --- the service ---------------------------------------------------------
@@ -344,6 +352,20 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
     if (limit > 0.0 && since_start_.seconds() >= limit) {
       throw ResourceLimit("deadline: request " + std::to_string(id) +
                           " arrived after its admission budget expired; not started");
+    }
+    // Straggler-aware admission (opt-in): a request predicted -- from the
+    // tenant's recent p90 -- to finish past the budget is refused while
+    // the budget is still open, so a known-slow solve cannot blow the
+    // deadline for everything queued behind it. Solve/perturb only: those
+    // are the ops the latency track measures.
+    if (limit > 0.0 && options_.predict_straggler && tt != nullptr &&
+        (op == "solve" || op == "perturb")) {
+      const double estimate = tt->latency.quantile(0.90);
+      if (predicted_overrun(since_start_.seconds(), limit, estimate)) {
+        throw ResourceLimit("deadline: request " + std::to_string(id) +
+                            " predicted to overrun its admission budget (recent p90 " +
+                            shortest_round_trip(estimate * 1e3) + " ms); not started");
+      }
     }
 
     JsonLineWriter w;

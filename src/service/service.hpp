@@ -97,6 +97,15 @@ struct ServiceOptions {
   /// deadline_seconds bounds the whole serve measured from construction,
   /// fail_fast stops the stream at the first error response.
   ExecutorOptions executor;
+  /// Straggler-aware admission (config key predict_straggler): when a
+  /// deadline is in play, a solve/perturb request whose tenant's recent
+  /// p90 latency predicts it would finish past the admission budget is
+  /// rejected up front ("predicted to overrun") instead of being started
+  /// and blowing the budget for everyone behind it in the stream. Off by
+  /// default: the prediction reads wall-clock history, so replays of one
+  /// trace under different load can diverge -- opt in only where the
+  /// deadline already makes responses time-dependent.
+  bool predict_straggler = false;
   /// Include latency quantiles in every stats response (otherwise only
   /// when the request asks with "timing":true). Off by default: timing is
   /// wall-clock and would break byte-identical trace replay.
@@ -107,8 +116,9 @@ struct ServiceOptions {
 /// shards (>= 1), mem_budget (bytes, optional k/m/g suffix, 0 = unlimited),
 /// spill_dir (a directory path; enables the spill tier), spill_budget
 /// (bytes with k/m/g, 0 = unlimited; requires spill_dir), deadline_ms
-/// (finite, >= 0), fail_fast (bool), timing (bool), plan (a
-/// registry spec; comma-free -- per-request plans carry the full grammar).
+/// (finite, >= 0), fail_fast (bool), predict_straggler (bool), timing
+/// (bool), plan (a registry spec; comma-free -- per-request plans carry
+/// the full grammar).
 /// Throws InvalidArgument naming the offending token on anything malformed,
 /// with the same diagnostics style as parse_plan
 /// (tests/parse_plan_fuzz_test.cpp covers the error table).
@@ -116,6 +126,14 @@ struct ServiceOptions {
 
 /// Canonical spec of a config (round-trips through parse_service_config).
 [[nodiscard]] std::string service_config_spec(const ServiceOptions& options);
+
+/// The straggler-aware admission predicate (ServiceOptions::
+/// predict_straggler): true when a request arriving at `now_seconds` with
+/// a cost estimate of `estimate_seconds` would finish past the admission
+/// budget `limit_seconds`. A zero limit (no deadline) or a zero estimate
+/// (no latency history yet) never predicts an overrun.
+[[nodiscard]] bool predicted_overrun(double now_seconds, double limit_seconds,
+                                     double estimate_seconds);
 
 class SolverService {
  public:

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstddef>
 #include <map>
 #include <string>
@@ -57,11 +58,19 @@ struct LatencyTrack {
   }
 
   /// Nearest-rank quantile (q in [0, 1]) of a sorted() window; 0 when
-  /// nothing was recorded.
+  /// nothing was recorded. The rank is ceil(q*N): the smallest sample with
+  /// at least a q fraction of the window at or below it -- index
+  /// ceil(q*N)-1. (The previous floor(q*N) indexing read one rank too high
+  /// whenever q*N landed on an integer: p50 of a 2-sample window returned
+  /// the max, not the lower median, and p50 of the full ring read sample
+  /// 2049 of 4096.)
   [[nodiscard]] static double rank(const std::vector<double>& sorted, double q) {
     if (sorted.empty()) return 0.0;
-    const std::size_t at = std::min(
-        sorted.size() - 1, static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+    const double scaled = q * static_cast<double>(sorted.size());
+    const std::size_t at =
+        scaled <= 1.0 ? 0
+                      : std::min(sorted.size() - 1,
+                                 static_cast<std::size_t>(std::ceil(scaled)) - 1);
     return sorted[at];
   }
 

@@ -283,6 +283,33 @@ TEST(BatchExecutor, DeadlineFailsUnstartedInstances) {
   // Without a per-instance exception the rethrow is a ResourceLimit.
   EXPECT_THROW(report.rethrow_if_failed(), ResourceLimit);
   EXPECT_THROW(static_cast<void>(solve_batch(batch.instances, plan)), ResourceLimit);
+  // Nothing solved: there is no straggler, and the report says so instead
+  // of pointing at instance 0 (the bug this optional replaced).
+  EXPECT_FALSE(report.slowest_index.has_value());
+  EXPECT_EQ(report.slowest_seconds, 0.0);
+}
+
+TEST(BatchExecutor, DeadlineWinsAttributionOverAConcurrentCancel) {
+  // Regression: when a deadline expiry and a cancellation overlap, the
+  // old code attributed unstarted instances to whichever worker's flag
+  // write happened to be observed -- a coin flip under TSan. Attribution
+  // is now settled after the join with a fixed precedence (error >
+  // deadline > cancel), so an expired deadline always reads "deadline"
+  // even with a stop already requested, at any thread count.
+  Batch batch = random_batch(6, 0xCAFE);
+  std::stop_source source;
+  source.request_stop();
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const BatchExecutor executor(
+        ExecutorOptions{.threads = threads, .deadline_seconds = 1e-12});
+    const BatchReport report = executor.run(batch.instances, {}, source.get_token());
+    EXPECT_EQ(report.solved(), 0u);
+    ASSERT_EQ(report.failures.size(), batch.instances.size());
+    for (const BatchFailure& failure : report.failures) {
+      EXPECT_NE(failure.message.find("deadline"), std::string::npos)
+          << "threads=" << threads << ": " << failure.message;
+    }
+  }
 }
 
 TEST(BatchExecutor, ExternalStopTokenCancelsBetweenInstances) {
@@ -311,7 +338,8 @@ TEST(BatchExecutor, BatchReportAggregatesTheRun) {
   EXPECT_GT(report.wall_seconds, 0.0);
   EXPECT_GT(report.total_solve_seconds, 0.0);
   EXPECT_GE(report.wall_seconds, report.slowest_seconds);
-  EXPECT_LT(report.slowest_index, batch.instances.size());
+  ASSERT_TRUE(report.slowest_index.has_value());
+  EXPECT_LT(*report.slowest_index, batch.instances.size());
 
   std::size_t counted = 0;
   for (std::size_t m = 0; m < kSolveMethodCount; ++m) counted += report.method_counts[m];
@@ -362,6 +390,20 @@ TEST(BatchExecutor, ExecutorOptionsTravelThroughSpecsAndResolution) {
   const SolvePlan auto_plan = parse_plan("coloured-ssb:threads=auto");
   EXPECT_EQ(auto_plan.executor().threads, 0u);
   EXPECT_EQ(parse_plan(plan_spec(auto_plan)).executor().threads, 0u);
+
+  // priority= defaults to cost (LPT scheduling), parses, and round-trips
+  // only when non-default -- it is result-invisible, so plan_spec keeps
+  // the default spelling-free.
+  EXPECT_EQ(SolvePlan{}.executor().priority, BatchPriority::kCost);
+  EXPECT_EQ(plan.executor().priority, BatchPriority::kCost);
+  const SolvePlan unordered = parse_plan("pareto-dp:priority=none");
+  EXPECT_EQ(unordered.executor().priority, BatchPriority::kNone);
+  EXPECT_NE(plan_spec(unordered).find("priority=none"), std::string::npos);
+  EXPECT_EQ(parse_plan(plan_spec(unordered)).executor().priority, BatchPriority::kNone);
+  EXPECT_EQ(plan_spec(parse_plan("pareto-dp:priority=cost")).find("priority"),
+            std::string::npos);
+  EXPECT_THROW(static_cast<void>(parse_plan("pareto-dp:priority=biggest")),
+               InvalidArgument);
 
   // automatic() resolution keeps the knobs on the resolved plan.
   const CruTree tree = paper_running_example();

@@ -72,6 +72,11 @@ const BadSpec kBadSpecs[] = {
     {"pareto-dp:threads=many", "cannot parse value"},
     {"pareto-dp:deadline_ms=-5", "deadline_ms"},
     {"pareto-dp:deadline_ms=nan", "deadline_ms"},
+    // priority= is an enumeration, not a free string.
+    {"pareto-dp:priority=biggest", "'cost' or 'none'"},
+    {"pareto-dp:priority=", "'cost' or 'none'"},
+    {"pareto-dp:priority=COST", "'cost' or 'none'"},
+    {"pareto-dp:priority=cost,priority=none", "duplicate key"},
 };
 
 TEST(ParsePlanFuzz, MalformedSpecsThrowDescriptiveErrors) {
@@ -125,6 +130,7 @@ const BadSpec kBadServiceConfigs[] = {
     // Booleans.
     {"fail_fast=2", "cannot parse value"},
     {"timing=maybe", "cannot parse value"},
+    {"predict_straggler=probably", "cannot parse value"},
     // The default plan is validated eagerly, with parse_plan's diagnostics.
     {"plan=dijkstra", "unknown method"},
     {"plan=", "unknown method"},

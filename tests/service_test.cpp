@@ -513,6 +513,27 @@ TEST(Service, ConfigSpecRoundTrips) {
   // Untiered configs keep round-tripping without the keys appearing.
   EXPECT_EQ(service_config_spec(parse_service_config("shards=2")).find("spill"),
             std::string::npos);
+
+  // Straggler prediction is opt-in (wall-clock based, so defaulting it on
+  // would break trace replay) and round-trips only when enabled.
+  EXPECT_FALSE(ServiceOptions{}.predict_straggler);
+  const ServiceOptions predicting = parse_service_config("predict_straggler=true");
+  EXPECT_TRUE(predicting.predict_straggler);
+  EXPECT_CONTAINS(service_config_spec(predicting), "predict_straggler=true");
+  EXPECT_TRUE(parse_service_config(service_config_spec(predicting)).predict_straggler);
+  EXPECT_EQ(service_config_spec(ServiceOptions{}).find("predict_straggler"),
+            std::string::npos);
+}
+
+TEST(Service, PredictedOverrunComparesEstimateAgainstTheRemainingBudget) {
+  // now + estimate > limit, but only when a limit and an estimate exist:
+  // a fresh tenant (no latency history -> estimate 0) and an unlimited
+  // service (limit 0) never predict.
+  EXPECT_TRUE(predicted_overrun(/*now=*/9.5, /*limit=*/10.0, /*estimate=*/1.0));
+  EXPECT_FALSE(predicted_overrun(8.0, 10.0, 1.0));
+  EXPECT_FALSE(predicted_overrun(9.0, 10.0, 1.0));  // exactly on budget: admit
+  EXPECT_FALSE(predicted_overrun(9.5, 0.0, 1.0));   // no limit
+  EXPECT_FALSE(predicted_overrun(9.5, 10.0, 0.0));  // no history
 }
 
 }  // namespace

@@ -1,0 +1,101 @@
+// LatencyTrack (service/telemetry.hpp): the nearest-rank quantile the
+// service reports per tenant and the 4096-sample ring behind it. The rank
+// tests pin the exact definition -- index ceil(q*N)-1, the smallest sample
+// with at least a q fraction of the window at or below it -- at the window
+// sizes where an off-by-one is visible: N=1 (every quantile IS the
+// sample), N=2 (p50 must be the lower median, not the max), and N=100
+// (q*N integral at p50; the old floor(q*N) indexing returned 51 of 1..100
+// instead of 50). The ring tests fill past kWindow and check that the
+// retained window, the lifetime counter, and the quantiles all describe
+// exactly the most recent 4096 samples.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "service/telemetry.hpp"
+
+namespace treesat {
+namespace {
+
+TEST(LatencyTrack, EmptyWindowReportsZero) {
+  const LatencyTrack track;
+  EXPECT_EQ(track.quantile(0.5), 0.0);
+  EXPECT_EQ(LatencyTrack::rank({}, 0.99), 0.0);
+}
+
+TEST(LatencyTrack, SingleSampleIsEveryQuantile) {
+  LatencyTrack track;
+  track.record(0.125);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(track.quantile(q), 0.125) << "q=" << q;
+  }
+}
+
+TEST(LatencyTrack, TwoSamplesSplitAtTheLowerMedian) {
+  LatencyTrack track;
+  track.record(20.0);  // insertion order must not matter
+  track.record(10.0);
+  // ceil(0.5 * 2) = 1 -> index 0: the lower median. (The old indexing
+  // read floor(0.5 * 2) = index 1 -- the max -- for p50 of two samples.)
+  EXPECT_EQ(track.quantile(0.5), 10.0);
+  EXPECT_EQ(track.quantile(0.9), 20.0);
+  EXPECT_EQ(track.quantile(0.99), 20.0);
+  EXPECT_EQ(track.quantile(1.0), 20.0);
+}
+
+TEST(LatencyTrack, IntegralRanksSelectTheNearestRankSample) {
+  LatencyTrack track;
+  for (int v = 100; v >= 1; --v) track.record(static_cast<double>(v));
+  // q*N lands exactly on an integer at every decile of N=100: the
+  // nearest-rank answer is sample q*N, i.e. index q*N - 1.
+  EXPECT_EQ(track.quantile(0.25), 25.0);
+  EXPECT_EQ(track.quantile(0.50), 50.0);  // floor indexing returned 51
+  EXPECT_EQ(track.quantile(0.90), 90.0);
+  EXPECT_EQ(track.quantile(0.99), 99.0);
+  EXPECT_EQ(track.quantile(0.01), 1.0);
+  EXPECT_EQ(track.quantile(1.0), 100.0);
+}
+
+TEST(LatencyTrack, RingRetainsExactlyTheMostRecentWindow) {
+  LatencyTrack track;
+  const std::size_t total = 5000;  // kWindow + 904: wraps partway around
+  for (std::size_t i = 0; i < total; ++i) track.record(static_cast<double>(i));
+
+  EXPECT_EQ(track.seconds.size(), LatencyTrack::kWindow);
+  EXPECT_EQ(track.recorded, total);
+
+  // The retained window is the last kWindow samples: 904..4999.
+  const std::vector<double> sorted = track.sorted();
+  ASSERT_EQ(sorted.size(), LatencyTrack::kWindow);
+  EXPECT_EQ(sorted.front(), 904.0);
+  EXPECT_EQ(sorted.back(), 4999.0);
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    ASSERT_EQ(sorted[i], sorted[i - 1] + 1.0) << "gap at " << i;
+  }
+
+  // Quantiles describe the window, not lifetime: rank ceil(q*4096)-1
+  // into 904..4999.
+  EXPECT_EQ(LatencyTrack::rank(sorted, 0.5), 904.0 + 2047.0);
+  EXPECT_EQ(LatencyTrack::rank(sorted, 0.9), 904.0 + 3686.0);
+  EXPECT_EQ(LatencyTrack::rank(sorted, 1.0), 4999.0);
+  EXPECT_EQ(LatencyTrack::rank(sorted, 0.0), 904.0);
+}
+
+TEST(LatencyTrack, ExactWindowFillWrapsWithoutLoss) {
+  LatencyTrack track;
+  for (std::size_t i = 0; i < LatencyTrack::kWindow; ++i) {
+    track.record(static_cast<double>(i));
+  }
+  // Exactly full, nothing overwritten yet: p50 of 0..4095 is 2047.
+  EXPECT_EQ(track.seconds.size(), LatencyTrack::kWindow);
+  EXPECT_EQ(track.quantile(0.5), 2047.0);
+  // One more sample evicts the oldest (0), keeping 1..4096.
+  track.record(4096.0);
+  const std::vector<double> sorted = track.sorted();
+  EXPECT_EQ(sorted.front(), 1.0);
+  EXPECT_EQ(sorted.back(), 4096.0);
+  EXPECT_EQ(track.recorded, LatencyTrack::kWindow + 1);
+}
+
+}  // namespace
+}  // namespace treesat

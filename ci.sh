@@ -6,7 +6,9 @@
 # then the trace is split and replayed across a checkpointed restart, which
 # must resume byte-identically), followed by a ThreadSanitizer build of the suites that exercise the batch
 # executor and the service (-fsanitize=thread via TREESAT_TSAN), so the
-# worker pool is race-checked on every run. Setting TREESAT_COV=1 adds a coverage stage: the test
+# worker pool is race-checked on every run, and a UBSan build
+# (-fsanitize=undefined via TREESAT_UBSAN, recovery off) of the Pareto
+# merge-kernel and scheduler suites. Setting TREESAT_COV=1 adds a coverage stage: the test
 # suites rebuilt with --coverage and a per-file line-coverage summary over
 # src/ (gcovr when installed, plain gcov otherwise), so the serialization /
 # simulator / IO / incremental test walls stay measurable. Setting
@@ -21,6 +23,7 @@ set -eu
 
 BUILD_DIR="${1:-build-ci}"
 TSAN_DIR="${BUILD_DIR}-tsan"
+UBSAN_DIR="${BUILD_DIR}-ubsan"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
@@ -88,6 +91,20 @@ cmake --build "$TSAN_DIR" -j "$JOBS" \
 (cd "$TSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
   -R 'worklist_test|batch_executor_test|determinism_test|plan_test|service_test|service_determinism_test|snapshot_test|telemetry_test')
 
+# UBSan stage: the suites that exercise the Minkowski merge kernels and the
+# scheduler's lock-free deques -- pointer-offset arithmetic in the SIMD
+# dominance scan (platform/simd.hpp), the arena's span indexing, and the
+# overflow-guarded reference reserve are exactly the code where silent UB
+# would masquerade as a wrong-but-plausible frontier. Recovery is off
+# (-fno-sanitize-recover), so any report fails the run.
+cmake -B "$UBSAN_DIR" -S . -DTREESAT_WERROR=ON -DTREESAT_UBSAN=ON \
+  -DTREESAT_BUILD_BENCHES=OFF -DTREESAT_BUILD_EXAMPLES=OFF
+cmake --build "$UBSAN_DIR" -j "$JOBS" \
+  --target pareto_dp_test pareto_merge_reference_test pareto_simd_kernel_test \
+           worklist_test incremental_resolve_test
+(cd "$UBSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
+  -R 'pareto_dp_test|pareto_merge_reference_test|pareto_simd_kernel_test|worklist_test|incremental_resolve_test')
+
 # Bench smoke stage (opt-in: TREESAT_BENCH=1): reduced-size benches with
 # machine-readable output, archived for the perf trajectory, then gated by
 # bench_diff. Only machine-relative ratios (--keys speedup) are compared --
@@ -110,6 +127,14 @@ if [ -n "${TREESAT_BENCH:-}" ]; then
   # scaling gate below 4 hardware threads for the same reason).
   "$BUILD_DIR/bench_diff" bench/baselines/BENCH_pareto_arena.smoke.json \
     "$BENCH_JSON_DIR/BENCH_pareto_arena.json" --keys speedup_vs_reference --tolerance 0.25
+  # Kernel gate: the simd-over-scalar geomean is a same-machine ratio (the
+  # full-mode bench additionally hard-gates >= 1.3x in-binary); the pool
+  # reuse ratio is deterministic (every warm DP solve leases the prewarmed
+  # scratch), so its tolerance is tight.
+  "$BUILD_DIR/bench_diff" bench/baselines/BENCH_pareto_arena.smoke.json \
+    "$BENCH_JSON_DIR/BENCH_pareto_arena.json" --keys kernel_speedup_geomean --tolerance 0.25
+  "$BUILD_DIR/bench_diff" bench/baselines/BENCH_pareto_arena.smoke.json \
+    "$BENCH_JSON_DIR/BENCH_pareto_arena.json" --keys pool_reuse_ratio --tolerance 0.01
   # Incremental re-solving: the aggregate warm-vs-cold ratio (per-row
   # sub-millisecond streams are archived but too noisy to gate).
   "$BUILD_DIR/bench_diff" bench/baselines/BENCH_incremental.json \

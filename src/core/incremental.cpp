@@ -236,6 +236,53 @@ const char* resolve_path_name(ResolvePath path) {
   return "unknown";
 }
 
+// ---------------------------------------------------------------------------
+// ArenaPool.
+
+ArenaPool::ArenaPool() {
+  // Retain one scratch up front: the pool's steady state (every solve a
+  // reuse) then holds from the very first lease, and the per-step reuse
+  // counters are identical for fresh and restored sessions.
+  owned_.push_back(std::make_unique<ParetoScratch>());
+  free_.push_back(owned_.back().get());
+}
+
+ArenaPool::Lease::~Lease() {
+  if (pool_ != nullptr) pool_->release(scratch_);
+}
+
+ArenaPool::Lease ArenaPool::acquire() {
+  if (!free_.empty()) {
+    ParetoScratch* scratch = free_.back();
+    free_.pop_back();
+    ++reuses_;
+    return Lease(this, scratch);
+  }
+  owned_.push_back(std::make_unique<ParetoScratch>());
+  ++allocs_;
+  return Lease(this, owned_.back().get());
+}
+
+void ArenaPool::release(ParetoScratch* scratch) { free_.push_back(scratch); }
+
+std::size_t ArenaPool::served_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& scratch : owned_) bytes += scratch->served_bytes();
+  return bytes;
+}
+
+std::size_t ArenaPool::grown_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& scratch : owned_) bytes += scratch->grown_bytes();
+  return bytes;
+}
+
+std::size_t ArenaPool::retained_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& scratch : owned_) bytes += scratch->retained_bytes();
+  return bytes;
+}
+
 ResolveSession::ResolveSession(CruTree tree, SolvePlan plan)
     : plan_(std::move(plan)),
       tree_(std::make_unique<CruTree>(std::move(tree))),
@@ -409,6 +456,17 @@ SolveReport ResolveSession::solve_warm_dp(const SolvePlan& resolved, ResolveStat
   const auto& options = resolved.options_as<ParetoDpOptions>();
   const std::size_t colours = tree_->satellite_count();
 
+  // Frontier scratch comes from the session pool: retained arenas, span
+  // tables and staging buffers are reused across steps (result-identical
+  // to scratch-free solves; only allocator traffic changes). The per-step
+  // pool telemetry is the delta over this solve.
+  const std::size_t reuses_before = pool_.reuses();
+  const std::size_t allocs_before = pool_.allocs();
+  const std::size_t served_before = pool_.served_bytes();
+  const std::size_t grown_before = pool_.grown_bytes();
+  const ArenaPool::Lease lease = pool_.acquire();
+  ParetoScratch* scratch = lease.get();
+
   std::vector<std::vector<ParetoPoint>> per_colour(colours);
   for (std::size_t c = 0; c < colours; ++c) {
     const std::vector<CruId> regions = colouring_->regions_of(SatelliteId{c});
@@ -502,7 +560,9 @@ SolveReport ResolveSession::solve_warm_dp(const SolvePlan& resolved, ResolveStat
           ++fresh.regions_recomputed;  // same-step duplicate: fresh work deduplicated
         }
       } else {
-        frontier = region_frontier(*colouring_, regions[k], options.max_frontier);
+        frontier =
+            region_frontier(*colouring_, regions[k], options.max_frontier, options.kernel,
+                            scratch);
         CachedFrontier entry;
         entry.frontier = frontier;
         for (ParetoPoint& point : entry.frontier) {
@@ -518,7 +578,8 @@ SolveReport ResolveSession::solve_warm_dp(const SolvePlan& resolved, ResolveStat
       if (k == 0) {
         acc = std::move(frontier);
       } else {
-        acc = minkowski_frontiers(acc, frontier, options.max_frontier);
+        acc = minkowski_frontiers(acc, frontier, options.max_frontier, options.kernel,
+                                  scratch);
       }
     }
 
@@ -530,9 +591,20 @@ SolveReport ResolveSession::solve_warm_dp(const SolvePlan& resolved, ResolveStat
       }
     }
     merged.last_used = attempt_;
-    colour_cache_.emplace(std::move(colour_key), std::move(merged));
+    // Store an exact-capacity copy of the key: colour_key.words grew by
+    // push_back and carries slack, and cached_bytes() accounts capacities,
+    // which must match bit for bit on an import (whose keys are copies).
+    ContentKey stored_key;
+    stored_key.words = colour_key.words;
+    stored_key.hash = colour_key.hash;
+    colour_cache_.emplace(std::move(stored_key), std::move(merged));
     per_colour[c] = std::move(acc);
   }
+
+  fresh.pool_reuses = pool_.reuses() - reuses_before;
+  fresh.pool_allocs = pool_.allocs() - allocs_before;
+  fresh.pool_served_bytes = pool_.served_bytes() - served_before;
+  fresh.pool_grown_bytes = pool_.grown_bytes() - grown_before;
 
   ParetoDpResult r =
       pareto_dp_solve_from_colour_frontiers(*colouring_, std::move(per_colour), options);
@@ -544,13 +616,26 @@ SolveReport ResolveSession::solve_warm_dp(const SolvePlan& resolved, ResolveStat
 }
 
 std::size_t ResolveSession::cached_bytes() const {
+  // Capacity-true accounting. The earlier version summed .size() for the
+  // frontier and cut vectors and charged nothing for map nodes, so store
+  // byte budgets under-accounted real memory and LRU eviction fired late.
+  // capacity() is deterministic here -- every stored vector is an
+  // exact-capacity copy (entries and imported keys alike; see
+  // solve_warm_dp's stored_key) -- and each entry additionally charges its
+  // hash-node footprint: the pair itself plus the node's chain/hash
+  // overhead (two pointers as a floor). Bucket arrays are deliberately
+  // excluded: bucket_count() depends on insertion/erasure history, which
+  // would make the gauge differ across export/import.
+  constexpr std::size_t kEntryOverhead =
+      sizeof(FrontierCache::value_type) + 2 * sizeof(void*);
   std::size_t bytes = 0;
   for (const FrontierCache* cache : {&colour_cache_, &region_cache_}) {
     for (const auto& [key, cached] : *cache) {
-      bytes += key.words.size() * sizeof(std::uint64_t);
-      bytes += cached.frontier.size() * sizeof(ParetoPoint);
+      bytes += kEntryOverhead;
+      bytes += key.words.capacity() * sizeof(std::uint64_t);
+      bytes += cached.frontier.capacity() * sizeof(ParetoPoint);
       for (const ParetoPoint& point : cached.frontier) {
-        bytes += point.cut.size() * sizeof(CruId);
+        bytes += point.cut.capacity() * sizeof(CruId);
       }
     }
   }

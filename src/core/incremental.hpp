@@ -176,8 +176,71 @@ struct ResolveStats {
   std::size_t colours_reused = 0;     ///< whole merged colour frontiers reused
   std::size_t cache_entries = 0;      ///< cache size after the step
   bool incumbent_used = false;        ///< previous optimum seeded the engine
+  // Arena-pool telemetry (ArenaPool below): the warm DP engine draws its
+  // frontier-arena scratch from a per-session pool instead of allocating
+  // per resolve. Zero on non-DP paths. Observations like wall_seconds --
+  // they describe allocator behaviour, never results.
+  std::size_t pool_reuses = 0;        ///< scratch leases served from retained storage
+  std::size_t pool_allocs = 0;        ///< leases that had to construct fresh scratch
+  std::size_t pool_served_bytes = 0;  ///< frontier/staging bytes served via the pool
+  std::size_t pool_grown_bytes = 0;   ///< new capacity the pooled scratch allocated
   double wall_seconds = 0.0;          ///< this resolve, perturbation included
   std::string cold_reason;            ///< why the cold path ran; empty when warm
+};
+
+/// Pool of ParetoScratch instances (core/pareto_dp.hpp) for one session's
+/// warm DP solves: frontier arenas, span tables and merge staging buffers
+/// are retained across resolve() steps, so a steady drift stream stops
+/// paying allocator round-trips for storage it re-creates every step.
+/// Pooling is result-invisible -- a scratch-backed solve is bit-identical
+/// to a scratch-free one -- and invisible to session identity (the serving
+/// tier's session_plan_key never sees it). One scratch is retained up
+/// front so the steady state (every lease a reuse) holds from the first
+/// solve, restored sessions included. Not thread-safe: sessions are
+/// single-threaded by contract.
+class ArenaPool {
+ public:
+  ArenaPool();
+
+  /// RAII lease: returns the scratch to the pool on destruction.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept : pool_(other.pool_), scratch_(other.scratch_) {
+      other.pool_ = nullptr;
+      other.scratch_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    [[nodiscard]] ParetoScratch* get() const { return scratch_; }
+
+   private:
+    friend class ArenaPool;
+    Lease(ArenaPool* pool, ParetoScratch* scratch) : pool_(pool), scratch_(scratch) {}
+    ArenaPool* pool_;
+    ParetoScratch* scratch_;
+  };
+
+  /// Hands out a retained scratch, constructing one only when every
+  /// retained scratch is already leased (nested acquisition).
+  [[nodiscard]] Lease acquire();
+
+  [[nodiscard]] std::size_t reuses() const { return reuses_; }  ///< cumulative
+  [[nodiscard]] std::size_t allocs() const { return allocs_; }  ///< cumulative
+  /// Sums over every scratch the pool ever created (leased ones included).
+  [[nodiscard]] std::size_t served_bytes() const;
+  [[nodiscard]] std::size_t grown_bytes() const;
+  [[nodiscard]] std::size_t retained_bytes() const;
+
+ private:
+  void release(ParetoScratch* scratch);
+
+  std::vector<std::unique_ptr<ParetoScratch>> owned_;
+  std::vector<ParetoScratch*> free_;
+  std::size_t reuses_ = 0;
+  std::size_t allocs_ = 0;
 };
 
 /// Plain serializable mirror of a ResolveSession: everything export_state()
@@ -291,7 +354,11 @@ class ResolveSession {
   /// behaviorally byte-identical to the exported session: the same
   /// current() optimum (bit for bit), the same cached_bytes(), and the
   /// same warm/cold decisions and reuse counters on every future
-  /// resolve(). Throws InvalidArgument on anything inconsistent (unknown
+  /// resolve(). The one exception is ResolveStats::pool_grown_bytes: a
+  /// restored pool starts with empty scratch capacity, so the first
+  /// post-restore solve may grow storage the live session had already
+  /// retained -- retained capacity is an allocator observation, not
+  /// session state. Throws InvalidArgument on anything inconsistent (unknown
   /// plan spec, malformed tree, a cut that is not a valid cut of the tree,
   /// cache cut positions out of range of their keys) -- a snapshot that
   /// fails these checks is corrupt and must be rejected, never partially
@@ -348,6 +415,8 @@ class ResolveSession {
   /// region of a colour changed, e.g. a probe insertion).
   FrontierCache colour_cache_;
   FrontierCache region_cache_;
+  /// Retained frontier-arena scratch for solve_warm_dp (see ArenaPool).
+  ArenaPool pool_;
 };
 
 /// Result of solving a whole perturbation stream: step i's instance is the

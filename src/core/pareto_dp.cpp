@@ -1,11 +1,14 @@
 #include "core/pareto_dp.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <exception>
 #include <limits>
+#include <utility>
 
 #include "core/worklist.hpp"
+#include "platform/simd.hpp"
 
 namespace treesat {
 
@@ -47,12 +50,18 @@ void prune(std::vector<ParetoPoint>& points, std::size_t max_frontier) {
 std::vector<ParetoPoint> minkowski(const std::vector<ParetoPoint>& a,
                                    const std::vector<ParetoPoint>& b,
                                    std::size_t max_frontier) {
-  if (static_cast<double>(a.size()) * static_cast<double>(b.size()) >
-      static_cast<double>(max_frontier) * 64.0) {
+  // Integer-exact product guard. The earlier double-valued check lost
+  // precision past 2^53 and let `a.size() * b.size()` wrap (or demand an
+  // absurd reserve) before pruning ever ran; dividing instead of
+  // multiplying cannot overflow, and the reserve is capped at the guard
+  // bound it just proved.
+  constexpr std::size_t kSizeMax = std::numeric_limits<std::size_t>::max();
+  const std::size_t limit = max_frontier > kSizeMax / 64 ? kSizeMax : max_frontier * 64;
+  if (!a.empty() && b.size() > limit / a.size()) {
     throw ResourceLimit("pareto_dp: Minkowski product too large");
   }
   std::vector<ParetoPoint> out;
-  out.reserve(a.size() * b.size());
+  out.reserve(std::min(a.size() * b.size(), limit));
   for (const ParetoPoint& pa : a) {
     for (const ParetoPoint& pb : b) {
       ParetoPoint p;
@@ -94,8 +103,15 @@ std::vector<ParetoPoint> node_frontier(const Colouring& colouring, CruId v,
 
 }  // namespace reference
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Arena engine.
+// Arena engine. These internals live in a named internal namespace rather
+// than the anonymous one: ParetoScratch::Impl (an external-linkage type)
+// holds a ColourPipeline, and anonymous-namespace members there would trip
+// -Wsubobject-linkage under -Werror.
+
+namespace pareto_internal {
 
 struct MergeCounters {
   std::size_t merges = 0;
@@ -182,9 +198,9 @@ struct Span {
 /// advance time. Emits kept points through `keep(i, j, load, host)` in
 /// sorted order; ties broken by (host, i, j) so results are deterministic.
 template <typename Keep>
-void merge_product(const double* aload, const double* ahost, std::size_t na,
-                   const double* bload, const double* bhost, std::size_t nb,
-                   std::size_t max_frontier, MergeCounters& counters, Keep&& keep) {
+void merge_product_scalar(const double* aload, const double* ahost, std::size_t na,
+                          const double* bload, const double* bhost, std::size_t nb,
+                          std::size_t max_frontier, MergeCounters& counters, Keep&& keep) {
   ++counters.merges;
   if (na == 0 || nb == 0) return;  // empty product, as the reference prunes to
   struct Entry {
@@ -234,6 +250,133 @@ void merge_product(const double* aload, const double* ahost, std::size_t na,
   }
 }
 
+/// The branch-free/SIMD merge (MinkowskiKernel::kSimd). Pop-for-pop
+/// identical to merge_product_scalar -- same keep() calls, same counter
+/// values, same throw point -- via three mechanical changes:
+///
+///   * SIMD skip-ahead: the scalar per-element `ahost[i] + bhost[j] >=
+///     best` loop becomes one simd::dominated_prefix call over the
+///     contiguous bhost block (same floating-point expression, counted in
+///     bulk), so the ~80% of product points that die dominated cost a
+///     vector compare each instead of a branch each.
+///   * Lazy stream activation: the scalar version seeds all |a| streams up
+///     front, paying O(|a|) heap build plus log|a| sift depth from the
+///     first pop. Stream seeds are (aload[i]+bload[0], ahost[i]+bhost[0])
+///     with aload ascending, so seed i cannot pop before the head's load
+///     reaches it; streams enter the heap only once the current head's
+///     load catches up to their seed (ties included, hence <=). At any pop
+///     every unactivated seed has strictly larger load than the head, so
+///     the head is the true global minimum and the pop sequence is the
+///     scalar one.
+///   * Replace-top: popping an entry and pushing its successor is one
+///     write to the root plus a single sift-down, not pop_heap+push_heap.
+///
+/// Requires aload non-decreasing (every frontier producer in this module
+/// emits load-ascending frontiers; minkowski_frontiers validates its
+/// public inputs).
+template <typename Keep>
+void merge_product_simd(const double* aload, const double* ahost, std::size_t na,
+                        const double* bload, const double* bhost, std::size_t nb,
+                        std::size_t max_frontier, MergeCounters& counters, Keep&& keep) {
+  ++counters.merges;
+  if (na == 0 || nb == 0) return;  // empty product, as the reference prunes to
+  struct Entry {
+    double load;
+    double host;
+    std::uint32_t i;
+    std::uint32_t j;
+  };
+  const auto earlier = [](const Entry& x, const Entry& y) {
+    if (x.load != y.load) return x.load < y.load;
+    if (x.host != y.host) return x.host < y.host;
+    if (x.i != y.i) return x.i < y.i;
+    return x.j < y.j;
+  };
+  // Min-heap on `earlier`, root at index 0, maintained by hand so the
+  // common advance is a replace-top.
+  std::vector<Entry> heap;
+  heap.reserve(std::min<std::size_t>(na, 64));
+  const auto sift_down = [&](std::size_t at) {
+    const Entry e = heap[at];
+    const std::size_t count = heap.size();
+    while (true) {
+      std::size_t kid = 2 * at + 1;
+      if (kid >= count) break;
+      if (kid + 1 < count && earlier(heap[kid + 1], heap[kid])) ++kid;
+      if (!earlier(heap[kid], e)) break;
+      heap[at] = heap[kid];
+      at = kid;
+    }
+    heap[at] = e;
+  };
+  const auto push_entry = [&](const Entry& e) {
+    std::size_t at = heap.size();
+    heap.push_back(e);
+    while (at > 0) {
+      const std::size_t parent = (at - 1) / 2;
+      if (!earlier(e, heap[parent])) break;
+      heap[at] = heap[parent];
+      at = parent;
+    }
+    heap[at] = e;
+  };
+  std::uint32_t next_stream = 0;
+  const auto activate = [&] {
+    push_entry({aload[next_stream] + bload[0], ahost[next_stream] + bhost[0], next_stream, 0});
+    ++next_stream;
+  };
+
+  activate();
+  double best_host = kInf;
+  std::size_t kept = 0;
+  while (true) {
+    if (heap.empty()) {
+      if (next_stream >= na) break;
+      activate();  // every stream still pops at least its seed
+    }
+    while (next_stream < na && aload[next_stream] + bload[0] <= heap[0].load) activate();
+    const Entry e = heap[0];
+    ++counters.generated;
+    if (e.host < best_host) {
+      best_host = e.host;
+      if (++kept > max_frontier) {
+        throw ResourceLimit("pareto_dp: frontier exceeds max_frontier (" +
+                            std::to_string(kept) + " points)");
+      }
+      ++counters.kept;
+      keep(e.i, e.j, e.load, e.host);
+    }
+    std::uint32_t j = e.j + 1;
+    if (j < nb) {
+      const std::size_t skip =
+          simd::dominated_prefix(bhost + j, nb - j, ahost[e.i], best_host);
+      counters.generated += skip;  // skipped: dominated forever, never materialized
+      j += static_cast<std::uint32_t>(skip);
+    }
+    if (j < nb) {
+      heap[0] = Entry{aload[e.i] + bload[j], ahost[e.i] + bhost[j], e.i, j};
+      sift_down(0);
+    } else {
+      heap[0] = heap.back();
+      heap.pop_back();
+      if (!heap.empty()) sift_down(0);
+    }
+  }
+}
+
+template <typename Keep>
+void merge_product(MinkowskiKernel kernel, const double* aload, const double* ahost,
+                   std::size_t na, const double* bload, const double* bhost, std::size_t nb,
+                   std::size_t max_frontier, MergeCounters& counters, Keep&& keep) {
+  if (kernel == MinkowskiKernel::kScalar) {
+    merge_product_scalar(aload, ahost, na, bload, bhost, nb, max_frontier, counters,
+                         std::forward<Keep>(keep));
+  } else {
+    merge_product_simd(aload, ahost, na, bload, bhost, nb, max_frontier, counters,
+                       std::forward<Keep>(keep));
+  }
+}
+
 /// Per-colour pipeline state: the colour's arena plus the reusable scratch
 /// the region pass needs. Regions of one colour are disjoint subtrees, so
 /// the per-node span table can be shared across them without clearing.
@@ -243,12 +386,47 @@ struct ColourPipeline {
   std::size_t max_region_frontier = 0;
   std::size_t peak = 0;
   MergeCounters counters;
+  MinkowskiKernel kernel = MinkowskiKernel::kSimd;
 
   std::vector<Span> spans;  // per tree node, reused across regions
   // Merge inputs are snapshotted out of the arena (output appends to the
   // same vectors, which may reallocate mid-merge).
   std::vector<double> scratch_load[2];
   std::vector<double> scratch_host[2];
+  // Traversal scratch for region(), hoisted here so pooled pipelines stop
+  // reallocating it per region.
+  std::vector<CruId> order;
+  std::vector<CruId> dfs;
+
+  /// Forgets all solve state but keeps every allocation, so a pooled
+  /// pipeline (ParetoScratch) re-solves without touching the allocator.
+  /// spans is cleared, not resized: region() re-establishes the per-node
+  /// table for whatever tree comes next.
+  void reset() {
+    arena.truncate(0);
+    merged = Span{};
+    max_region_frontier = 0;
+    peak = 0;
+    counters = MergeCounters{};
+    spans.clear();
+    // scratch/order/dfs are assigned or cleared at every use.
+  }
+
+  /// Capacity footprint of everything this pipeline retains; the pool's
+  /// grown_bytes telemetry is deltas of this across leases.
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t bytes = arena.load.capacity() * sizeof(double) +
+                        arena.host.capacity() * sizeof(double) +
+                        arena.left.capacity() * sizeof(std::uint32_t) +
+                        arena.right.capacity() * sizeof(std::uint32_t) +
+                        arena.edge.capacity() * sizeof(CruId);
+    bytes += spans.capacity() * sizeof(Span);
+    for (const auto& v : scratch_load) bytes += v.capacity() * sizeof(double);
+    for (const auto& v : scratch_host) bytes += v.capacity() * sizeof(double);
+    bytes += order.capacity() * sizeof(CruId);
+    bytes += dfs.capacity() * sizeof(CruId);
+    return bytes;
+  }
 
   void note_frontier(std::uint32_t width, std::size_t max_frontier) {
     if (width > max_frontier) {
@@ -265,7 +443,7 @@ struct ColourPipeline {
       scratch_host[side].assign(arena.host.begin() + s.begin, arena.host.begin() + s.end);
     }
     const std::uint32_t out_begin = arena.size();
-    merge_product(scratch_load[0].data(), scratch_host[0].data(), a.size(),
+    merge_product(kernel, scratch_load[0].data(), scratch_host[0].data(), a.size(),
                   scratch_load[1].data(), scratch_host[1].data(), b.size(), max_frontier,
                   counters, [&](std::uint32_t i, std::uint32_t j, double l, double h) {
                     arena.add(l, h, a.begin + i, b.begin + j, CruId{});
@@ -283,13 +461,13 @@ struct ColourPipeline {
     if (spans.empty()) spans.resize(tree.size());
 
     // Postorder of the region subtree: reverse of a right-to-left preorder.
-    std::vector<CruId> order;
-    std::vector<CruId> stack{root};
-    while (!stack.empty()) {
-      const CruId v = stack.back();
-      stack.pop_back();
+    order.clear();
+    dfs.assign(1, root);
+    while (!dfs.empty()) {
+      const CruId v = dfs.back();
+      dfs.pop_back();
       order.push_back(v);
-      for (const CruId c : tree.node(v).children) stack.push_back(c);
+      for (const CruId c : tree.node(v).children) dfs.push_back(c);
     }
     std::reverse(order.begin(), order.end());
 
@@ -357,6 +535,10 @@ struct ColourPipeline {
     merged = acc;
   }
 };
+
+}  // namespace pareto_internal
+
+namespace {
 
 // ---------------------------------------------------------------------------
 // The bottleneck sweep, shared by the arena path and the colour-frontier
@@ -428,21 +610,71 @@ SweepPick sweep_colour_frontiers(const std::vector<FrontierView>& per_colour,
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// ParetoScratch: the pooled storage handle (header-declared pimpl).
+
+struct ParetoScratch::Impl {
+  pareto_internal::ColourPipeline pipeline;
+  // Staging for scratch-backed minkowski_frontiers calls
+  // (aload/ahost/bload/bhost).
+  std::vector<double> stage[4];
+  std::size_t served = 0;
+  std::size_t grown = 0;
+
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t bytes = pipeline.capacity_bytes();
+    for (const auto& v : stage) bytes += v.capacity() * sizeof(double);
+    return bytes;
+  }
+
+  /// Bookkeeping wrapper for one scratch-backed call: remembers the
+  /// capacity footprint on entry and, on exit, charges the content bytes
+  /// the call staged plus whatever new capacity it forced.
+  template <typename Fn>
+  auto metered(std::size_t content_bytes, Fn&& fn) {
+    const std::size_t cap_before = capacity_bytes();
+    auto result = fn();
+    served += content_bytes;
+    const std::size_t cap_after = capacity_bytes();
+    grown += cap_after > cap_before ? cap_after - cap_before : 0;
+    return result;
+  }
+};
+
+ParetoScratch::ParetoScratch() : impl_(std::make_unique<Impl>()) {}
+ParetoScratch::~ParetoScratch() = default;
+ParetoScratch::ParetoScratch(ParetoScratch&&) noexcept = default;
+ParetoScratch& ParetoScratch::operator=(ParetoScratch&&) noexcept = default;
+
+std::size_t ParetoScratch::served_bytes() const { return impl_->served; }
+std::size_t ParetoScratch::grown_bytes() const { return impl_->grown; }
+std::size_t ParetoScratch::retained_bytes() const { return impl_->capacity_bytes(); }
+
 std::vector<ParetoPoint> region_frontier(const Colouring& colouring, CruId region_root,
-                                         std::size_t max_frontier) {
+                                         std::size_t max_frontier, MinkowskiKernel kernel,
+                                         ParetoScratch* scratch) {
   TS_REQUIRE(colouring.is_assignable(region_root),
              "region_frontier: node is not assignable");
-  ColourPipeline pipe;
-  const Span span = pipe.region(colouring, region_root, max_frontier);
-  std::vector<ParetoPoint> out;
-  out.reserve(span.size());
-  for (std::uint32_t p = span.begin; p < span.end; ++p) {
-    ParetoPoint point;
-    point.load = pipe.arena.load[p];
-    point.host = pipe.arena.host[p];
-    pipe.arena.reconstruct(p, point.cut);
-    out.push_back(std::move(point));
-  }
+  pareto_internal::ColourPipeline local;
+  pareto_internal::ColourPipeline& pipe = scratch ? scratch->impl().pipeline : local;
+  const auto run = [&] {
+    pipe.reset();
+    pipe.kernel = kernel;
+    const pareto_internal::Span span = pipe.region(colouring, region_root, max_frontier);
+    std::vector<ParetoPoint> out;
+    out.reserve(span.size());
+    for (std::uint32_t p = span.begin; p < span.end; ++p) {
+      ParetoPoint point;
+      point.load = pipe.arena.load[p];
+      point.host = pipe.arena.host[p];
+      pipe.arena.reconstruct(p, point.cut);
+      out.push_back(std::move(point));
+    }
+    return out;
+  };
+  if (scratch == nullptr) return run();
+  std::vector<ParetoPoint> out = scratch->impl().metered(0, run);
+  scratch->impl().served += scratch->impl().pipeline.arena.bytes();
   return out;
 }
 
@@ -463,31 +695,55 @@ std::vector<double> region_min_loads(const Colouring& colouring) {
   return min_load;
 }
 
+namespace {
+
+/// Stages one frontier into SoA load/host arrays while enforcing the
+/// public-seam invariants: finite coordinates (a NaN load would silently
+/// corrupt the merge order, a NaN host would defeat the dominance prune)
+/// and load-ascending order (what every frontier producer in this module
+/// emits, and what the SIMD kernel's lazy stream activation relies on).
+void stage_frontier(const std::vector<ParetoPoint>& points, std::vector<double>& load,
+                    std::vector<double>& host, const char* side) {
+  load.resize(points.size());
+  host.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    TS_REQUIRE(std::isfinite(points[i].load) && std::isfinite(points[i].host),
+               "minkowski_frontiers: non-finite coordinate in frontier " << side);
+    TS_REQUIRE(i == 0 || points[i].load >= points[i - 1].load,
+               "minkowski_frontiers: frontier " << side << " not sorted by load");
+    load[i] = points[i].load;
+    host[i] = points[i].host;
+  }
+}
+
+}  // namespace
+
 std::vector<ParetoPoint> minkowski_frontiers(const std::vector<ParetoPoint>& a,
                                              const std::vector<ParetoPoint>& b,
-                                             std::size_t max_frontier) {
-  std::vector<double> aload(a.size()), ahost(a.size()), bload(b.size()), bhost(b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    aload[i] = a[i].load;
-    ahost[i] = a[i].host;
-  }
-  for (std::size_t j = 0; j < b.size(); ++j) {
-    bload[j] = b[j].load;
-    bhost[j] = b[j].host;
-  }
-  std::vector<ParetoPoint> out;
-  MergeCounters counters;
-  merge_product(aload.data(), ahost.data(), a.size(), bload.data(), bhost.data(), b.size(),
-                max_frontier, counters,
-                [&](std::uint32_t i, std::uint32_t j, double l, double h) {
-                  ParetoPoint p;
-                  p.load = l;
-                  p.host = h;
-                  p.cut = a[i].cut;
-                  p.cut.insert(p.cut.end(), b[j].cut.begin(), b[j].cut.end());
-                  out.push_back(std::move(p));
-                });
-  return out;
+                                             std::size_t max_frontier, MinkowskiKernel kernel,
+                                             ParetoScratch* scratch) {
+  std::vector<double> local[4];
+  std::vector<double>* stage = scratch ? scratch->impl().stage : local;
+  const auto run = [&] {
+    stage_frontier(a, stage[0], stage[1], "a");
+    stage_frontier(b, stage[2], stage[3], "b");
+    std::vector<ParetoPoint> out;
+    pareto_internal::MergeCounters counters;
+    pareto_internal::merge_product(
+        kernel, stage[0].data(), stage[1].data(), a.size(), stage[2].data(), stage[3].data(),
+        b.size(), max_frontier, counters,
+        [&](std::uint32_t i, std::uint32_t j, double l, double h) {
+          ParetoPoint p;
+          p.load = l;
+          p.host = h;
+          p.cut = a[i].cut;
+          p.cut.insert(p.cut.end(), b[j].cut.begin(), b[j].cut.end());
+          out.push_back(std::move(p));
+        });
+    return out;
+  };
+  if (scratch == nullptr) return run();
+  return scratch->impl().metered((a.size() + b.size()) * 2 * sizeof(double), run);
 }
 
 ParetoDpResult pareto_dp_solve_from_colour_frontiers(
@@ -547,7 +803,8 @@ ParetoDpResult pareto_dp_solve(const Colouring& colouring, const ParetoDpOptions
   // the region sizes vary by orders of magnitude, so the widest colour
   // claimed last would serialize the tail of the solve.
   const std::size_t colours = colouring.tree().satellite_count();
-  std::vector<ColourPipeline> pipes(colours);
+  std::vector<pareto_internal::ColourPipeline> pipes(colours);
+  for (auto& pipe : pipes) pipe.kernel = options.kernel;
   std::vector<std::exception_ptr> errors(colours);
   WorklistOptions worklist;
   // resolve_threads maps dp_threads == 0 to the hardware thread count and
@@ -577,7 +834,7 @@ ParetoDpResult pareto_dp_solve(const Colouring& colouring, const ParetoDpOptions
   ParetoDpStats stats;
   std::vector<FrontierView> views(colours);
   for (std::size_t c = 0; c < colours; ++c) {
-    const ColourPipeline& pipe = pipes[c];
+    const pareto_internal::ColourPipeline& pipe = pipes[c];
     views[c] = FrontierView{pipe.arena.load.data() + pipe.merged.begin,
                             pipe.arena.host.data() + pipe.merged.begin,
                             pipe.merged.size()};

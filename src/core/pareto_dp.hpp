@@ -50,6 +50,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/assignment.hpp"
@@ -86,6 +88,48 @@ struct ParetoDpResult {
   ParetoDpStats stats;
 };
 
+/// Selects the Minkowski merge implementation (spec key kernel=). Both
+/// kernels emit the same points in the same order with the same counters --
+/// reports are byte-identical -- so the key exists purely for A/B gating
+/// and cross-validation. kSimd is the branch-free blocked dominance kernel
+/// (platform/simd.hpp: SIMD prefix skip, lazy stream activation,
+/// replace-top heap maintenance); kScalar is PR 4's straight-line merge.
+enum class MinkowskiKernel : std::uint8_t { kScalar = 0, kSimd = 1 };
+
+/// Reusable scratch for region_frontier / minkowski_frontiers: retains the
+/// internal colour pipeline (frontier arena, span table, merge staging
+/// buffers) across calls so warm re-solves stop reallocating the frontier
+/// storage every step. Callers that pass the same ParetoScratch to
+/// consecutive calls get identical results to scratch-free calls, bit for
+/// bit -- only the allocation behaviour changes. Not thread-safe; use one
+/// per thread (core/incremental.hpp's ArenaPool hands them out
+/// per-session). The byte counters are cumulative over the scratch's
+/// lifetime, so per-step deltas are snapshot differences.
+class ParetoScratch {
+ public:
+  ParetoScratch();
+  ~ParetoScratch();
+  ParetoScratch(ParetoScratch&&) noexcept;
+  ParetoScratch& operator=(ParetoScratch&&) noexcept;
+  ParetoScratch(const ParetoScratch&) = delete;
+  ParetoScratch& operator=(const ParetoScratch&) = delete;
+
+  /// Cumulative frontier/staging content bytes served through this scratch
+  /// (deterministic: a function of the solved instances, not of capacity).
+  [[nodiscard]] std::size_t served_bytes() const;
+  /// Cumulative bytes of *new* capacity the scratch had to allocate; stays
+  /// flat once the retained storage covers the working set.
+  [[nodiscard]] std::size_t grown_bytes() const;
+  /// Capacity currently retained for reuse.
+  [[nodiscard]] std::size_t retained_bytes() const;
+
+  struct Impl;
+  [[nodiscard]] Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 struct ParetoDpOptions {
   SsbObjective objective = SsbObjective::end_to_end();
   /// Frontier size limit; exceeding it throws ResourceLimit.
@@ -99,6 +143,10 @@ struct ParetoDpOptions {
   /// cross-validation baseline of tests and bench_pareto_arena (spec key
   /// arena=). Production solves should always leave this true.
   bool arena = true;
+  /// Minkowski merge implementation (spec key kernel=). Byte-identical
+  /// results either way; kScalar exists for A/B gating. Ignored when
+  /// arena is false (the reference engine has its own product).
+  MinkowskiKernel kernel = MinkowskiKernel::kSimd;
 };
 
 /// Exact optimal assignment via the Pareto DP.
@@ -115,10 +163,11 @@ struct ParetoPoint {
 };
 
 /// Pareto frontier of one region (subtree rooted at an assignable node),
-/// sorted by load ascending / host strictly descending.
-[[nodiscard]] std::vector<ParetoPoint> region_frontier(const Colouring& colouring,
-                                                       CruId region_root,
-                                                       std::size_t max_frontier);
+/// sorted by load ascending / host strictly descending. `scratch`, when
+/// given, donates retained arena storage (result-identical either way).
+[[nodiscard]] std::vector<ParetoPoint> region_frontier(
+    const Colouring& colouring, CruId region_root, std::size_t max_frontier,
+    MinkowskiKernel kernel = MinkowskiKernel::kSimd, ParetoScratch* scratch = nullptr);
 
 /// Per-node minimum achievable satellite load: for every assignable v, the
 /// smallest load coordinate of F(v) -- min(cut at v, Σ children minima) --
@@ -148,10 +197,14 @@ struct ParetoPoint {
 /// the incremental engine's colour-level merges are the byte-identical
 /// operation the cold solve performs. Implemented as the same k-way merge
 /// the arena engine runs, so dominated product points are skipped, not
-/// materialized. Throws ResourceLimit past max_frontier.
-[[nodiscard]] std::vector<ParetoPoint> minkowski_frontiers(const std::vector<ParetoPoint>& a,
-                                                           const std::vector<ParetoPoint>& b,
-                                                           std::size_t max_frontier);
+/// materialized. Throws ResourceLimit past max_frontier and
+/// InvalidArgument on non-finite coordinates or inputs not sorted by load
+/// ascending (the frontier invariant every producer in this module
+/// maintains). `scratch` donates retained staging storage.
+[[nodiscard]] std::vector<ParetoPoint> minkowski_frontiers(
+    const std::vector<ParetoPoint>& a, const std::vector<ParetoPoint>& b,
+    std::size_t max_frontier, MinkowskiKernel kernel = MinkowskiKernel::kSimd,
+    ParetoScratch* scratch = nullptr);
 
 // ---------------------------------------------------------------------------
 // Reference engine: the pre-arena implementation (recursive node_frontier,

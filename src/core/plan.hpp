@@ -31,7 +31,10 @@
 // byte-identity preserving at any thread count: scheduling decides when
 // an instance runs, never what it computes. ParetoDpOptions::arena (spec
 // key arena=) selects the allocation-free arena engine (default) or the
-// retained pre-arena reference engine used for cross-validation.
+// retained pre-arena reference engine used for cross-validation, and
+// ParetoDpOptions::kernel (spec key kernel=scalar|simd) A/B-gates the
+// arena engine's Minkowski merge implementation -- like dp_threads, a
+// how-it-runs knob with byte-identical results either way.
 #pragma once
 
 #include <cstdint>

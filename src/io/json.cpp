@@ -170,7 +170,11 @@ std::string resolve_stats_to_json(const ResolveStats& stats) {
      << ",\"colours_total\":" << stats.colours_total
      << ",\"colours_reused\":" << stats.colours_reused
      << ",\"cache_entries\":" << stats.cache_entries
-     << ",\"incumbent_used\":" << (stats.incumbent_used ? "true" : "false") << '}';
+     << ",\"incumbent_used\":" << (stats.incumbent_used ? "true" : "false")
+     << ",\"pool_reuses\":" << stats.pool_reuses
+     << ",\"pool_allocs\":" << stats.pool_allocs
+     << ",\"pool_served_bytes\":" << stats.pool_served_bytes
+     << ",\"pool_grown_bytes\":" << stats.pool_grown_bytes << '}';
   return os.str();
 }
 

@@ -1,0 +1,99 @@
+// Portable SIMD primitives for the Pareto-DP hot path.
+//
+// The arena engine (core/pareto_dp.cpp) stores frontiers as structure-of-
+// arrays `load[]`/`host[]` precisely so the dominance prune can run on
+// contiguous doubles. The one data-parallel kernel it needs is the
+// skip-ahead of the k-way Minkowski merge: given a stream whose host
+// coordinates strictly decrease, count how many leading candidates are
+// dominated (host + add >= cutoff) so the merge can jump over the whole
+// prefix without materializing a point.
+//
+// dominated_prefix() is that kernel, branch-free within a block:
+//   * AVX2 (4 doubles/iteration) when the TU is compiled with -mavx2,
+//   * SSE2 (2 doubles/iteration) on any x86-64 build,
+//   * a blocked portable fallback elsewhere (mask-accumulating inner loop
+//     that compilers auto-vectorize on NEON/RVV and scalarize safely).
+//
+// Semantics are bit-for-bit those of the scalar loop
+//   while (n > 0 && host[k] + add >= cutoff) ++k;
+// for *any* input (the result is the index of the first failing element,
+// computed via trailing-ones on the block's comparison mask, so even
+// non-monotone input -- which the merge never produces -- matches). The
+// floating-point expression is `host[j] + add >= cutoff` with one rounding
+// of the sum, exactly the scalar merge's `ahost[i] + bhost[j] >= best`,
+// and comparisons are ordered (NaN compares false on every path).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace treesat::simd {
+
+/// Identifies the instruction set dominated_prefix() was compiled against;
+/// surfaced by bench_pareto_arena so baselines record what they measured.
+[[nodiscard]] constexpr const char* active_isa() {
+#if defined(__AVX2__)
+  return "avx2";
+#elif defined(__SSE2__)
+  return "sse2";
+#else
+  return "portable";
+#endif
+}
+
+/// Number of leading elements with host[k] + add >= cutoff -- equivalently
+/// the index of the first element the predicate rejects (n if none is
+/// rejected). Branch-free within a block; NaN in host/add/cutoff rejects
+/// (ordered comparison), matching the scalar merge loop bit for bit.
+[[nodiscard]] inline std::size_t dominated_prefix(const double* host, std::size_t n,
+                                                  double add, double cutoff) {
+  std::size_t k = 0;
+#if defined(__AVX2__)
+  const __m256d vadd = _mm256_set1_pd(add);
+  const __m256d vcut = _mm256_set1_pd(cutoff);
+  while (k + 4 <= n) {
+    const __m256d sum = _mm256_add_pd(_mm256_loadu_pd(host + k), vadd);
+    // Ordered >=: NaN lanes report 0 (rejected), like the scalar compare.
+    const int mask = _mm256_movemask_pd(_mm256_cmp_pd(sum, vcut, _CMP_GE_OQ));
+    if (mask != 0xf) {
+      return k + static_cast<std::size_t>(std::countr_one(static_cast<unsigned>(mask)));
+    }
+    k += 4;
+  }
+#elif defined(__SSE2__)
+  const __m128d vadd = _mm_set1_pd(add);
+  const __m128d vcut = _mm_set1_pd(cutoff);
+  while (k + 2 <= n) {
+    const __m128d sum = _mm_add_pd(_mm_loadu_pd(host + k), vadd);
+    const int mask = _mm_movemask_pd(_mm_cmpge_pd(sum, vcut));
+    if (mask != 0x3) {
+      return k + static_cast<std::size_t>(std::countr_one(static_cast<unsigned>(mask)));
+    }
+    k += 2;
+  }
+#else
+  // Blocked fallback: build the block's comparison mask with straight-line
+  // compares (no per-element branch), then count its trailing ones.
+  constexpr std::size_t kBlock = 8;
+  while (k + kBlock <= n) {
+    unsigned mask = 0;
+    for (std::size_t t = 0; t < kBlock; ++t) {
+      mask |= static_cast<unsigned>(host[k + t] + add >= cutoff) << t;
+    }
+    if (mask != (1u << kBlock) - 1u) {
+      return k + static_cast<std::size_t>(std::countr_one(mask));
+    }
+    k += kBlock;
+  }
+#endif
+  while (k < n && host[k] + add >= cutoff) ++k;
+  return k;
+}
+
+}  // namespace treesat::simd

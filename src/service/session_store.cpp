@@ -31,7 +31,10 @@ std::string session_plan_key(SolvePlan plan) {
   plan.with_executor(ExecutorOptions{});
   if (plan.method() == SolveMethod::kParetoDp) {
     ParetoDpOptions o = plan.options_as<ParetoDpOptions>();
+    // Result-invisible knobs must not split session identity: dp_threads
+    // and kernel change how a solve runs, never what it returns.
     o.dp_threads = 1;
+    o.kernel = MinkowskiKernel::kSimd;
     plan = SolvePlan::pareto_dp(std::move(o));
   }
   return plan_spec(plan);

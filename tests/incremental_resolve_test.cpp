@@ -117,6 +117,80 @@ TEST(IncrementalResolve, SatelliteDriftReusesUntouchedRegions) {
   EXPECT_GE(stats.regions_reused, stats.regions_total - colour0_regions);
 }
 
+TEST(IncrementalResolve, CachedBytesCoverContentPlusPerEntryOverhead) {
+  // Regression for the size()-based under-accounting: cached_bytes() must
+  // be at least the content bytes visible through export_state() (key
+  // words, frontier points, cut ids) plus a hash-node floor per entry.
+  // The old gauge summed .size() and charged nothing per map node, so
+  // byte-budget eviction in the serving tier fired late.
+  Rng rng(21);
+  TreeGenOptions gen;
+  gen.compute_nodes = 14;
+  gen.satellites = 4;
+  const CruTree base = random_tree(rng, gen);
+  ResolveSession session(base, SolvePlan::pareto_dp());
+  session.resolve(Perturbation::satellite_drift(SatelliteId{0u}, 1.1, 0.9, 1.05));
+
+  const SessionState state = session.export_state();
+  std::size_t content = 0;
+  std::size_t entries = 0;
+  for (const auto* cache : {&state.colour_cache, &state.region_cache}) {
+    for (const SessionState::CacheEntry& entry : *cache) {
+      ++entries;
+      content += entry.key_words.size() * sizeof(std::uint64_t);
+      content += entry.frontier.size() * sizeof(ParetoPoint);
+      for (const ParetoPoint& point : entry.frontier) {
+        content += point.cut.size() * sizeof(CruId);
+      }
+    }
+  }
+  ASSERT_GT(entries, 0u);
+  ASSERT_GT(content, 0u);
+  // The measured lower bound: exact content plus a conservative per-entry
+  // node floor (two chain/hash pointers plus the two inline vector
+  // headers the stored pair must at least hold). cached_bytes charges the
+  // full pair and capacity slack on top, hence GE.
+  const std::size_t floor =
+      content + entries * (2 * sizeof(void*) + 2 * sizeof(std::vector<double>));
+  EXPECT_GE(session.cached_bytes(), floor);
+  EXPECT_GT(session.cached_bytes(), content);
+  // Import must reproduce the gauge bit for bit -- capacity-true
+  // accounting only works because every stored vector has exact capacity.
+  EXPECT_EQ(ResolveSession::import_state(state).cached_bytes(),
+            session.cached_bytes());
+}
+
+TEST(IncrementalResolve, ArenaPoolServesWarmResolvesFromRetainedScratch) {
+  // Warm re-solves borrow frontier scratch from the session's ArenaPool
+  // instead of reallocating per step: the pool prewarms one scratch, so
+  // every DP solve is exactly one reuse and never a fresh alloc, served
+  // bytes flow whenever frontiers are recomputed, and capacity growth
+  // flattens once the scratch has seen the instance's working set.
+  Rng rng(5);
+  TreeGenOptions gen;
+  gen.compute_nodes = 14;
+  gen.satellites = 4;
+  const CruTree base = random_tree(rng, gen);
+  ResolveSession session(base, SolvePlan::pareto_dp());
+  EXPECT_EQ(session.last_stats().pool_reuses, 1u);
+  EXPECT_EQ(session.last_stats().pool_allocs, 0u);
+  EXPECT_GT(session.last_stats().pool_served_bytes, 0u);
+
+  std::size_t grown_late = 0;
+  for (int step = 0; step < 8; ++step) {
+    session.resolve(Perturbation::satellite_drift(SatelliteId{0u}, 1.02, 0.99, 1.01));
+    const ResolveStats& stats = session.last_stats();
+    ASSERT_EQ(stats.path, ResolvePath::kWarm) << "step " << step;
+    EXPECT_EQ(stats.pool_reuses, 1u) << "step " << step;
+    EXPECT_EQ(stats.pool_allocs, 0u) << "step " << step;
+    EXPECT_GT(stats.pool_served_bytes, 0u) << "step " << step;
+    if (step >= 4) grown_late += stats.pool_grown_bytes;
+  }
+  // Allocation churn flattens: later same-shape drifts run entirely in
+  // capacity the pooled scratch already owns.
+  EXPECT_EQ(grown_late, 0u);
+}
+
 TEST(IncrementalResolve, ReferenceEngineSessionsColdSolveEveryStep) {
   // A pareto-dp plan with arena=false opted into the pre-arena reference
   // engine; the warm path runs the arena merge kernels, so the session must

@@ -154,6 +154,29 @@ TEST(ParsePlan, SpecRoundTrips) {
   EXPECT_EQ(back.options_as<AnnealingOptions>().seed, 42u);
 }
 
+TEST(ParsePlan, KernelKeySelectsTheMinkowskiKernel) {
+  // kernel= A/B-gates the arena engine's Minkowski merge. Like dp_threads,
+  // the default (simd) is omitted from printed specs; the non-default value
+  // round-trips through plan_spec.
+  const SolvePlan scalar = parse_plan("pareto-dp:kernel=scalar");
+  EXPECT_EQ(scalar.options_as<ParetoDpOptions>().kernel, MinkowskiKernel::kScalar);
+  EXPECT_NE(plan_spec(scalar).find("kernel=scalar"), std::string::npos);
+  const SolvePlan round = parse_plan(plan_spec(scalar));
+  EXPECT_EQ(round.options_as<ParetoDpOptions>().kernel, MinkowskiKernel::kScalar);
+
+  const SolvePlan simd = parse_plan("pareto-dp:kernel=simd");
+  EXPECT_EQ(simd.options_as<ParetoDpOptions>().kernel, MinkowskiKernel::kSimd);
+  EXPECT_EQ(plan_spec(simd).find("kernel"), std::string::npos);
+  EXPECT_EQ(plan_spec(SolvePlan::pareto_dp()).find("kernel"), std::string::npos);
+
+  // A closed enum and the usual duplicate-key rule: an unknown kernel
+  // silently mapped to a default would defeat the A/B gate.
+  EXPECT_THROW(static_cast<void>(parse_plan("pareto-dp:kernel=avx512")),
+               InvalidArgument);
+  EXPECT_THROW(static_cast<void>(parse_plan("pareto-dp:kernel=scalar,kernel=simd")),
+               InvalidArgument);
+}
+
 // --- plan behaviour ------------------------------------------------------
 
 TEST(SolvePlan, WithSeedTouchesOnlySeededMethods) {
@@ -238,6 +261,29 @@ TEST(SolveReport, SurfacesParetoArenaCountersThroughTheFacade) {
   EXPECT_GE(stats->merge_points_generated, stats->merge_points_kept);
   EXPECT_GE(stats->prune_ratio(), 0.0);
   EXPECT_LT(stats->prune_ratio(), 1.0);
+}
+
+TEST(SolveReport, ZeroMergeSolvesReportZeroRatiosNotNaN) {
+  // A single-satellite chain is one region built without a single Minkowski
+  // merge: every merge counter stays zero, and the derived ratio must clamp
+  // to 0 rather than evaluate 0/0 -- both through the accessor and in the
+  // report JSON that dashboards parse (NaN is not even valid JSON).
+  Rng rng(77);
+  ChainGenOptions o;
+  o.compute_nodes = 6;
+  o.satellites = 1;
+  o.sensor_every = 0;
+  const CruTree tree = chain_tree(rng, o);
+  const Colouring colouring(tree);
+  const SolveReport report = solve(colouring, SolvePlan::pareto_dp());
+  const auto* stats = report.stats_as<ParetoDpStats>();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->minkowski_merges, 0u);
+  EXPECT_EQ(stats->merge_points_generated, 0u);
+  EXPECT_EQ(stats->merge_points_kept, 0u);
+  EXPECT_EQ(stats->prune_ratio(), 0.0);
+  const std::string json = report_to_json(report);
+  EXPECT_NE(json.find("\"prune_ratio\":0}"), std::string::npos) << json;
 }
 
 TEST(SolveReport, DpThreadsKeepReportsByteIdentical) {

@@ -4,7 +4,10 @@
 # service smoke stage (treesat_serve replays the committed golden trace and
 # the responses are byte-compared -- regen via TREESAT_UPDATE_GOLDEN=1 --
 # then the trace is split and replayed across a checkpointed restart, which
-# must resume byte-identically), followed by a ThreadSanitizer build of the suites that exercise the batch
+# must resume byte-identically; an overload smoke then replays a committed
+# adversarial stress trace with recorded degrade stamps -- golden- and
+# shard-identical -- plus a 1us-deadline leg that must degrade instead of
+# erroring), followed by a ThreadSanitizer build of the suites that exercise the batch
 # executor and the service (-fsanitize=thread via TREESAT_TSAN), so the
 # worker pool is race-checked on every run, and a UBSan build
 # (-fsanitize=undefined via TREESAT_UBSAN, recovery off) of the Pareto
@@ -40,10 +43,17 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 SERVICE_TRACE=tests/golden/service_trace.jsonl
 SERVICE_GOLDEN=tests/golden/service_responses.jsonl
 SERVICE_CONFIG="shards=2,mem_budget=64m"
+OVERLOAD_TRACE=tests/golden/overload_trace.jsonl
+OVERLOAD_GOLDEN=tests/golden/overload_responses.jsonl
+OVERLOAD_CONFIG="shards=2,degrade=greedy,fail_fast=false"
 if [ -n "${TREESAT_UPDATE_GOLDEN:-}" ]; then
   "$BUILD_DIR/treesat_serve" --config "$SERVICE_CONFIG" "$SERVICE_TRACE" \
     > "$SERVICE_GOLDEN"
-  echo "service smoke stage: regenerated $SERVICE_GOLDEN"
+  "$BUILD_DIR/treesat_serve" --gen-stress 120 --tenants 4 --seed 3051 \
+    --p-degrade 0.25 --max-nodes 256 > "$OVERLOAD_TRACE"
+  "$BUILD_DIR/treesat_serve" --config "$OVERLOAD_CONFIG" "$OVERLOAD_TRACE" \
+    > "$OVERLOAD_GOLDEN"
+  echo "service smoke stage: regenerated $SERVICE_GOLDEN and $OVERLOAD_GOLDEN"
 else
   "$BUILD_DIR/treesat_serve" --config "$SERVICE_CONFIG" "$SERVICE_TRACE" \
     > "$BUILD_DIR/service_responses.jsonl"
@@ -77,6 +87,41 @@ else
     > "$BUILD_DIR/service_responses_restart.jsonl"
   cmp "$BUILD_DIR/service_responses.jsonl" "$BUILD_DIR/service_responses_restart.jsonl"
   echo "checkpoint-restore smoke stage passed (restart is byte-identical)"
+
+  # Overload smoke: replay the committed adversarial stress trace (closed-
+  # loop burst traffic with recorded "degrade":true stamps) through the
+  # real binary. Two legs:
+  #   1. deterministic -- the recorded degrade decisions must reproduce the
+  #      committed golden byte for byte, at 2 and at 8 shards (forced
+  #      degradation sits inside the byte-identity contract);
+  #   2. wall-clock -- the same trace under a 1us admission budget with
+  #      degrade=greedy must answer *everything*: nonzero degradations,
+  #      zero protocol errors (which requests trip the deadline is
+  #      nondeterministic, so this leg asserts outcomes, not bytes).
+  "$BUILD_DIR/treesat_serve" --config "$OVERLOAD_CONFIG" "$OVERLOAD_TRACE" \
+    > "$BUILD_DIR/overload_responses.jsonl"
+  diff -u "$OVERLOAD_GOLDEN" "$BUILD_DIR/overload_responses.jsonl"
+  "$BUILD_DIR/treesat_serve" --config "shards=8,degrade=greedy,fail_fast=false" \
+    "$OVERLOAD_TRACE" > "$BUILD_DIR/overload_responses_s8.jsonl"
+  cmp "$BUILD_DIR/overload_responses.jsonl" "$BUILD_DIR/overload_responses_s8.jsonl"
+  OVERLOAD_DEGRADED="$(grep -c '"degraded":true' "$BUILD_DIR/overload_responses.jsonl" || true)"
+  if [ "$OVERLOAD_DEGRADED" -eq 0 ]; then
+    echo "overload smoke stage FAILED: the committed trace never degraded" >&2
+    exit 1
+  fi
+  "$BUILD_DIR/treesat_serve" \
+    --config "shards=2,degrade=greedy,fail_fast=false,deadline_ms=0.001" \
+    "$OVERLOAD_TRACE" > "$BUILD_DIR/overload_responses_deadline.jsonl"
+  if grep -q '"ok":false' "$BUILD_DIR/overload_responses_deadline.jsonl"; then
+    echo "overload smoke stage FAILED: protocol errors under the deadline" >&2
+    exit 1
+  fi
+  DEADLINE_DEGRADED="$(grep -c '"degraded":true' "$BUILD_DIR/overload_responses_deadline.jsonl" || true)"
+  if [ "$DEADLINE_DEGRADED" -eq 0 ]; then
+    echo "overload smoke stage FAILED: the 1us deadline never degraded" >&2
+    exit 1
+  fi
+  echo "overload smoke stage passed ($OVERLOAD_DEGRADED recorded + $DEADLINE_DEGRADED deadline degradations, zero errors)"
 fi
 
 # TSan stage: only the threaded suites, benches/examples skipped for speed.
@@ -87,9 +132,10 @@ cmake -B "$TSAN_DIR" -S . -DTREESAT_WERROR=ON -DTREESAT_TSAN=ON \
   -DTREESAT_BUILD_BENCHES=OFF -DTREESAT_BUILD_EXAMPLES=OFF
 cmake --build "$TSAN_DIR" -j "$JOBS" \
   --target worklist_test batch_executor_test determinism_test plan_test \
-           service_test service_determinism_test snapshot_test telemetry_test
+           service_test service_determinism_test service_fault_test snapshot_test \
+           telemetry_test
 (cd "$TSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
-  -R 'worklist_test|batch_executor_test|determinism_test|plan_test|service_test|service_determinism_test|snapshot_test|telemetry_test')
+  -R 'worklist_test|batch_executor_test|determinism_test|plan_test|service_test|service_determinism_test|service_fault_test|snapshot_test|telemetry_test')
 
 # UBSan stage: the suites that exercise the Minkowski merge kernels and the
 # scheduler's lock-free deques -- pointer-offset arithmetic in the SIMD
@@ -121,6 +167,7 @@ if [ -n "${TREESAT_BENCH:-}" ]; then
     --json "$BENCH_JSON_DIR/BENCH_service_throughput.json"
   "$BUILD_DIR/bench_snapshot_restore" \
     --json "$BENCH_JSON_DIR/BENCH_snapshot_restore.json"
+  "$BUILD_DIR/bench_overload" --json "$BENCH_JSON_DIR/BENCH_overload.json"
   # Gate the arena-vs-reference ratio only: the *_threads4 rows in the
   # baseline are thread-scaling ratios, which are honest trajectory data
   # but coin-flip noise on a 1-core CI host (the bench itself skips its
@@ -152,6 +199,19 @@ if [ -n "${TREESAT_BENCH:-}" ]; then
     "$BENCH_JSON_DIR/BENCH_snapshot_restore.json" --keys identity_ratio --tolerance 0.01
   "$BUILD_DIR/bench_diff" bench/baselines/BENCH_snapshot_restore.json \
     "$BENCH_JSON_DIR/BENCH_snapshot_restore.json" --keys rewarm_speedup --tolerance 0.25
+  # Overload: every gated scalar is deterministic (goodput under the
+  # degrade fallback, the fault-wall objective match, shard identity of the
+  # forced-degrade replay, and the recorded degrade share of the trace), so
+  # the tolerances are tight. Wall-clock numbers (how many requests the
+  # bare deadline rejects) are archived in the rows but not gated.
+  "$BUILD_DIR/bench_diff" bench/baselines/BENCH_overload.json \
+    "$BENCH_JSON_DIR/BENCH_overload.json" --keys goodput_ratio --tolerance 0.01
+  "$BUILD_DIR/bench_diff" bench/baselines/BENCH_overload.json \
+    "$BENCH_JSON_DIR/BENCH_overload.json" --keys match_ratio --tolerance 0.01
+  "$BUILD_DIR/bench_diff" bench/baselines/BENCH_overload.json \
+    "$BENCH_JSON_DIR/BENCH_overload.json" --keys identity_ratio --tolerance 0.01
+  "$BUILD_DIR/bench_diff" bench/baselines/BENCH_overload.json \
+    "$BENCH_JSON_DIR/BENCH_overload.json" --keys degradation_ratio --tolerance 0.01
   echo "bench smoke stage passed; JSON archived in $BENCH_JSON_DIR"
 fi
 

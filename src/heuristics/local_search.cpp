@@ -126,8 +126,10 @@ LocalSearchResult local_search_solve(const Colouring& colouring,
   std::size_t restarts = 0;
 
   for (std::size_t r = 0; r < options.restarts; ++r) {
-    const Assignment start = r == 0 ? Assignment::topmost(colouring)
-                                    : random_assignment(colouring, rng);
+    const Assignment start = r != 0             ? random_assignment(colouring, rng)
+                             : options.warm_cut.empty()
+                                 ? Assignment::topmost(colouring)
+                                 : Assignment(colouring, options.warm_cut);
     total_moves += climb(colouring, start, options.objective, options.max_moves, incumbent);
     ++restarts;
   }
@@ -137,12 +139,14 @@ LocalSearchResult local_search_solve(const Colouring& colouring,
                            total_moves, restarts};
 }
 
-LocalSearchResult greedy_solve(const Colouring& colouring, const SsbObjective& objective) {
+LocalSearchResult greedy_solve(const Colouring& colouring, const SsbObjective& objective,
+                               const std::vector<CruId>& warm_cut) {
   TS_REQUIRE(objective.valid(), "greedy_solve: bad objective");
   Incumbent incumbent;
-  const std::size_t moves =
-      climb(colouring, Assignment::topmost(colouring), objective,
-            /*max_moves=*/colouring.tree().size() * 4, incumbent);
+  const Assignment start = warm_cut.empty() ? Assignment::topmost(colouring)
+                                            : Assignment(colouring, warm_cut);
+  const std::size_t moves = climb(colouring, start, objective,
+                                  /*max_moves=*/colouring.tree().size() * 4, incumbent);
   TS_CHECK(incumbent.assignment.has_value(), "greedy_solve: no assignment produced");
   return LocalSearchResult{std::move(*incumbent.assignment), incumbent.delay, incumbent.value,
                            moves, 1};

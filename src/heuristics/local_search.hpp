@@ -26,6 +26,11 @@ struct LocalSearchOptions {
   std::size_t restarts = 8;       ///< random restarts (first start is `topmost`)
   std::size_t max_moves = 10000;  ///< per restart
   std::uint64_t seed = 1;
+  /// Warm start: when non-empty, the first restart climbs from this cut
+  /// instead of `topmost`. Must be a valid cut of the colouring (the
+  /// Assignment constructor validates; the serving tier's degraded path
+  /// maps and pre-validates cached optima before passing them down).
+  std::vector<CruId> warm_cut;
 };
 
 struct LocalSearchResult {
@@ -40,11 +45,14 @@ struct LocalSearchResult {
                                                    const LocalSearchOptions& options = {});
 
 /// Greedy bottleneck descent: start from the topmost cut (minimum host time)
-/// and repeatedly apply the single move that most improves the objective,
-/// stopping at the first local optimum. Deterministic.
+/// -- or from `warm_cut` when non-empty (same validity contract as
+/// LocalSearchOptions::warm_cut) -- and repeatedly apply the single move
+/// that most improves the objective, stopping at the first local optimum.
+/// Deterministic.
 [[nodiscard]] LocalSearchResult greedy_solve(const Colouring& colouring,
                                              const SsbObjective& objective =
-                                                 SsbObjective::end_to_end());
+                                                 SsbObjective::end_to_end(),
+                                             const std::vector<CruId>& warm_cut = {});
 
 /// A uniformly random valid assignment (used for restarts and GA seeding):
 /// descends each region from its root, cutting at every node with

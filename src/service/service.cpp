@@ -14,6 +14,7 @@
 #include "common/format.hpp"
 #include "core/registry.hpp"
 #include "core/solver.hpp"
+#include "heuristics/local_search.hpp"
 #include "io/json.hpp"
 #include "service/protocol.hpp"
 #include "storage/checkpoint.hpp"
@@ -75,7 +76,25 @@ std::size_t config_bytes(std::string_view key, std::string_view value) {
   return static_cast<std::size_t>(count) * multiplier;
 }
 
+DegradeMode config_degrade_mode(std::string_view value) {
+  if (value == "off") return DegradeMode::kOff;
+  if (value == "greedy") return DegradeMode::kGreedy;
+  if (value == "local-search" || value == "local_search") return DegradeMode::kLocalSearch;
+  throw InvalidArgument("parse_service_config: key 'degrade' must be off, greedy or "
+                        "local-search, got '" +
+                        std::string(value) + "'");
+}
+
 }  // namespace
+
+const char* degrade_mode_name(DegradeMode mode) {
+  switch (mode) {
+    case DegradeMode::kOff: return "off";
+    case DegradeMode::kGreedy: return "greedy";
+    case DegradeMode::kLocalSearch: return "local-search";
+  }
+  throw LogicError("degrade_mode_name: bad mode");
+}
 
 ServiceOptions parse_service_config(std::string_view spec) {
   ServiceOptions options;
@@ -144,10 +163,17 @@ ServiceOptions parse_service_config(std::string_view spec) {
       // multi-key plan specs are per-request territory.
       static_cast<void>(parse_plan(value));
       options.plan = std::string(value);
+    } else if (key == "degrade") {
+      options.degrade = config_degrade_mode(value);
+    } else if (key == "fault") {
+      // Comma-free sub-spec (';'/':'-separated, storage/faults.hpp) so a
+      // full fault plan nests inside this comma-split grammar.
+      options.faults = parse_fault_plan(std::string(value));
     } else {
       throw InvalidArgument("parse_service_config: unknown key '" + std::string(key) +
                             "' (accepted: shards,mem_budget,spill_dir,spill_budget,"
-                            "deadline_ms,fail_fast,predict_straggler,timing,plan)");
+                            "deadline_ms,fail_fast,predict_straggler,timing,plan,"
+                            "degrade,fault)");
     }
   }
   if (options.spill_budget != 0 && options.spill_dir.empty()) {
@@ -169,6 +195,12 @@ std::string service_config_spec(const ServiceOptions& options) {
   if (!options.executor.fail_fast) spec += ",fail_fast=false";
   if (options.predict_straggler) spec += ",predict_straggler=true";
   if (options.timing_in_stats) spec += ",timing=true";
+  if (options.degrade != DegradeMode::kOff) {
+    spec += ",degrade=";
+    spec += degrade_mode_name(options.degrade);
+  }
+  const std::string faults = fault_plan_spec(options.faults);
+  if (!faults.empty()) spec += ",fault=" + faults;
   spec += ",plan=" + options.plan;
   return spec;
 }
@@ -184,7 +216,11 @@ SolverService::SolverService(ServiceOptions options)
     : options_(std::move(options)),
       default_plan_(parse_plan(options_.plan)),
       store_(options_.shards, options_.mem_budget, options_.spill_dir,
-             options_.spill_budget) {}
+             options_.spill_budget) {
+  // The store's copy is the live plan: its trial counters advance with the
+  // request stream. options_.faults stays the pristine configured schedule.
+  store_.set_fault_plan(options_.faults);
+}
 
 namespace {
 
@@ -234,15 +270,82 @@ Perturbation parse_perturbation(const RequestObject& req, const CruTree& tree) {
 }
 
 /// The cut as a JSON array of node names (stable identifiers, unlike ids).
-std::string cut_to_json(const SolveReport& report, const CruTree& tree) {
+std::string cut_to_json(const std::vector<CruId>& cut, const CruTree& tree) {
   std::string out = "[";
-  const std::vector<CruId>& cut = report.assignment.cut_nodes();
   for (std::size_t i = 0; i < cut.size(); ++i) {
     if (i) out += ',';
     out += '"' + json_escape(tree.node(cut[i]).name) + '"';
   }
   out += ']';
   return out;
+}
+
+/// Remaps a cut from one tree into another by node *name* (names survive
+/// perturbations, ids do not); nodes the perturbation removed are dropped.
+std::vector<CruId> map_cut_by_name(const std::vector<CruId>& cut, const CruTree& from,
+                                   const CruTree& to) {
+  std::vector<CruId> out;
+  out.reserve(cut.size());
+  for (const CruId v : cut) {
+    try {
+      out.push_back(to.by_name(from.node(v).name));
+    } catch (const InvalidArgument&) {
+      // gone from the target tree
+    }
+  }
+  return out;
+}
+
+/// The degraded answer: the cheap heuristic over `colouring`, warm-started
+/// from `warm_candidate` when it survives as a valid cut (a stale cached
+/// optimum that does not -- e.g. coverage changed under a satellite loss --
+/// silently falls back to the topmost start; leniency lives here, the
+/// heuristics stay strict).
+LocalSearchResult degraded_result(DegradeMode mode, const Colouring& colouring,
+                                  const SsbObjective& objective,
+                                  std::vector<CruId> warm_candidate, bool* warm_started) {
+  if (!warm_candidate.empty()) {
+    try {
+      static_cast<void>(Assignment(colouring, warm_candidate));
+    } catch (const InvalidArgument&) {
+      warm_candidate.clear();
+    }
+  }
+  *warm_started = !warm_candidate.empty();
+  if (mode == DegradeMode::kLocalSearch) {
+    LocalSearchOptions o;
+    o.objective = objective;
+    // Cheap by design: a degraded answer is about responding fast under
+    // pressure, not about closing the gap to the exact optimum.
+    o.restarts = 2;
+    o.max_moves = colouring.tree().size() * 4;
+    o.warm_cut = std::move(warm_candidate);
+    return local_search_solve(colouring, o);
+  }
+  return greedy_solve(colouring, objective, warm_candidate);
+}
+
+/// Response tail of a degraded solve/perturb: the heuristic's answer plus
+/// its provenance ("path":"degraded", the fallback method, whether the
+/// cached optimum seeded the climb). Mirrors add_solution_fields' field
+/// set minus the session-only region stats. No wall-clock here either.
+/// The SolveMethod a degrade fallback reports (and counts) as.
+SolveMethod degrade_method(DegradeMode mode) {
+  return mode == DegradeMode::kLocalSearch ? SolveMethod::kLocalSearch
+                                           : SolveMethod::kGreedy;
+}
+
+void add_degraded_fields(JsonLineWriter& w, SolveMethod method, const LocalSearchResult& res,
+                         const CruTree& tree, bool warm_started) {
+  w.field_str("path", "degraded");
+  w.field_bool("degraded", true);
+  w.field_str("fallback", method_name(method));
+  w.field_bool("warm_start", warm_started);
+  w.field_bool("exact", false);
+  w.field_num("objective", res.objective_value);
+  w.field_num("host_time", res.delay.host_time);
+  w.field_num("bottleneck", res.delay.bottleneck);
+  w.field_raw("cut", cut_to_json(res.assignment.cut_nodes(), tree));
 }
 
 /// The shared tail of solve/perturb responses: the optimum and the
@@ -257,7 +360,7 @@ void add_solution_fields(JsonLineWriter& w, const SessionEntry& entry, const cha
   w.field_num("objective", report.objective_value);
   w.field_num("host_time", report.delay.host_time);
   w.field_num("bottleneck", report.delay.bottleneck);
-  w.field_raw("cut", cut_to_json(report, entry.session->tree()));
+  w.field_raw("cut", cut_to_json(report.assignment.cut_nodes(), entry.session->tree()));
   w.field_uint("regions_total", stats.regions_total);
   w.field_uint("regions_reused", stats.regions_reused);
   w.field_uint("regions_recomputed", stats.regions_recomputed);
@@ -298,6 +401,8 @@ const ServiceTelemetry& SolverService::telemetry() {
   telemetry_.spills = store_.spills();
   telemetry_.spill_reloads = store_.spill_reloads();
   telemetry_.spill_drops = store_.spill_drops();
+  telemetry_.spill_faults = store_.spill_faults();
+  telemetry_.restore_faults = store_.restore_faults();
   return telemetry_;
 }
 
@@ -306,9 +411,15 @@ void SolverService::checkpoint_to(const std::string& dir) {
 }
 
 void SolverService::restore_from(const std::string& dir) {
+  // The live fault plan travels across the restore: its trial counters keep
+  // advancing where they were (a restored replay injects the same schedule
+  // a non-restored one would), and kRestoreRead fires per manifest row.
+  FaultPlan faults = store_.fault_plan();
   RestoredService restored = read_checkpoint(dir, options_.shards, options_.mem_budget,
-                                             options_.spill_dir, options_.spill_budget);
+                                             options_.spill_dir, options_.spill_budget,
+                                             &faults);
   store_ = std::move(restored.store);
+  store_.set_fault_plan(std::move(faults));
   telemetry_ = std::move(restored.telemetry);
   // Ids never move backwards: a mid-stream restore keeps the live stream's
   // numbering when it is already ahead of the checkpoint's.
@@ -349,24 +460,46 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
         limit = limit > 0.0 ? std::min(limit, request_limit) : request_limit;
       }
     }
-    if (limit > 0.0 && since_start_.seconds() >= limit) {
-      throw ResourceLimit("deadline: request " + std::to_string(id) +
-                          " arrived after its admission budget expired; not started");
+    // SLA decisions, solver work only (submit/stats/evict/checkpoint/
+    // restore are cheap bookkeeping and always admitted -- service.hpp).
+    // The recorded form first: "degrade":true in the request forces the
+    // degraded path unconditionally, which is how a wall-clock degradation,
+    // once observed, replays byte-identically (the decision travels in the
+    // trace, not in the clock). Then the wall-clock forms: budget expired,
+    // or (opt-in) the tenant's recent p90 predicts an overrun -- each
+    // degrades when a fallback is configured and rejects when degrade=off.
+    const bool solver_op = op == "solve" || op == "perturb";
+    bool degrade_now = solver_op && req.bool_or("degrade", false);
+    if (solver_op && !degrade_now && limit > 0.0 && since_start_.seconds() >= limit) {
+      if (options_.degrade == DegradeMode::kOff) {
+        if (tt != nullptr) ++tt->rejected;
+        throw ResourceLimit("deadline: request " + std::to_string(id) +
+                            " arrived after its admission budget expired; not started");
+      }
+      degrade_now = true;
     }
     // Straggler-aware admission (opt-in): a request predicted -- from the
-    // tenant's recent p90 -- to finish past the budget is refused while
-    // the budget is still open, so a known-slow solve cannot blow the
-    // deadline for everything queued behind it. Solve/perturb only: those
-    // are the ops the latency track measures.
-    if (limit > 0.0 && options_.predict_straggler && tt != nullptr &&
-        (op == "solve" || op == "perturb")) {
+    // tenant's recent p90 -- to finish past the budget is degraded or
+    // refused while the budget is still open, so a known-slow solve cannot
+    // blow the deadline for everything queued behind it.
+    if (solver_op && !degrade_now && limit > 0.0 && options_.predict_straggler &&
+        tt != nullptr) {
       const double estimate = tt->latency.quantile(0.90);
       if (predicted_overrun(since_start_.seconds(), limit, estimate)) {
-        throw ResourceLimit("deadline: request " + std::to_string(id) +
-                            " predicted to overrun its admission budget (recent p90 " +
-                            shortest_round_trip(estimate * 1e3) + " ms); not started");
+        if (options_.degrade == DegradeMode::kOff) {
+          ++tt->rejected;
+          throw ResourceLimit("deadline: request " + std::to_string(id) +
+                              " predicted to overrun its admission budget (recent p90 " +
+                              shortest_round_trip(estimate * 1e3) + " ms); not started");
+        }
+        degrade_now = true;
       }
     }
+    // The fallback a degraded request runs: the configured mode, or greedy
+    // when a "degrade":true request arrives with degradation unconfigured
+    // (the recorded decision must still be honored).
+    const DegradeMode fallback_mode =
+        options_.degrade == DegradeMode::kOff ? DegradeMode::kGreedy : options_.degrade;
 
     JsonLineWriter w;
     w.field_uint("id", id).field_str("op", op).field_bool("ok", true);
@@ -418,6 +551,42 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
                               "' (submit it first)");
       }
       if (reloaded) ++tt->spill_reloads;
+
+      if (degrade_now) {
+        // Degraded solve: the cheap heuristic over the current tree,
+        // warm-started from the session's cached optimum. The warm session
+        // itself is deliberately untouched -- the expensive state stays
+        // resident for when the pressure lifts, and the next full solve is
+        // still a warm hit.
+        const Colouring colouring(entry->current_tree());
+        const SsbObjective objective = entry->session != nullptr
+                                           ? entry->session->plan().objective()
+                                           : plan.objective();
+        std::vector<CruId> warm;
+        if (entry->session != nullptr) {
+          warm = entry->session->current().assignment.cut_nodes();
+        }
+        bool warm_started = false;
+        const LocalSearchResult res = degraded_result(fallback_mode, colouring, objective,
+                                                      std::move(warm), &warm_started);
+        ++tt->degraded;
+        const SolveMethod method = degrade_method(fallback_mode);
+        ++tt->method_counts[static_cast<std::size_t>(method)];
+        store_.refresh_bytes(*entry);
+        std::size_t lru_evicted = 0;
+        for (const EvictedEntry& e : store_.enforce_budget(entry)) {
+          TenantTelemetry& victim = telemetry_.slot(e.tenant);
+          ++victim.lru_evictions;
+          if (e.spilled) ++victim.spills;
+          ++lru_evicted;
+        }
+        w.field_str("tenant", tenant).field_str("instance", instance);
+        add_degraded_fields(w, method, res, entry->current_tree(), warm_started);
+        w.field_uint("bytes", entry->bytes);
+        w.field_uint("lru_evicted", lru_evicted);
+        if (tt != nullptr) tt->latency.record(watch.seconds());
+        return {w.finish(), true};
+      }
 
       const char* path = "cached";
       ResolveStats stats;
@@ -479,7 +648,36 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
       const Perturbation p = parse_perturbation(req, entry->current_tree());
       w.field_str("tenant", tenant).field_str("instance", instance);
       w.field_str("kind", p.kind_name());
-      if (entry->session != nullptr) {
+      if (degrade_now) {
+        // Degraded perturb: the perturbation still applies (dropping it
+        // would fork the instance's evolution from what the trace says
+        // happened), the answer comes from the cheap heuristic, and the
+        // entry demotes to tree-only -- the cheap path builds no warm
+        // state, and the old session's caches describe the
+        // pre-perturbation instance. The next full solve is an "initial"
+        // rebuild.
+        CruTree evolved = apply_perturbation(entry->current_tree(), p);
+        const Colouring colouring(evolved);
+        const SsbObjective objective = entry->session != nullptr
+                                           ? entry->session->plan().objective()
+                                           : default_plan_.objective();
+        std::vector<CruId> warm;
+        if (entry->session != nullptr) {
+          warm = map_cut_by_name(entry->session->current().assignment.cut_nodes(),
+                                 entry->session->tree(), evolved);
+        }
+        bool warm_started = false;
+        const LocalSearchResult res = degraded_result(fallback_mode, colouring, objective,
+                                                      std::move(warm), &warm_started);
+        ++tt->degraded;
+        const SolveMethod method = degrade_method(fallback_mode);
+        ++tt->method_counts[static_cast<std::size_t>(method)];
+        w.field_bool("solved", true);
+        add_degraded_fields(w, method, res, evolved, warm_started);
+        entry->session.reset();
+        entry->plan_spec.clear();
+        entry->tree = std::make_unique<CruTree>(std::move(evolved));
+      } else if (entry->session != nullptr) {
         entry->session->resolve(p);
         const ResolveStats& stats = entry->session->last_stats();
         const bool warm = stats.path == ResolvePath::kWarm;
@@ -527,6 +725,8 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
         scoped.spills = full.spills;
         scoped.spill_reloads = full.spill_reloads;
         scoped.spill_drops = full.spill_drops;
+        scoped.spill_faults = full.spill_faults;
+        scoped.restore_faults = full.restore_faults;
         scoped.requests = full.requests;
         scoped.errors = full.errors;
         const auto it = full.tenants.find(tenant);

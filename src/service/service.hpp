@@ -43,6 +43,21 @@
 // Every response carries {"id":N,"op":...,"ok":true|false}; errors report
 // {"ok":false,"error":"..."} and never tear the service down.
 //
+// SLA-aware degradation. With `degrade=` configured (greedy or
+// local-search), admission pressure stops meaning rejection: a solve or
+// perturb whose budget has expired (or whose tenant p90 predicts an
+// overrun, see predict_straggler) is answered by the cheap heuristic
+// instead -- warm-started from the session's cached optimum when one
+// survives -- and the response carries "degraded":true, "path":"degraded"
+// and "fallback":"greedy"|"local-search" in place of the exact solver's
+// provenance. A request can also *record* the decision itself with
+// "degrade":true, which forces the degraded path unconditionally: that is
+// what keeps degradation inside the byte-identity contract (the decision
+// travels in the trace, not in the wall clock). A degraded solve leaves
+// the warm session untouched; a degraded perturb applies the perturbation
+// and demotes the entry to tree-only (the cheap answer builds no warm
+// state), so the next full solve is an "initial" rebuild.
+//
 // Determinism contract. For a fixed request stream the response stream is
 // byte-identical at any shard count and any solver thread count
 // (dp_threads included), extending the executor/DP guarantees of PRs 2-4
@@ -56,13 +71,18 @@
 //
 // Admission control reuses ExecutorOptions: deadline_seconds is the serve
 // budget measured from construction and checked before each request is
-// started (a running solve is never interrupted; late requests fail fast
-// with an error response), a per-request "deadline_ms" tightens it for
-// that request, and fail_fast stops the stream at the first error
-// response, mirroring the batch executor's contract.
+// started (a running solve is never interrupted; late requests degrade or
+// fail fast with an error response), a per-request "deadline_ms" tightens
+// it for that request, and fail_fast stops the stream at the first error
+// response, mirroring the batch executor's contract. The budget guards
+// *solver work*: only solve and perturb are ever rejected or degraded by
+// it -- submit, stats, evict, checkpoint and restore are cheap bookkeeping
+// and always admitted (shedding them would lose goodput without saving
+// any meaningful compute).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -74,9 +94,20 @@
 
 namespace treesat {
 
+/// What the service does with a solve/perturb the admission budget would
+/// reject (config key degrade=).
+enum class DegradeMode : std::uint8_t {
+  kOff,          ///< reject with an error response (the pre-degradation behavior)
+  kGreedy,       ///< answer with greedy_solve (heuristics/local_search.hpp)
+  kLocalSearch,  ///< answer with a short local_search_solve
+};
+
+/// Config-key spelling of a mode: "off", "greedy", "local-search".
+[[nodiscard]] const char* degrade_mode_name(DegradeMode mode);
+
 /// Service configuration. The string form (parse_service_config, CLI flag
 /// --config) spells them shards= / mem_budget= / deadline_ms= / fail_fast=
-/// / plan= / timing=.
+/// / plan= / timing= / degrade= / fault=.
 struct ServiceOptions {
   /// Store shards (>= 1). Observable behavior is shard-count-invariant;
   /// the knob sizes the lock partition a concurrent frontend would use.
@@ -110,6 +141,17 @@ struct ServiceOptions {
   /// when the request asks with "timing":true). Off by default: timing is
   /// wall-clock and would break byte-identical trace replay.
   bool timing_in_stats = false;
+  /// SLA-aware degradation (config key degrade=off|greedy|local-search):
+  /// what happens to a solve/perturb the admission budget would reject.
+  /// Off keeps the historical reject-with-error behavior. A request
+  /// carrying "degrade":true takes the degraded path regardless of this
+  /// mode (falling back to greedy when the mode is off) -- the recorded
+  /// form replays deterministically.
+  DegradeMode degrade = DegradeMode::kOff;
+  /// Deterministic storage fault injection for the warm tiers (config key
+  /// fault=, sub-spec grammar in storage/faults.hpp, e.g.
+  /// fault=seed:7;spill_read:0.5). Disarmed by default.
+  FaultPlan faults;
 };
 
 /// Parses "key=value[,key=value...]" into ServiceOptions. Accepted keys:
@@ -118,7 +160,8 @@ struct ServiceOptions {
 /// (bytes with k/m/g, 0 = unlimited; requires spill_dir), deadline_ms
 /// (finite, >= 0), fail_fast (bool), predict_straggler (bool), timing
 /// (bool), plan (a registry spec; comma-free -- per-request plans carry
-/// the full grammar).
+/// the full grammar), degrade (off|greedy|local-search), fault (a
+/// storage/faults.hpp sub-spec, ';'/':'-separated so it nests comma-free).
 /// Throws InvalidArgument naming the offending token on anything malformed,
 /// with the same diagnostics style as parse_plan
 /// (tests/parse_plan_fuzz_test.cpp covers the error table).

@@ -25,6 +25,16 @@ std::uint64_t key_hash(const std::string& key) {
   return h;
 }
 
+/// Renames a damaged spill file to `<path>.bad` so post-mortems can see
+/// what the fault wall absorbed; falls back to plain removal (the file must
+/// leave the live name either way -- a fresh spill of the same owner must
+/// not collide with the corpse).
+void quarantine_spill_file(const std::string& path) {
+  const std::string bad = path + ".bad";
+  std::remove(bad.c_str());
+  if (std::rename(path.c_str(), bad.c_str()) != 0) std::remove(path.c_str());
+}
+
 }  // namespace
 
 std::string session_plan_key(SolvePlan plan) {
@@ -116,19 +126,57 @@ SessionEntry* SessionStore::find(const std::string& tenant, const std::string& i
   // (a misplaced file must not impersonate another tenant's instance),
   // rebuild the entry and consume the spill copy.
   const std::string path = spill_path(tenant, instance);
-  const SessionState state = read_snapshot_file(path);
-  TS_REQUIRE(state.tenant == tenant && state.instance == instance,
-             "SessionStore: spill file " << path << " belongs to '" << state.tenant << '/'
-                                         << state.instance << "', not '" << tenant << '/'
-                                         << instance << "'");
-  SessionEntry entry = session_entry_from_state(state);
+  SessionEntry entry;
+  bool warm = false;
+  if (spilled->second.bytes != 0) {  // a tombstone never had a file
+    try {
+      if (faults_.fires(FaultPoint::kSpillRead)) {
+        throw ResourceLimit("fault injection: spill read of '" + path + "' failed");
+      }
+      std::string bytes = read_file_bytes(path);
+      if (faults_.fires(FaultPoint::kSpillTruncate)) bytes = fault_truncate(std::move(bytes));
+      if (faults_.fires(FaultPoint::kSpillHashFlip)) bytes = fault_flip_byte(std::move(bytes));
+      const SessionState state = decode_snapshot(bytes);
+      TS_REQUIRE(state.tenant == tenant && state.instance == instance,
+                 "SessionStore: spill file " << path << " belongs to '" << state.tenant << '/'
+                                             << state.instance << "', not '" << tenant << '/'
+                                             << instance << "'");
+      entry = session_entry_from_state(state);
+      warm = true;
+    } catch (const std::exception&) {
+      // Corrupt, truncated, unreadable or misowned snapshot: one bad byte
+      // on disk must not fail this instance's requests forever. Quarantine
+      // the file for post-mortem, write off the warm state, and fall back
+      // to the tree text retained in the record.
+      ++spill_faults_;
+      quarantine_spill_file(path);
+    }
+  }
+  if (!warm) {
+    if (spilled->second.tree_text.empty()) {
+      // No fallback (records registered by checkpoint restore carry no
+      // tree text): the reload failure surfaces as a plain miss and the
+      // client resubmits.
+      spill_bytes_ -= spilled->second.bytes;
+      spill_records_.erase(spilled);
+      return nullptr;
+    }
+    entry.tenant = tenant;
+    entry.instance = instance;
+    entry.tree = std::make_unique<CruTree>(tree_from_text(spilled->second.tree_text));
+    entry.bytes = estimate_bytes(*entry.tree, nullptr);
+  }
   entry.stamp = ++clock_;
   bytes_used_ += entry.bytes;
   spill_bytes_ -= spilled->second.bytes;
   spill_records_.erase(spilled);
-  std::remove(path.c_str());
-  ++spill_reloads_;
-  if (reloaded != nullptr) *reloaded = true;
+  if (warm) {
+    std::remove(path.c_str());
+    // Only a snapshot that actually came back warm counts as a reload;
+    // the fault paths above surface as cold/initial solves in the stats.
+    ++spill_reloads_;
+    if (reloaded != nullptr) *reloaded = true;
+  }
   return &shard.entries.emplace(key, std::move(entry)).first->second;
 }
 
@@ -199,17 +247,40 @@ void SessionStore::refresh_bytes(SessionEntry& entry) {
 void SessionStore::spill_entry(const SessionEntry& entry) {
   const SessionState state = session_entry_state(entry);
   const std::string path = spill_path(entry.tenant, entry.instance);
-  write_snapshot_file(path, state);
-  // Charge the exact snapshot size. encode_snapshot is deterministic for a
-  // given resolve history (wall-clock zeroed, caches sorted), so the
-  // spill-tier gauges replay byte-identically at any shard count.
-  const std::size_t file_bytes = encode_snapshot(state).size();
+  if (faults_.fires(FaultPoint::kSpillDirVanish)) {
+    // The spill directory disappears out from under the tier (operator
+    // error, an over-eager tmp cleaner). Every previously spilled file is
+    // gone -- their reloads recover via the retained tree text -- and the
+    // tier recreates the directory and carries on.
+    std::error_code ec;
+    std::filesystem::remove_all(spill_dir_, ec);
+    ++spill_faults_;
+  }
   SpillRecord record;
   record.tenant = entry.tenant;
   record.instance = entry.instance;
-  record.bytes = file_bytes;
   record.stamp = entry.stamp;
-  spill_bytes_ += file_bytes;
+  record.tree_text = state.tree_text;
+  try {
+    if (faults_.fires(FaultPoint::kSpillWrite)) {
+      throw ResourceLimit("fault injection: spill write of '" + path + "' failed");
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(spill_dir_, ec);  // heal a vanished dir
+    write_snapshot_file(path, state);
+    // Charge the exact snapshot size. encode_snapshot is deterministic for
+    // a given resolve history (wall-clock zeroed, caches sorted), so the
+    // spill-tier gauges replay byte-identically at any shard count.
+    record.bytes = encode_snapshot(state).size();
+  } catch (const std::exception&) {
+    // A failed spill write must not fail the eviction that triggered it:
+    // the warm state is lost (the next request re-solves cold from the
+    // tree text above) but the instance stays servable. The record becomes
+    // a fileless tombstone.
+    ++spill_faults_;
+    record.bytes = 0;
+  }
+  spill_bytes_ += record.bytes;
   spill_records_[key_of(entry.tenant, entry.instance)] = std::move(record);
   ++spills_;
 }
@@ -315,11 +386,14 @@ std::size_t SessionStore::sessions() const {
 }
 
 void SessionStore::restore_counters(std::size_t lru_evictions, std::size_t spills,
-                                    std::size_t spill_reloads, std::size_t spill_drops) {
+                                    std::size_t spill_reloads, std::size_t spill_drops,
+                                    std::size_t spill_faults, std::size_t restore_faults) {
   lru_evictions_ = lru_evictions;
   spills_ = spills;
   spill_reloads_ = spill_reloads;
   spill_drops_ = spill_drops;
+  spill_faults_ = spill_faults;
+  restore_faults_ = restore_faults;
 }
 
 SessionEntry& SessionStore::restore_entry(SessionEntry entry, std::uint64_t stamp) {

@@ -29,6 +29,17 @@
 // spill-tier gauges and reload outcomes replay identically at shards=1 and
 // shards=8 -- the half of the service's byte-identity contract that the
 // store owns (tests/service_determinism_test.cpp asserts it end to end).
+//
+// Fault wall. The spill tier survives its own storage: a corrupt,
+// truncated, misowned or unreadable snapshot on reload is quarantined
+// (renamed to `<file>.bad` for post-mortem) and the entry is rebuilt
+// cold from the tree text every spill record retains, so one bad byte on
+// disk degrades a request to a cold re-solve instead of failing it. A
+// failed spill *write* leaves a fileless tombstone record with the same
+// retained tree text. Both paths count into `spill_faults`; none of them
+// throw. A FaultPlan (storage/faults.hpp) injects exactly these failures
+// deterministically -- tests/service_fault_test.cpp drives every point
+// through this contract.
 #pragma once
 
 #include <cstddef>
@@ -41,6 +52,7 @@
 
 #include "core/incremental.hpp"
 #include "core/plan.hpp"
+#include "storage/faults.hpp"
 
 namespace treesat {
 
@@ -75,8 +87,13 @@ struct EvictedEntry {
 struct SpillRecord {
   std::string tenant;
   std::string instance;
-  std::size_t bytes = 0;    ///< snapshot file size
+  std::size_t bytes = 0;    ///< snapshot file size (0: fileless tombstone)
   std::uint64_t stamp = 0;  ///< stamp at spill time
+  /// v1 text of the tree at spill time -- the fault wall's cold-recovery
+  /// fallback when the snapshot file is lost or corrupt. Not charged to
+  /// either byte gauge (it is bookkeeping, not warm state). Empty for
+  /// records registered by checkpoint restore, whose fallback is a miss.
+  std::string tree_text;
 };
 
 /// What an explicit evict did with the entry.
@@ -171,13 +188,28 @@ class SessionStore {
   [[nodiscard]] std::size_t spill_reloads() const { return spill_reloads_; }
   [[nodiscard]] std::size_t spill_drops() const { return spill_drops_; }
 
+  // --- fault wall ---
+  /// Arms the injection plan (storage/faults.hpp). The store owns the live
+  /// copy: its trial counters advance with the request stream, so a
+  /// replayed trace injects the same faults at any shard count.
+  void set_fault_plan(FaultPlan plan) { faults_ = std::move(plan); }
+  [[nodiscard]] const FaultPlan& fault_plan() const { return faults_; }
+  /// Spill-tier faults survived (injected or real): failed writes, and
+  /// corrupt/unreadable snapshots recovered cold on reload.
+  [[nodiscard]] std::size_t spill_faults() const { return spill_faults_; }
+  /// Checkpoint snapshots skipped during restore (storage/checkpoint.cpp
+  /// counts them via count_restore_faults).
+  [[nodiscard]] std::size_t restore_faults() const { return restore_faults_; }
+  void count_restore_faults(std::size_t n) { restore_faults_ += n; }
+
   // --- checkpoint/restore seams (storage/checkpoint.cpp) ---
   /// The global LRU clock, so a restored store keeps aging exactly where
   /// the checkpointed one stopped.
   [[nodiscard]] std::uint64_t clock() const { return clock_; }
   void restore_clock(std::uint64_t clock) { clock_ = clock; }
   void restore_counters(std::size_t lru_evictions, std::size_t spills,
-                        std::size_t spill_reloads, std::size_t spill_drops);
+                        std::size_t spill_reloads, std::size_t spill_drops,
+                        std::size_t spill_faults, std::size_t restore_faults);
   /// Inserts a rebuilt entry with an explicit stamp (no clock touch). The
   /// key must be vacant in both tiers.
   SessionEntry& restore_entry(SessionEntry entry, std::uint64_t stamp);
@@ -225,6 +257,9 @@ class SessionStore {
   std::size_t spills_ = 0;
   std::size_t spill_reloads_ = 0;
   std::size_t spill_drops_ = 0;
+  std::size_t spill_faults_ = 0;
+  std::size_t restore_faults_ = 0;
+  FaultPlan faults_;
 };
 
 }  // namespace treesat

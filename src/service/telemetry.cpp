@@ -23,7 +23,9 @@ void tenant_telemetry_json(std::ostringstream& os, const TenantTelemetry& t,
      << ",\"warm_hit_ratio\":" << number(t.warm_hit_ratio())
      << ",\"lru_evictions\":" << t.lru_evictions
      << ",\"explicit_evictions\":" << t.explicit_evictions << ",\"spills\":" << t.spills
-     << ",\"spill_reloads\":" << t.spill_reloads << ",\"method_counts\":{";
+     << ",\"spill_reloads\":" << t.spill_reloads << ",\"degraded\":" << t.degraded
+     << ",\"rejected\":" << t.rejected
+     << ",\"goodput_ratio\":" << number(t.goodput_ratio()) << ",\"method_counts\":{";
   bool first = true;
   for (std::size_t m = 0; m < t.method_counts.size(); ++m) {
     if (t.method_counts[m] == 0) continue;
@@ -57,7 +59,10 @@ std::string service_telemetry_to_json(const ServiceTelemetry& telemetry,
      << ",\"spill_entries\":" << telemetry.spill_entries
      << ",\"spills\":" << telemetry.spills
      << ",\"spill_reloads\":" << telemetry.spill_reloads
-     << ",\"spill_drops\":" << telemetry.spill_drops << ",\"requests\":" << telemetry.requests
+     << ",\"spill_drops\":" << telemetry.spill_drops
+     << ",\"spill_faults\":" << telemetry.spill_faults
+     << ",\"restore_faults\":" << telemetry.restore_faults
+     << ",\"requests\":" << telemetry.requests
      << ",\"errors\":" << telemetry.errors << ",\"totals\":{";
   tenant_telemetry_json(os, telemetry.totals(), include_timing);
   os << "},\"tenants\":[";

@@ -98,6 +98,12 @@ struct TenantTelemetry {
   std::size_t spills = 0;             ///< sessions written to the spill tier
   std::size_t spill_reloads = 0;      ///< sessions reloaded from the spill tier
 
+  // SLA outcomes of the admission budget (service.hpp DegradeMode): a
+  // rejected solve/perturb got an error response; a degraded one got a
+  // cheap-heuristic answer flagged "degraded":true.
+  std::size_t degraded = 0;  ///< solve/perturb served by the degrade fallback
+  std::size_t rejected = 0;  ///< solve/perturb refused by admission control
+
   /// Solves per method that ran for this tenant, indexed by SolveMethod.
   std::array<std::size_t, kSolveMethodCount> method_counts{};
 
@@ -110,6 +116,26 @@ struct TenantTelemetry {
     const std::size_t resolves = warm_hits + cold_solves;
     return resolves == 0 ? 0.0
                          : static_cast<double>(warm_hits) / static_cast<double>(resolves);
+  }
+
+  /// Goodput: the share of solver work that got an answer -- full or
+  /// degraded -- instead of an admission rejection. A rejected request
+  /// never reaches its op branch, so it is not in solves/perturbs; the
+  /// attempt denominator adds it back. 1 when the tenant never asked for
+  /// solver work; the overload bench gates this at >= 0.95 under a
+  /// deadline that rejects >= 30% bare.
+  [[nodiscard]] double goodput_ratio() const {
+    const std::size_t answered = solves + perturbs;
+    const std::size_t attempts = answered + rejected;
+    if (attempts == 0) return 1.0;
+    return static_cast<double>(answered) / static_cast<double>(attempts);
+  }
+
+  /// Share of solver work served by the degrade fallback. 0 when idle.
+  [[nodiscard]] double degradation_rate() const {
+    const std::size_t attempts = solves + perturbs + rejected;
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(degraded) / static_cast<double>(attempts);
   }
 
   void merge(const TenantTelemetry& other) {
@@ -126,6 +152,8 @@ struct TenantTelemetry {
     explicit_evictions += other.explicit_evictions;
     spills += other.spills;
     spill_reloads += other.spill_reloads;
+    degraded += other.degraded;
+    rejected += other.rejected;
     for (std::size_t m = 0; m < method_counts.size(); ++m) {
       method_counts[m] += other.method_counts[m];
     }
@@ -176,6 +204,10 @@ struct ServiceTelemetry {
   std::size_t spills = 0;         ///< lifetime spill writes
   std::size_t spill_reloads = 0;  ///< lifetime reloads back into memory
   std::size_t spill_drops = 0;    ///< spilled sessions lost to the spill budget
+  // Fault-wall gauges (session_store.hpp): storage failures -- injected or
+  // real -- absorbed as cold re-solves instead of failed requests.
+  std::size_t spill_faults = 0;    ///< spill writes/reloads that degraded cold
+  std::size_t restore_faults = 0;  ///< checkpoint snapshots skipped on restore
   std::size_t requests = 0;     ///< all request lines, unattributable included
   std::size_t errors = 0;
 

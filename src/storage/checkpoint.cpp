@@ -21,7 +21,7 @@ void append_tenant_counters(std::string& out, const TenantTelemetry& t) {
   for (const std::size_t counter :
        {t.requests, t.errors, t.submits, t.solves, t.perturbs, t.evict_requests,
         t.initial_solves, t.warm_hits, t.cold_solves, t.lru_evictions, t.explicit_evictions,
-        t.spills, t.spill_reloads}) {
+        t.spills, t.spill_reloads, t.degraded, t.rejected}) {
     out += ' ';
     out += std::to_string(counter);
   }
@@ -42,7 +42,8 @@ TenantTelemetry parse_tenant_counters(const std::vector<std::string_view>& token
                                    &t.solves,         &t.perturbs,      &t.evict_requests,
                                    &t.initial_solves, &t.warm_hits,     &t.cold_solves,
                                    &t.lru_evictions,  &t.explicit_evictions,
-                                   &t.spills,         &t.spill_reloads};
+                                   &t.spills,         &t.spill_reloads, &t.degraded,
+                                   &t.rejected};
   constexpr std::size_t kCounters = sizeof(counters) / sizeof(counters[0]);
   TS_REQUIRE(tokens.size() >= at + kCounters + 1, "checkpoint: truncated tenant row");
   for (std::size_t i = 0; i < kCounters; ++i) {
@@ -125,7 +126,9 @@ void write_checkpoint(const std::string& dir, const SessionStore& store,
   payload += "clock " + std::to_string(store.clock()) + '\n';
   payload += "store_counters " + std::to_string(store.lru_evictions()) + ' ' +
              std::to_string(store.spills()) + ' ' + std::to_string(store.spill_reloads()) +
-             ' ' + std::to_string(store.spill_drops()) + '\n';
+             ' ' + std::to_string(store.spill_drops()) + ' ' +
+             std::to_string(store.spill_faults()) + ' ' +
+             std::to_string(store.restore_faults()) + '\n';
   payload += "service_counters " + std::to_string(telemetry.requests) + ' ' +
              std::to_string(telemetry.errors) + '\n';
 
@@ -137,15 +140,44 @@ void write_checkpoint(const std::string& dir, const SessionStore& store,
     append_entry_row(payload, entry->tenant, entry->instance, entry->stamp, entry->bytes);
   }
 
-  payload += "spilled " + std::to_string(store.spill_records().size()) + '\n';
-  if (!store.spill_records().empty()) {
+  // The spill tier may hold fileless tombstones (failed spill writes) or
+  // records whose file has since been lost (a vanished spill directory).
+  // Both are checkpointed as tree-only snapshots rebuilt from the retained
+  // tree text -- the restart serves those instances cold -- and a record
+  // with neither file nor tree text is dropped from the checkpoint rather
+  // than failing it. Manifest rows carry the bytes actually written.
+  struct SpilledDump {
+    const SpillRecord* record;
+    std::string bytes;
+  };
+  std::vector<SpilledDump> dumps;
+  for (const auto& [key, record] : store.spill_records()) {
+    std::string bytes;
+    if (record.bytes != 0) {
+      try {
+        bytes = read_file_bytes(store.spill_path(record.tenant, record.instance));
+      } catch (const std::exception&) {
+      }
+    }
+    if (bytes.empty() && !record.tree_text.empty()) {
+      SessionState state;
+      state.tree_text = record.tree_text;
+      state.tenant = record.tenant;
+      state.instance = record.instance;
+      bytes = encode_snapshot(state);
+    }
+    if (bytes.empty()) continue;
+    dumps.push_back({&record, std::move(bytes)});
+  }
+  payload += "spilled " + std::to_string(dumps.size()) + '\n';
+  if (!dumps.empty()) {
     require_dir(dir + "/spilled");
-    for (const auto& [key, record] : store.spill_records()) {
-      const std::string bytes =
-          read_file_bytes(store.spill_path(record.tenant, record.instance));
-      write_file_atomic(
-          dir + "/spilled/" + snapshot_file_name(record.tenant, record.instance), bytes);
-      append_entry_row(payload, record.tenant, record.instance, record.stamp, record.bytes);
+    for (const SpilledDump& dump : dumps) {
+      write_file_atomic(dir + "/spilled/" +
+                            snapshot_file_name(dump.record->tenant, dump.record->instance),
+                        dump.bytes);
+      append_entry_row(payload, dump.record->tenant, dump.record->instance,
+                       dump.record->stamp, dump.bytes.size());
     }
   }
 
@@ -167,7 +199,7 @@ void write_checkpoint(const std::string& dir, const SessionStore& store,
 
 RestoredService read_checkpoint(const std::string& dir, std::size_t shards,
                                 std::size_t mem_budget, const std::string& spill_dir,
-                                std::size_t spill_budget) {
+                                std::size_t spill_budget, FaultPlan* faults) {
   const std::string manifest = read_file_bytes(manifest_path(dir));
   const std::string_view payload = unframe_payload(kMagic, kVersion, manifest, "checkpoint");
   wire::LineReader reader(payload);
@@ -187,13 +219,15 @@ RestoredService read_checkpoint(const std::string& dir, std::size_t shards,
 
   const std::vector<std::string_view> counters =
       wire::split_tokens(reader.next("store_counters"), "store_counters");
-  TS_REQUIRE(counters.size() == 5 && counters[0] == "store_counters",
+  TS_REQUIRE(counters.size() == 7 && counters[0] == "store_counters",
              "checkpoint: expected a 'store_counters' line");
   out.store.restore_counters(
       static_cast<std::size_t>(wire::parse_u64(counters[1], "lru_evictions")),
       static_cast<std::size_t>(wire::parse_u64(counters[2], "spills")),
       static_cast<std::size_t>(wire::parse_u64(counters[3], "spill_reloads")),
-      static_cast<std::size_t>(wire::parse_u64(counters[4], "spill_drops")));
+      static_cast<std::size_t>(wire::parse_u64(counters[4], "spill_drops")),
+      static_cast<std::size_t>(wire::parse_u64(counters[5], "spill_faults")),
+      static_cast<std::size_t>(wire::parse_u64(counters[6], "restore_faults")));
 
   const std::vector<std::string_view> service =
       wire::split_tokens(reader.next("service_counters"), "service_counters");
@@ -203,18 +237,29 @@ RestoredService read_checkpoint(const std::string& dir, std::size_t shards,
   out.telemetry.errors = static_cast<std::size_t>(wire::parse_u64(service[2], "errors"));
 
   for (const EntryRow& row : parse_entry_rows(reader, "resident")) {
-    const SessionState state =
-        read_snapshot_file(dir + "/sessions/" + snapshot_file_name(row.tenant, row.instance));
-    TS_REQUIRE(state.tenant == row.tenant && state.instance == row.instance,
-               "checkpoint: session file owner '" << state.tenant << '/' << state.instance
-                                                  << "' does not match manifest row '"
-                                                  << row.tenant << '/' << row.instance << "'");
-    SessionEntry entry = session_entry_from_state(state);
-    TS_REQUIRE(entry.bytes == row.bytes,
-               "checkpoint: rebuilt entry '" << row.tenant << '/' << row.instance
-                                             << "' estimates " << entry.bytes
-                                             << " bytes, manifest says " << row.bytes);
-    out.store.restore_entry(std::move(entry), row.stamp);
+    // Skip-and-count, never abort: a damaged session snapshot costs the
+    // restart that one warm entry, not the whole process.
+    try {
+      if (faults != nullptr && faults->fires(FaultPoint::kRestoreRead)) {
+        throw ResourceLimit("fault injection: restore read of '" + row.tenant + '/' +
+                            row.instance + "' failed");
+      }
+      const SessionState state = read_snapshot_file(
+          dir + "/sessions/" + snapshot_file_name(row.tenant, row.instance));
+      TS_REQUIRE(state.tenant == row.tenant && state.instance == row.instance,
+                 "checkpoint: session file owner '" << state.tenant << '/' << state.instance
+                                                    << "' does not match manifest row '"
+                                                    << row.tenant << '/' << row.instance
+                                                    << "'");
+      SessionEntry entry = session_entry_from_state(state);
+      TS_REQUIRE(entry.bytes == row.bytes,
+                 "checkpoint: rebuilt entry '" << row.tenant << '/' << row.instance
+                                               << "' estimates " << entry.bytes
+                                               << " bytes, manifest says " << row.bytes);
+      out.store.restore_entry(std::move(entry), row.stamp);
+    } catch (const std::exception&) {
+      ++out.restore_faults;
+    }
   }
 
   const std::vector<EntryRow> spilled = parse_entry_rows(reader, "spilled");
@@ -225,18 +270,27 @@ RestoredService read_checkpoint(const std::string& dir, std::size_t shards,
                                        "configured");
   }
   for (const EntryRow& row : spilled) {
-    const std::string file = snapshot_file_name(row.tenant, row.instance);
-    const std::string bytes = read_file_bytes(dir + "/spilled/" + file);
-    const SessionState state = decode_snapshot(bytes);  // full integrity check
-    TS_REQUIRE(state.tenant == row.tenant && state.instance == row.instance,
-               "checkpoint: spilled file owner '" << state.tenant << '/' << state.instance
-                                                  << "' does not match manifest row '"
-                                                  << row.tenant << '/' << row.instance << "'");
-    TS_REQUIRE(bytes.size() == row.bytes,
-               "checkpoint: spilled file '" << file << "' is " << bytes.size()
-                                            << " bytes, manifest says " << row.bytes);
-    write_file_atomic(out.store.spill_path(row.tenant, row.instance), bytes);
-    out.store.restore_spilled(row.tenant, row.instance, row.stamp, bytes.size());
+    try {
+      if (faults != nullptr && faults->fires(FaultPoint::kRestoreRead)) {
+        throw ResourceLimit("fault injection: restore read of '" + row.tenant + '/' +
+                            row.instance + "' failed");
+      }
+      const std::string file = snapshot_file_name(row.tenant, row.instance);
+      const std::string bytes = read_file_bytes(dir + "/spilled/" + file);
+      const SessionState state = decode_snapshot(bytes);  // full integrity check
+      TS_REQUIRE(state.tenant == row.tenant && state.instance == row.instance,
+                 "checkpoint: spilled file owner '" << state.tenant << '/' << state.instance
+                                                    << "' does not match manifest row '"
+                                                    << row.tenant << '/' << row.instance
+                                                    << "'");
+      TS_REQUIRE(bytes.size() == row.bytes,
+                 "checkpoint: spilled file '" << file << "' is " << bytes.size()
+                                              << " bytes, manifest says " << row.bytes);
+      write_file_atomic(out.store.spill_path(row.tenant, row.instance), bytes);
+      out.store.restore_spilled(row.tenant, row.instance, row.stamp, bytes.size());
+    } catch (const std::exception&) {
+      ++out.restore_faults;
+    }
   }
 
   const std::vector<std::string_view> tenants_head =
@@ -261,6 +315,9 @@ RestoredService read_checkpoint(const std::string& dir, std::size_t shards,
 
   TS_REQUIRE(reader.next("end") == "end", "checkpoint: expected the 'end' sentinel");
   TS_REQUIRE(reader.done(), "checkpoint: trailing bytes after 'end'");
+  // Fold this restore's skips into the store gauge on top of whatever the
+  // manifest's persisted counter carried.
+  out.store.count_restore_faults(out.restore_faults);
   return out;
 }
 

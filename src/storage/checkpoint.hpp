@@ -22,9 +22,12 @@
 // manifest is a complete checkpoint; a crash mid-checkpoint leaves a
 // manifest-less directory that restore rejects loudly. Restore validates
 // every snapshot (framed hash + strict payload parse + owner match against
-// the manifest row) before touching the store, and the rebuilt entries'
-// recomputed byte estimates must equal the manifest's -- a mismatch means
-// a foreign or tampered file and fails the restore.
+// the manifest row, plus the rebuilt entry's recomputed byte estimate
+// against the manifest's) -- but a snapshot that fails validation is
+// skipped and counted (RestoredService::restore_faults, the store's
+// restore_faults gauge) rather than failing the restart: a restart must
+// always come up, possibly colder. Only a damaged *manifest* is fatal --
+// without it nothing about the checkpoint can be trusted.
 #pragma once
 
 #include <cstddef>
@@ -48,6 +51,9 @@ struct RestoredService {
   SessionStore store;
   ServiceTelemetry telemetry;
   std::size_t next_id = 0;
+  /// Manifest-listed snapshots that were unreadable or damaged and got
+  /// skipped (already folded into the store's restore_faults gauge).
+  std::size_t restore_faults = 0;
 };
 
 /// Rebuilds a service core from a checkpoint directory. The store is
@@ -56,11 +62,15 @@ struct RestoredService {
 /// behavior-invariant, budgets are deployment config); clock, stamps and
 /// counters come from the manifest. A checkpoint holding spilled sessions
 /// requires a configured spill_dir (their files are copied into it).
-/// Throws InvalidArgument on a corrupt/foreign/incomplete checkpoint,
-/// ResourceLimit on IO failure.
+/// Damaged individual snapshots are skipped and counted (see
+/// RestoredService::restore_faults); `faults`, when non-null, additionally
+/// injects kRestoreRead failures per manifest row and its trial counters
+/// advance in place. Throws InvalidArgument on a corrupt/foreign/
+/// incomplete *manifest*, ResourceLimit on IO failure reading it.
 [[nodiscard]] RestoredService read_checkpoint(const std::string& dir, std::size_t shards,
                                               std::size_t mem_budget,
                                               const std::string& spill_dir,
-                                              std::size_t spill_budget);
+                                              std::size_t spill_budget,
+                                              FaultPlan* faults = nullptr);
 
 }  // namespace treesat

@@ -1,0 +1,147 @@
+#include "storage/faults.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "common/format.hpp"
+
+namespace treesat {
+namespace {
+
+/// splitmix64 finalizer: the decision hash. Distinct from the service's
+/// xoshiro streams on purpose -- the plan must not perturb any Rng state.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr const char* kPointNames[kFaultPointCount] = {
+    "spill_write", "spill_read", "truncate", "hash_flip", "dir_vanish", "restore_read",
+};
+
+std::uint64_t parse_seed(const std::string& value) {
+  TS_REQUIRE(!value.empty(), "fault plan: seed needs a value");
+  char* end = nullptr;
+  const unsigned long long seed = std::strtoull(value.c_str(), &end, 10);
+  TS_REQUIRE(end != nullptr && *end == '\0' && value[0] != '-',
+             "fault plan: bad seed '" << value << "' (want a non-negative integer)");
+  return static_cast<std::uint64_t>(seed);
+}
+
+double parse_probability(const std::string& key, const std::string& value) {
+  TS_REQUIRE(!value.empty(), "fault plan: " << key << " needs a value");
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  TS_REQUIRE(end != nullptr && *end == '\0',
+             "fault plan: bad probability '" << value << "' for " << key);
+  TS_REQUIRE(p >= 0.0 && p <= 1.0,
+             "fault plan: " << key << " probability " << value << " outside [0,1]");
+  return p;
+}
+
+}  // namespace
+
+const char* fault_point_name(FaultPoint point) {
+  const auto index = static_cast<std::size_t>(point);
+  TS_CHECK(index < kFaultPointCount, "fault_point_name: bad point " << index);
+  return kPointNames[index];
+}
+
+bool FaultPlan::enabled() const {
+  for (const double p : probability) {
+    if (p > 0.0) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::fires(FaultPoint point) {
+  const auto index = static_cast<std::size_t>(point);
+  const std::uint64_t trial = trials_[index]++;
+  const double p = probability[index];
+  if (p <= 0.0) return false;
+  // Decision = one mix of (seed, point, trial). The point salt keeps the
+  // streams independent; >>11 * 2^-53 maps the hash onto [0,1).
+  const std::uint64_t h =
+      mix64(seed ^ (0xFA17ULL + index) * 0x9e3779b97f4a7c15ULL ^ mix64(trial));
+  const bool hit = static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+  if (hit) ++fired_[index];
+  return hit;
+}
+
+std::uint64_t FaultPlan::trials(FaultPoint point) const {
+  return trials_[static_cast<std::size_t>(point)];
+}
+
+std::uint64_t FaultPlan::fired(FaultPoint point) const {
+  return fired_[static_cast<std::size_t>(point)];
+}
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  bool seen_seed = false;
+  std::array<bool, kFaultPointCount> seen{};
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t stop = spec.find(';', start);
+    const std::string item =
+        spec.substr(start, stop == std::string::npos ? std::string::npos : stop - start);
+    start = stop == std::string::npos ? spec.size() + 1 : stop + 1;
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    TS_REQUIRE(colon != std::string::npos,
+               "fault plan: expected subkey:value, got '" << item << "'");
+    const std::string key = item.substr(0, colon);
+    const std::string value = item.substr(colon + 1);
+    if (key == "seed") {
+      TS_REQUIRE(!seen_seed, "fault plan: duplicate seed");
+      seen_seed = true;
+      plan.seed = parse_seed(value);
+      continue;
+    }
+    bool known = false;
+    for (std::size_t i = 0; i < kFaultPointCount; ++i) {
+      if (key != kPointNames[i]) continue;
+      TS_REQUIRE(!seen[i], "fault plan: duplicate point '" << key << "'");
+      seen[i] = true;
+      plan.probability[i] = parse_probability(key, value);
+      known = true;
+      break;
+    }
+    TS_REQUIRE(known, "fault plan: unknown point '"
+                          << key
+                          << "' (accepted: seed, spill_write, spill_read, truncate, "
+                             "hash_flip, dir_vanish, restore_read)");
+  }
+  return plan;
+}
+
+std::string fault_plan_spec(const FaultPlan& plan) {
+  std::string spec;
+  if (plan.seed != 0) {
+    spec += "seed:";
+    spec += std::to_string(plan.seed);
+  }
+  for (std::size_t i = 0; i < kFaultPointCount; ++i) {
+    if (plan.probability[i] <= 0.0) continue;
+    if (!spec.empty()) spec += ';';
+    spec += kPointNames[i];
+    spec += ':';
+    spec += shortest_round_trip(plan.probability[i]);
+  }
+  return spec;
+}
+
+std::string fault_truncate(std::string bytes) {
+  bytes.resize(bytes.size() / 2);
+  return bytes;
+}
+
+std::string fault_flip_byte(std::string bytes) {
+  if (!bytes.empty()) bytes[bytes.size() / 2] ^= 0x20;
+  return bytes;
+}
+
+}  // namespace treesat

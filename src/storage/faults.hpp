@@ -1,0 +1,94 @@
+// Deterministic fault injection for the warm tiers (ROADMAP: "Adversarial
+// scale and SLA-aware degradation").
+//
+// A FaultPlan arms a set of injection points -- the places where the spill
+// tier and checkpoint restore touch the filesystem -- each with an
+// independent firing probability. Whether a given trial fires is a pure
+// function of (seed, point, per-point trial index): the plan draws no
+// entropy from the clock or from call interleaving across points, so a
+// replayed trace injects byte-identically the same faults at any shard or
+// thread count, and two runs that differ only in an unrelated point's
+// traffic still agree on every other point's decisions.
+//
+// The points model the storage failures the store contract promises to
+// survive (session_store.hpp "fault wall"): IO errors on spill write and
+// read, payload truncation, a flipped content-hash byte, the spill
+// directory disappearing out from under the tier, and unreadable snapshots
+// during checkpoint restore. Every injected fault must degrade to a cold
+// re-solve plus a counter (spill_faults / restore_faults), never to a
+// failed request or a dead process -- the fault-injection suite holds the
+// store to that.
+//
+// Config grammar (the service's `fault=` key; comma-free so it nests
+// inside the comma-separated service config):
+//
+//   fault=seed:7;spill_read:0.5;truncate:0.25
+//
+// Subkeys: seed (uint64) and one probability in [0,1] per point:
+// spill_write, spill_read, truncate, hash_flip, dir_vanish, restore_read.
+// Unknown subkeys, duplicates, and out-of-range probabilities are rejected
+// loudly; fault_plan_spec() round-trips through parse_fault_plan().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace treesat {
+
+/// Where a fault can be injected. Values index FaultPlan's arrays.
+enum class FaultPoint : std::uint8_t {
+  kSpillWrite = 0,   ///< spill-tier snapshot write fails (IO error)
+  kSpillRead,        ///< spill-tier snapshot read fails (IO error)
+  kSpillTruncate,    ///< spill payload comes back truncated
+  kSpillHashFlip,    ///< spill payload comes back with a flipped byte
+  kSpillDirVanish,   ///< the spill directory disappears before a write
+  kRestoreRead,      ///< a checkpointed snapshot is unreadable on restore
+};
+
+inline constexpr std::size_t kFaultPointCount = 6;
+
+/// Config subkey / display name of a point ("spill_write", "truncate", ...).
+[[nodiscard]] const char* fault_point_name(FaultPoint point);
+
+/// A seeded fault schedule plus per-point trial/fired counters. Copyable;
+/// the counters travel with the copy (the session store owns the live one).
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Per-point firing probability in [0,1]; 0 disarms the point.
+  std::array<double, kFaultPointCount> probability{};
+
+  /// True when any point is armed.
+  [[nodiscard]] bool enabled() const;
+
+  /// Draws the next trial for `point` and advances its trial counter.
+  /// Deterministic: trial t of point p fires iff hash(seed, p, t) falls
+  /// under probability[p].
+  [[nodiscard]] bool fires(FaultPoint point);
+
+  /// Trials drawn / faults fired so far for `point` (test observability).
+  [[nodiscard]] std::uint64_t trials(FaultPoint point) const;
+  [[nodiscard]] std::uint64_t fired(FaultPoint point) const;
+
+ private:
+  std::array<std::uint64_t, kFaultPointCount> trials_{};
+  std::array<std::uint64_t, kFaultPointCount> fired_{};
+};
+
+/// Parses the `seed:N;point:p;...` grammar above. Throws InvalidArgument
+/// on unknown subkeys, duplicates, malformed numbers, or probabilities
+/// outside [0,1]. The empty string parses to a disarmed plan.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
+
+/// Canonical spec of `plan` (seed first, then armed points in enum order);
+/// parse_fault_plan(fault_plan_spec(p)) reproduces p's schedule. Returns
+/// "" for a disarmed plan with seed 0.
+[[nodiscard]] std::string fault_plan_spec(const FaultPlan& plan);
+
+/// Deterministic payload corruptions the injected read faults apply.
+/// fault_truncate drops the tail half (at least one byte of a non-empty
+/// payload survives removal); fault_flip_byte flips one bit mid-payload.
+[[nodiscard]] std::string fault_truncate(std::string bytes);
+[[nodiscard]] std::string fault_flip_byte(std::string bytes);
+
+}  // namespace treesat

@@ -129,6 +129,69 @@ CruTree chain_tree(Rng& rng, const ChainGenOptions& o) {
   return builder.build();
 }
 
+CruTree star_tree(Rng& rng, const StarGenOptions& o) {
+  TS_REQUIRE(o.arms >= 1, "star_tree: need at least one arm");
+  TS_REQUIRE(o.satellites >= 1, "star_tree: need at least one satellite");
+  TS_REQUIRE(o.min_cost >= 0.0 && o.min_cost <= o.max_cost, "star_tree: bad cost range");
+
+  const auto cost = [&] { return rng.uniform_real(o.min_cost, o.max_cost); };
+
+  CruTreeBuilder builder;
+  const CruId root = builder.root("cru0", cost());
+  std::size_t sensor_n = 0;
+  for (std::size_t a = 0; a < o.arms; ++a) {
+    const CruId arm =
+        builder.compute(root, "cru" + std::to_string(a + 1), cost(), cost(), cost());
+    builder.sensor(arm, "sensor" + std::to_string(sensor_n++),
+                   SatelliteId{a % o.satellites}, cost());
+    if (o.extra_sensor_every != 0 && a % o.extra_sensor_every == o.extra_sensor_every - 1) {
+      builder.sensor(arm, "sensor" + std::to_string(sensor_n++),
+                     SatelliteId{(a + 1) % o.satellites}, cost());
+    }
+  }
+  return builder.build();
+}
+
+CruTree skewed_tree(Rng& rng, const SkewGenOptions& o) {
+  TS_REQUIRE(o.compute_nodes >= 1, "skewed_tree: need at least the root");
+  TS_REQUIRE(o.satellites >= 1, "skewed_tree: need at least one satellite");
+  TS_REQUIRE(o.max_children >= 1, "skewed_tree: max_children must be positive");
+  TS_REQUIRE(o.skew >= 0.0 && o.skew <= 1.0, "skewed_tree: skew must be a probability");
+  TS_REQUIRE(o.min_cost >= 0.0 && o.min_cost <= o.max_cost, "skewed_tree: bad cost range");
+
+  const auto cost = [&] { return rng.uniform_real(o.min_cost, o.max_cost); };
+  const auto pin = [&] {
+    return rng.bernoulli(o.skew) ? SatelliteId{std::size_t{0}}
+                                 : SatelliteId{rng.index(o.satellites)};
+  };
+
+  std::vector<std::size_t> parent(o.compute_nodes, 0);
+  std::vector<std::size_t> child_counts(o.compute_nodes, 0);
+  for (std::size_t v = 1; v < o.compute_nodes; ++v) {
+    const std::size_t p = draw_parent(rng, v, child_counts, o.max_children);
+    parent[v] = p;
+    ++child_counts[p];
+  }
+
+  CruTreeBuilder builder;
+  std::vector<CruId> ids(o.compute_nodes);
+  ids[0] = builder.root("cru0", cost());
+  for (std::size_t v = 1; v < o.compute_nodes; ++v) {
+    ids[v] = builder.compute(ids[parent[v]], "cru" + std::to_string(v), cost(), cost(),
+                             cost());
+  }
+  std::size_t sensor_n = 0;
+  for (std::size_t v = 0; v < o.compute_nodes; ++v) {
+    const bool childless = child_counts[v] == 0;
+    std::size_t sensors = childless ? 1 : 0;
+    if (childless && rng.bernoulli(o.extra_sensor_prob)) ++sensors;
+    for (std::size_t k = 0; k < sensors; ++k) {
+      builder.sensor(ids[v], "sensor" + std::to_string(sensor_n++), pin(), cost());
+    }
+  }
+  return builder.build();
+}
+
 ProfiledTree random_profiled_tree(Rng& rng, const ProfiledGenOptions& o) {
   TS_REQUIRE(o.compute_nodes >= 1, "random_profiled_tree: need at least the root");
   TS_REQUIRE(o.satellites >= 1, "random_profiled_tree: need at least one satellite");

@@ -71,6 +71,44 @@ struct ChainGenOptions {
 /// tests/deep_tree_test.cpp). Every shipped engine must survive it.
 [[nodiscard]] CruTree chain_tree(Rng& rng, const ChainGenOptions& options);
 
+struct StarGenOptions {
+  /// Compute children hanging directly off the root; each carries one
+  /// sensor, so the tree is `1 + arms + sensors` nodes of depth 2.
+  std::size_t arms = 1000;
+  std::size_t satellites = 4;
+  /// Every `extra_sensor_every`-th arm carries a second sensor (0 = never),
+  /// so some arms become conflict-prone multi-sensor leaves.
+  std::size_t extra_sensor_every = 16;
+  double min_cost = 0.1;
+  double max_cost = 10.0;
+};
+
+/// Pathological wide-star workload: thousands of depth-1 regions, each a
+/// separate frontier, with satellites round-robined across the arms. The
+/// opposite stress of chain_tree -- breadth instead of depth -- and the
+/// shape that maximizes per-region bookkeeping overhead in the store (many
+/// tiny regions, no reuse across them).
+[[nodiscard]] CruTree star_tree(Rng& rng, const StarGenOptions& options);
+
+struct SkewGenOptions {
+  std::size_t compute_nodes = 256;
+  std::size_t satellites = 6;
+  std::size_t max_children = 4;
+  /// Probability that a sensor pins to satellite 0 (the rest draw
+  /// uniformly): 0.9 sends ~90% of the leaf traffic through one colour.
+  double skew = 0.9;
+  double min_cost = 0.1;
+  double max_cost = 10.0;
+  double extra_sensor_prob = 0.25;
+};
+
+/// Pathological colour-skewed workload: a random recursive tree whose
+/// sensors overwhelmingly pin one satellite, so one colour's region
+/// dominates the bottleneck term and the colouring pass degenerates into
+/// a few huge monochromatic regions plus conflict nodes wherever the
+/// minority colours touch them.
+[[nodiscard]] CruTree skewed_tree(Rng& rng, const SkewGenOptions& options);
+
 struct ProfiledGenOptions {
   std::size_t compute_nodes = 10;
   std::size_t satellites = 3;

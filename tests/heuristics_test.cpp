@@ -171,5 +171,74 @@ TEST(SolverFacade, EveryRegisteredMethodRunsAndExactOnesAgree) {
   }
 }
 
+// Warm starts (the serving tier's degraded path hands cached optima to the
+// cheap heuristics; heuristics/local_search.hpp warm_cut contract).
+TEST(WarmStart, GreedyFromALocalOptimumStaysPut) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  const LocalSearchResult cold = greedy_solve(colouring);
+  // Greedy descent ends at a local optimum; restarting from it has no
+  // improving move left, so the warm run answers immediately.
+  const LocalSearchResult warm = greedy_solve(colouring, SsbObjective::end_to_end(),
+                                              cold.assignment.cut_nodes());
+  EXPECT_DOUBLE_EQ(warm.objective_value, cold.objective_value);
+  EXPECT_EQ(warm.moves_applied, 0u);
+}
+
+TEST(WarmStart, WarmStartFromTheOptimumIsTheOptimum) {
+  Rng rng(0x3A17);
+  TreeGenOptions o;
+  o.compute_nodes = 40;
+  o.satellites = 3;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+  const ParetoDpResult exact = pareto_dp_solve(colouring);
+  const std::vector<CruId> optimum = exact.assignment.cut_nodes();
+
+  const LocalSearchResult greedy =
+      greedy_solve(colouring, SsbObjective::end_to_end(), optimum);
+  EXPECT_NEAR(greedy.objective_value, exact.objective, 1e-9);
+  EXPECT_EQ(greedy.moves_applied, 0u);
+
+  LocalSearchOptions lopt;
+  lopt.restarts = 1;  // isolate the warm start: no random restarts behind it
+  lopt.warm_cut = optimum;
+  const LocalSearchResult ls = local_search_solve(colouring, lopt);
+  EXPECT_NEAR(ls.objective_value, exact.objective, 1e-9);
+}
+
+TEST(WarmStart, WarmSeedNeverHurtsAndNeverBeatsTheOptimum) {
+  Rng rng(0x3A18);
+  TreeGenOptions o;
+  o.compute_nodes = 60;
+  o.satellites = 4;
+  const CruTree tree = random_tree(rng, o);
+  const Colouring colouring(tree);
+  const double optimum = pareto_dp_solve(colouring).objective;
+  const LocalSearchResult cold = greedy_solve(colouring);
+
+  LocalSearchOptions lopt;
+  lopt.restarts = 1;
+  lopt.warm_cut = cold.assignment.cut_nodes();
+  const LocalSearchResult warm = local_search_solve(colouring, lopt);
+  // Hill climbing from the greedy endpoint cannot end above it, and no
+  // heuristic ends below the exact optimum.
+  EXPECT_LE(warm.objective_value, cold.objective_value + 1e-9);
+  EXPECT_GE(warm.objective_value, optimum - 1e-9 * (1.0 + optimum));
+}
+
+TEST(WarmStart, InvalidWarmCutIsRejectedLoudly) {
+  const CruTree tree = paper_running_example();
+  const Colouring colouring(tree);
+  // The root is never assignable, so {root} is not a valid cut; the warm
+  // start must refuse it (Assignment validates), not climb from garbage.
+  const std::vector<CruId> bogus{CruId{std::size_t{0}}};
+  EXPECT_THROW(static_cast<void>(greedy_solve(colouring, SsbObjective::end_to_end(), bogus)),
+               InvalidArgument);
+  LocalSearchOptions lopt;
+  lopt.warm_cut = bogus;
+  EXPECT_THROW(static_cast<void>(local_search_solve(colouring, lopt)), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace treesat

@@ -160,6 +160,23 @@ const BadSpec kBadServiceConfigs[] = {
     {"spill_budget", "malformed"},
     {"spill_dir", "malformed"},
     {"spill_dir=/tmp/a,", "malformed"},
+    // degrade= is a closed enum (off|greedy|local-search); an unknown mode
+    // silently mapped to off would disarm the SLA fallback.
+    {"degrade=yes", "degrade"},
+    {"degrade=", "degrade"},
+    {"degrade=Greedy", "degrade"},
+    {"degrade=greedy,degrade=off", "duplicate key"},
+    // fault= nests the ';'/':' sub-grammar of storage/faults.hpp; its
+    // diagnostics must surface through the service config parser.
+    {"fault=seed", "subkey:value"},
+    {"fault=seed:x", "bad seed"},
+    {"fault=seed:3;seed:4", "duplicate seed"},
+    {"fault=spill_read:2.0", "spill_read"},
+    {"fault=spill_read:-0.5", "spill_read"},
+    {"fault=spill_read:often", "spill_read"},
+    {"fault=bogus:0.5", "unknown point"},
+    {"fault=spill_read:0.5;spill_read:0.1", "duplicate point"},
+    {"fault=seed:1,spill_read:0.5", "malformed"},  // commas do not nest
     // Unknown keys.
     {"ports=8080", "unknown key"},
     {"mem-budget=1m", "unknown key"},
@@ -198,6 +215,14 @@ TEST(ParseServiceConfigFuzz, NearMissesStillParse) {
   EXPECT_EQ(parse_service_config("spill_dir=/tmp/spill").spill_dir, "/tmp/spill");
   EXPECT_EQ(parse_service_config("spill_dir=/tmp/spill,spill_budget=2M").spill_budget,
             std::size_t{2} << 20);
+  // degrade accepts the underscore spelling; fault= empty is a disarmed
+  // plan (exactly the default), and seed alone arms nothing.
+  EXPECT_EQ(parse_service_config("degrade=local_search").degrade,
+            DegradeMode::kLocalSearch);
+  EXPECT_EQ(parse_service_config("degrade=off").degrade, DegradeMode::kOff);
+  EXPECT_FALSE(parse_service_config("fault=").faults.enabled());
+  EXPECT_FALSE(parse_service_config("fault=seed:9").faults.enabled());
+  EXPECT_EQ(parse_service_config("fault=seed:9;spill_read:1").faults.seed, 9u);
 }
 
 TEST(ParsePlanFuzz, NearMissesOfValidSpecsStillParse) {

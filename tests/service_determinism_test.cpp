@@ -204,6 +204,66 @@ TEST(ServiceDeterminism, DpThreadCountIsInvisible) {
                            "shards=2,plan=pareto-dp:dp_threads=2"));
 }
 
+TEST(ServiceDeterminism, ForcedDegradationIsShardCountInvariant) {
+  // The overload story's determinism leg: "degrade":true request stamps
+  // force the degraded path without any wall clock, so a stress trace with
+  // recorded degrade decisions must byte-replay at any shard count --
+  // degraded responses, warm-start provenance and telemetry included.
+  StressOptions options;
+  options.seed = 0xDE64;
+  options.tenants = 4;
+  options.requests = 80;
+  options.max_nodes = 256;
+  options.p_degrade = 0.35;
+  const TrafficTrace trace = stress_trace(options);
+  ASSERT_GT(trace.degrade_flags, 0u);
+  const std::string text = trace_text(trace);
+
+  std::size_t errors = 0;
+  const std::string one = replay(text, "shards=1,degrade=greedy", &errors);
+  EXPECT_EQ(errors, 0u);
+  EXPECT_EQ(one, replay(text, "shards=2,degrade=greedy"));
+  EXPECT_EQ(one, replay(text, "shards=8,degrade=greedy"));
+
+  // The sweep actually degraded, and flagged every degraded response.
+  SolverService probe(parse_service_config("shards=2,degrade=local-search"));
+  std::istringstream in(text);
+  std::ostringstream out;
+  static_cast<void>(probe.serve(in, out));
+  EXPECT_EQ(probe.telemetry().totals().degraded, trace.degrade_flags);
+  std::size_t flagged = 0;
+  std::string line;
+  std::istringstream responses(out.str());
+  while (std::getline(responses, line)) {
+    if (line.find("\"degraded\":true") != std::string::npos) ++flagged;
+  }
+  EXPECT_EQ(flagged, trace.degrade_flags);
+}
+
+TEST(ServiceDeterminism, DeadlineDegradationAnswersEverything) {
+  // A deadline hostile enough to reject nearly all bare solver work must
+  // reject *nothing* once degrade= is armed: every trip of the admission
+  // budget becomes a cheap-heuristic answer instead of an error. (Which
+  // requests trip is wall-clock-dependent, so this asserts outcomes --
+  // zero errors, zero rejections -- not byte identity.)
+  StressOptions options;
+  options.seed = 0x51A;
+  options.tenants = 3;
+  options.requests = 60;
+  options.max_nodes = 256;
+  const std::string text = trace_text(stress_trace(options));
+
+  SolverService service(
+      parse_service_config("shards=2,fail_fast=false,deadline_ms=0.001,degrade=greedy"));
+  std::istringstream in(text);
+  std::ostringstream out;
+  EXPECT_EQ(service.serve(in, out), 0u);
+  const TenantTelemetry totals = service.telemetry().totals();
+  EXPECT_EQ(totals.rejected, 0u);
+  EXPECT_GT(totals.degraded, 0u);
+  EXPECT_EQ(totals.goodput_ratio(), 1.0);
+}
+
 TEST(ServiceDeterminism, WarmTrafficActuallyRunsWarm) {
   // The determinism sweeps above would pass even if every request
   // cold-solved; pin the warm-hit ratio the throughput bench gates on.

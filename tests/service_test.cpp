@@ -19,6 +19,7 @@
 #include "core/solver.hpp"
 #include "io/json.hpp"
 #include "service/service.hpp"
+#include "storage/faults.hpp"
 #include "tree/serialize.hpp"
 #include "workload/scenarios.hpp"
 
@@ -523,6 +524,23 @@ TEST(Service, ConfigSpecRoundTrips) {
   EXPECT_TRUE(parse_service_config(service_config_spec(predicting)).predict_straggler);
   EXPECT_EQ(service_config_spec(ServiceOptions{}).find("predict_straggler"),
             std::string::npos);
+
+  // The overload keys ride the same round trip: degrade= (closed enum) and
+  // fault= (the ';'/':' sub-spec of storage/faults.hpp, comma-free so it
+  // nests). Both stay out of the spec at their defaults.
+  const ServiceOptions overload = parse_service_config(
+      "degrade=local-search,fault=seed:7;spill_read:0.5;truncate:0.25");
+  EXPECT_EQ(overload.degrade, DegradeMode::kLocalSearch);
+  EXPECT_EQ(overload.faults.seed, 7u);
+  EXPECT_TRUE(overload.faults.enabled());
+  const std::string spec = service_config_spec(overload);
+  EXPECT_CONTAINS(spec, "degrade=local-search");
+  EXPECT_CONTAINS(spec, "fault=seed:7;spill_read:0.5;truncate:0.25");
+  const ServiceOptions overload_back = parse_service_config(spec);
+  EXPECT_EQ(overload_back.degrade, overload.degrade);
+  EXPECT_EQ(fault_plan_spec(overload_back.faults), fault_plan_spec(overload.faults));
+  EXPECT_EQ(service_config_spec(ServiceOptions{}).find("degrade"), std::string::npos);
+  EXPECT_EQ(service_config_spec(ServiceOptions{}).find("fault"), std::string::npos);
 }
 
 TEST(Service, PredictedOverrunComparesEstimateAgainstTheRemainingBudget) {

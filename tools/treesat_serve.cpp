@@ -39,8 +39,13 @@ int usage(const char* argv0) {
       << "  --checkpoint-dir DIR  write a checkpoint after the stream ends\n"
       << "  --plan SPEC        default plan for solve requests without one\n"
       << "  --gen-trace TICKS  emit a deterministic traffic trace and exit\n"
-      << "  --tenants N        tenants for --gen-trace (default 3)\n"
-      << "  --seed S           seed for --gen-trace\n"
+      << "  --gen-stress N     emit a deterministic adversarial stress trace\n"
+      << "                     (N arrival slots; workload/traffic.hpp stress_trace)\n"
+      << "  --tenants N        tenants for --gen-trace/--gen-stress\n"
+      << "  --seed S           seed for --gen-trace/--gen-stress\n"
+      << "  --p-degrade P      fraction of stress solve/perturb lines stamped\n"
+      << "                     with the recorded \"degrade\":true decision\n"
+      << "  --max-nodes N      upper bound of the stress instance size draw\n"
       << "with no trace file, requests are read from stdin\n";
   return 2;
 }
@@ -59,7 +64,9 @@ int main(int argc, char** argv) {
   std::string plan_flag;
   std::string trace_file;
   bool gen_trace = false;
+  bool gen_stress = false;
   TrafficOptions traffic;
+  StressOptions stress;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -89,10 +96,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--gen-trace") {
       gen_trace = true;
       traffic.ticks = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--gen-stress") {
+      gen_stress = true;
+      stress.requests = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--tenants") {
       traffic.tenants = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+      stress.tenants = traffic.tenants;
     } else if (arg == "--seed") {
       traffic.seed = std::strtoull(next(), nullptr, 10);
+      stress.seed = traffic.seed;
+    } else if (arg == "--p-degrade") {
+      stress.p_degrade = std::strtod(next(), nullptr);
+    } else if (arg == "--max-nodes") {
+      stress.max_nodes = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -104,6 +120,17 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (gen_stress) {
+      const TrafficTrace trace = stress_trace(stress);
+      std::cout << "# treesat-serve stress trace: seed=" << stress.seed
+                << " tenants=" << stress.tenants << " requests=" << stress.requests
+                << " p_degrade=" << stress.p_degrade << " (submits=" << trace.submits
+                << " solves=" << trace.solves << " perturbs=" << trace.perturbs
+                << " stats=" << trace.stats_polls << " evicts=" << trace.evicts
+                << " degrade_flags=" << trace.degrade_flags << ")\n";
+      for (const std::string& line : trace.lines) std::cout << line << '\n';
+      return 0;
+    }
     if (gen_trace) {
       const TrafficTrace trace = traffic_trace(traffic);
       std::cout << "# treesat-serve trace: seed=" << traffic.seed

@@ -5,10 +5,12 @@
 //
 //   bench_diff <baseline.json> <current.json> [--tolerance 0.25] [--keys substr]
 //
-// Direction is inferred from the metric name: *_ms / *_seconds are
-// lower-is-better (regression when current > baseline * (1 + tol)), metrics
-// containing "speedup" or "ratio" are higher-is-better (regression when
-// current < baseline / (1 + tol)); everything else is informational.
+// Direction is inferred from the metric name: *_ms / *_seconds and metrics
+// containing "overhead" are lower-is-better (regression when
+// current > baseline * (1 + tol)), metrics containing "speedup" or "ratio"
+// are higher-is-better (regression when current < baseline / (1 + tol));
+// everything else is informational. The "overhead" rule outranks the
+// "ratio" rule, so an overhead *ratio* still gates in the right direction.
 // --keys restricts the comparison to metric names containing the substring
 // -- ci.sh's TREESAT_BENCH stage uses "--keys speedup" so the gate tracks
 // machine-relative ratios instead of absolute wall times, which would be
@@ -182,6 +184,10 @@ Direction direction_of(const std::string& key) {
            key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0;
   };
   if (ends_with("_ms") || ends_with("_seconds")) return Direction::kLowerBetter;
+  // Checked before the generic "ratio" rule: an overhead ratio (current
+  // cost over baseline cost, bench_obs_overhead's trace_overhead_ratio)
+  // regresses *upward*, the opposite of a speedup ratio.
+  if (key.find("overhead") != std::string::npos) return Direction::kLowerBetter;
   if (key.find("speedup") != std::string::npos || key.find("ratio") != std::string::npos) {
     return Direction::kHigherBetter;
   }

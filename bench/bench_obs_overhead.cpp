@@ -1,0 +1,170 @@
+// E-OBS: the price of observability on the warm-solve path.
+//
+// The obs layer's performance contract (src/obs/trace.hpp): instrumented
+// call sites cost one relaxed atomic load when no recorder/registry is
+// installed, one more when a recorder is installed but disabled, and a
+// mutex per span event when enabled. This binary prices all three against
+// the same warm-drift workload bench_incremental uses (ResolveSession
+// re-solves over a localized drift stream -- the hot serving path, where
+// per-colour span attrs and merge counters fire the most) and hard-gates:
+//
+//   disabled_overhead_ratio  (recorder installed, disabled)  < 1.02
+//   trace_overhead_ratio     (spans + timing + metrics on)   < 1.15
+//
+// The ratios are same-machine and best-of-N, so they are stable enough to
+// gate in-binary; ci.sh's TREESAT_BENCH stage additionally tracks
+// trace_overhead_ratio against the committed baseline via bench_diff
+// (direction: "overhead" metrics are lower-is-better). The workload's
+// optima are also compared across modes -- instrumentation must never
+// change a result, only the wall clock.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/incremental.hpp"
+#include "io/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "workload/drift.hpp"
+#include "workload/generator.hpp"
+
+namespace treesat {
+namespace {
+
+struct Workload {
+  CruTree base;
+  std::vector<Perturbation> stream;
+};
+
+Workload make_workload() {
+  Rng rng(0x0B5);
+  TreeGenOptions gen;
+  gen.compute_nodes = 96;
+  gen.satellites = 4;
+  gen.max_children = 2;  // deep regions: plenty of per-colour merge work
+  gen.policy = SensorPolicy::kClustered;
+  Workload w{random_tree(rng, gen), {}};
+  DriftOptions drift;
+  drift.steps = 16;
+  drift.p_loss = 0.0;  // localized profile drift: the warm path stays warm
+  drift.p_insert = 0.0;
+  drift.p_global = 0.0;
+  w.stream = drift_stream(rng, w.base, drift);
+  return w;
+}
+
+/// One warm pass over the stream; returns the objective sum (compared
+/// across modes, and a sink so nothing is optimized away).
+double run_stream(const Workload& w) {
+  SolvePlan plan = SolvePlan::pareto_dp();
+  plan.with_executor({.threads = 1, .warm_start = true});
+  const StreamResult result = solve_stream(w.base, w.stream, plan);
+  double sum = 0.0;
+  for (const SolveReport& report : result.reports) sum += report.objective_value;
+  return sum;
+}
+
+struct Mode {
+  double seconds = 0.0;
+  double objective_sum = 0.0;
+};
+
+/// Best-of-reps timing of the stream with whatever obs state the caller
+/// installed. `reset` runs before every rep (clearing the recorder, so an
+/// enabled run prices steady-state recording, not cap-saturated drops).
+template <typename Reset>
+Mode time_mode(const Workload& w, int reps, Reset&& reset) {
+  Mode mode;
+  mode.seconds = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    reset();
+    const Stopwatch watch;
+    mode.objective_sum = run_stream(w);
+    mode.seconds = std::min(mode.seconds, watch.seconds());
+  }
+  return mode;
+}
+
+}  // namespace
+}  // namespace treesat
+
+int main(int argc, char** argv) {
+  using namespace treesat;
+  bench::BenchJson::init("bench_obs_overhead", &argc, argv);
+  constexpr int kReps = 7;
+
+  const Workload w = make_workload();
+
+  bench::banner("E-OBS", "tracing/metrics overhead on the warm-solve path");
+
+  // Mode 1: nothing installed -- the cost every request pays today.
+  const Mode baseline = time_mode(w, kReps, [] {});
+
+  // Mode 2: recorder installed but disabled -- what a service that *can*
+  // trace pays while nobody is tracing.
+  obs::TraceRecorder disabled_rec;
+  disabled_rec.set_enabled(false);
+  obs::install_trace(&disabled_rec);
+  const Mode disabled = time_mode(w, kReps, [] {});
+  obs::install_trace(nullptr);
+
+  // Mode 3: everything on -- spans with wall-clock timing plus the full
+  // metrics registry, the --trace-out serving configuration.
+  obs::TraceRecorder enabled_rec(/*timing=*/true);
+  obs::MetricsRegistry registry;
+  obs::install_trace(&enabled_rec);
+  obs::install_metrics(&registry);
+  const Mode enabled = time_mode(w, kReps, [&enabled_rec] { enabled_rec.clear(); });
+  const std::size_t spans_per_pass = enabled_rec.span_count();
+  obs::install_trace(nullptr);
+  obs::install_metrics(nullptr);
+
+  const double disabled_ratio = disabled.seconds / baseline.seconds;
+  const double enabled_ratio = enabled.seconds / baseline.seconds;
+
+  Table t({"mode", "best [ms]", "vs baseline", "spans/pass"});
+  t.add("baseline (no obs)", baseline.seconds * 1e3, 1.0, 0);
+  t.add("installed, disabled", disabled.seconds * 1e3, disabled_ratio, 0);
+  t.add("spans+timing+metrics", enabled.seconds * 1e3, enabled_ratio, spans_per_pass);
+  t.print(std::cout);
+  bench::note("ratios are best-of-" + std::to_string(kReps) +
+              " on the same machine; the gates below are the obs layer's");
+  bench::note("documented budgets (disabled < 1.02x, enabled < 1.15x)");
+
+  bench::json().set("baseline_ms", baseline.seconds * 1e3);
+  bench::json().set("disabled_ms", disabled.seconds * 1e3);
+  bench::json().set("enabled_ms", enabled.seconds * 1e3);
+  bench::json().set("disabled_overhead_ratio", disabled_ratio);
+  bench::json().set("trace_overhead_ratio", enabled_ratio);
+  bench::json().set("spans_per_pass", static_cast<double>(spans_per_pass));
+
+  // Instrumentation must be invisible in the results.
+  if (disabled.objective_sum != baseline.objective_sum ||
+      enabled.objective_sum != baseline.objective_sum) {
+    std::cerr << "\nFAIL: instrumentation changed the optima (baseline "
+              << baseline.objective_sum << ", disabled " << disabled.objective_sum
+              << ", enabled " << enabled.objective_sum << ")\n";
+    return 1;
+  }
+  if (spans_per_pass == 0) {
+    std::cerr << "\nFAIL: the enabled pass recorded no spans -- the workload no longer"
+                 " exercises the instrumented path\n";
+    return 1;
+  }
+  if (disabled_ratio >= 1.02) {
+    std::cerr << "\nFAIL: disabled tracing costs " << disabled_ratio
+              << "x (budget < 1.02x)\n";
+    return 1;
+  }
+  if (enabled_ratio >= 1.15) {
+    std::cerr << "\nFAIL: enabled tracing costs " << enabled_ratio
+              << "x (budget < 1.15x)\n";
+    return 1;
+  }
+  std::cout << "\nOK: disabled " << disabled_ratio << "x, enabled " << enabled_ratio
+            << "x of baseline (" << spans_per_pass << " spans per pass)\n";
+  return bench::json().write() ? 0 : 1;
+}

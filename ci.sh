@@ -7,7 +7,11 @@
 # must resume byte-identically; an overload smoke then replays a committed
 # adversarial stress trace with recorded degrade stamps -- golden- and
 # shard-identical -- plus a 1us-deadline leg that must degrade instead of
-# erroring), followed by a ThreadSanitizer build of the suites that exercise the batch
+# erroring). An observability smoke rides in the same stage: the golden
+# replay is repeated with --metrics-out/--trace-out, the deterministic
+# slice of the Prometheus scrape is diffed against
+# tests/golden/service_metrics.prom, and the chrome trace export is
+# sanity-checked. This is followed by a ThreadSanitizer build of the suites that exercise the batch
 # executor and the service (-fsanitize=thread via TREESAT_TSAN), so the
 # worker pool is race-checked on every run, and a UBSan build
 # (-fsanitize=undefined via TREESAT_UBSAN, recovery off) of the Pareto
@@ -42,13 +46,19 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 # use).
 SERVICE_TRACE=tests/golden/service_trace.jsonl
 SERVICE_GOLDEN=tests/golden/service_responses.jsonl
+SERVICE_METRICS_GOLDEN=tests/golden/service_metrics.prom
 SERVICE_CONFIG="shards=2,mem_budget=64m"
 OVERLOAD_TRACE=tests/golden/overload_trace.jsonl
 OVERLOAD_GOLDEN=tests/golden/overload_responses.jsonl
 OVERLOAD_CONFIG="shards=2,degrade=greedy,fail_fast=false"
 if [ -n "${TREESAT_UPDATE_GOLDEN:-}" ]; then
-  "$BUILD_DIR/treesat_serve" --config "$SERVICE_CONFIG" "$SERVICE_TRACE" \
+  "$BUILD_DIR/treesat_serve" --config "$SERVICE_CONFIG" \
+    --metrics-out "$BUILD_DIR/service_metrics_full.prom" "$SERVICE_TRACE" \
     > "$SERVICE_GOLDEN"
+  # Only the deterministic families (above the wall-clock marker) are
+  # golden; request latencies and scheduler counters vary per run.
+  sed '/^# --- wall-clock/,$d' "$BUILD_DIR/service_metrics_full.prom" \
+    > "$SERVICE_METRICS_GOLDEN"
   "$BUILD_DIR/treesat_serve" --gen-stress 120 --tenants 4 --seed 3051 \
     --p-degrade 0.25 --max-nodes 256 > "$OVERLOAD_TRACE"
   "$BUILD_DIR/treesat_serve" --config "$OVERLOAD_CONFIG" "$OVERLOAD_TRACE" \
@@ -63,6 +73,24 @@ else
     > "$BUILD_DIR/service_responses_s8.jsonl"
   cmp "$BUILD_DIR/service_responses.jsonl" "$BUILD_DIR/service_responses_s8.jsonl"
   echo "service smoke stage passed (golden + shard invariance)"
+
+  # Observability smoke: the same replay with tracing + metrics on. The
+  # deterministic slice of the scrape (above the wall-clock marker) is
+  # golden -- requests, warm hits, merge counters and store gauges must
+  # reproduce byte for byte -- and the responses must be unchanged by the
+  # instrumentation. The chrome trace just has to be present and loadable
+  # (it is wall-clock by construction, so bytes are not compared).
+  "$BUILD_DIR/treesat_serve" --config "$SERVICE_CONFIG" \
+    --metrics-out "$BUILD_DIR/service_metrics_full.prom" \
+    --trace-out "$BUILD_DIR/service_trace_chrome.json" "$SERVICE_TRACE" \
+    > "$BUILD_DIR/service_responses_obs.jsonl"
+  cmp "$BUILD_DIR/service_responses.jsonl" "$BUILD_DIR/service_responses_obs.jsonl"
+  sed '/^# --- wall-clock/,$d' "$BUILD_DIR/service_metrics_full.prom" \
+    > "$BUILD_DIR/service_metrics_det.prom"
+  diff -u "$SERVICE_METRICS_GOLDEN" "$BUILD_DIR/service_metrics_det.prom"
+  grep -q '"traceEvents":\[' "$BUILD_DIR/service_trace_chrome.json"
+  grep -q '"name":"req.solve"' "$BUILD_DIR/service_trace_chrome.json"
+  echo "observability smoke stage passed (metrics golden + trace export)"
 
   # Checkpoint-restore smoke: split the trace, serve the head with
   # --checkpoint-dir, serve the tail in a *fresh process* with --restore,
@@ -133,9 +161,9 @@ cmake -B "$TSAN_DIR" -S . -DTREESAT_WERROR=ON -DTREESAT_TSAN=ON \
 cmake --build "$TSAN_DIR" -j "$JOBS" \
   --target worklist_test batch_executor_test determinism_test plan_test \
            service_test service_determinism_test service_fault_test snapshot_test \
-           telemetry_test
+           telemetry_test obs_trace_test obs_metrics_test
 (cd "$TSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
-  -R 'worklist_test|batch_executor_test|determinism_test|plan_test|service_test|service_determinism_test|service_fault_test|snapshot_test|telemetry_test')
+  -R 'worklist_test|batch_executor_test|determinism_test|plan_test|service_test|service_determinism_test|service_fault_test|snapshot_test|telemetry_test|obs_trace_test|obs_metrics_test')
 
 # UBSan stage: the suites that exercise the Minkowski merge kernels and the
 # scheduler's lock-free deques -- pointer-offset arithmetic in the SIMD
@@ -150,6 +178,23 @@ cmake --build "$UBSAN_DIR" -j "$JOBS" \
            worklist_test incremental_resolve_test
 (cd "$UBSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
   -R 'pareto_dp_test|pareto_merge_reference_test|pareto_simd_kernel_test|worklist_test|incremental_resolve_test')
+
+# AVX2 leg (opt-in by hardware: only when the CI host advertises avx2).
+# -DTREESAT_AVX2=ON compiles the wide dominance kernel and defines
+# TREESAT_EXPECT_AVX2, which turns platform_test's active_isa check into a
+# hard "must run avx2" assertion -- a build where the flag silently fell
+# back to SSE2 fails here instead of publishing mislabeled baselines.
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+  AVX2_DIR="${BUILD_DIR}-avx2"
+  cmake -B "$AVX2_DIR" -S . -DTREESAT_WERROR=ON -DTREESAT_AVX2=ON \
+    -DTREESAT_BUILD_BENCHES=OFF -DTREESAT_BUILD_EXAMPLES=OFF
+  cmake --build "$AVX2_DIR" -j "$JOBS" --target platform_test pareto_simd_kernel_test
+  (cd "$AVX2_DIR" && ctest --output-on-failure -j "$JOBS" \
+    -R 'platform_test|pareto_simd_kernel_test')
+  echo "avx2 leg passed (active_isa=avx2 + kernel equivalence)"
+else
+  echo "avx2 leg skipped: host cpu does not advertise avx2"
+fi
 
 # Bench smoke stage (opt-in: TREESAT_BENCH=1): reduced-size benches with
 # machine-readable output, archived for the perf trajectory, then gated by
@@ -212,6 +257,12 @@ if [ -n "${TREESAT_BENCH:-}" ]; then
     "$BENCH_JSON_DIR/BENCH_overload.json" --keys identity_ratio --tolerance 0.01
   "$BUILD_DIR/bench_diff" bench/baselines/BENCH_overload.json \
     "$BENCH_JSON_DIR/BENCH_overload.json" --keys degradation_ratio --tolerance 0.01
+  # Observability: the enabled-tracing overhead ratio is same-machine and
+  # best-of-N (the binary also hard-gates disabled < 1.02x, enabled <
+  # 1.15x in absolute terms); bench_diff tracks its trajectory.
+  "$BUILD_DIR/bench_obs_overhead" --json "$BENCH_JSON_DIR/BENCH_obs_overhead.json"
+  "$BUILD_DIR/bench_diff" bench/baselines/BENCH_obs_overhead.json \
+    "$BENCH_JSON_DIR/BENCH_obs_overhead.json" --keys trace_overhead_ratio --tolerance 0.25
   echo "bench smoke stage passed; JSON archived in $BENCH_JSON_DIR"
 fi
 

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace treesat {
 
@@ -76,6 +78,14 @@ BatchReport BatchExecutor::run(std::span<const Colouring* const> instances,
     TS_REQUIRE(instances[i] != nullptr, "solve_batch: instance " << i << " is null");
   }
 
+  // Instance count is deterministic; threads_used, solve order and
+  // failures-by-deadline are wall-clock facts and stay out of the span.
+  obs::Span span(obs::trace(), "batch.run");
+  span.attr("instances", static_cast<std::uint64_t>(count));
+  obs::count("treesat_batch_runs_total", "Batch executor runs");
+  obs::observe("treesat_batch_instances", "Instances per batch run",
+               obs::MetricClass::kDeterministic, static_cast<double>(count));
+
   BatchReport report;
   report.results.resize(count);
 
@@ -103,11 +113,18 @@ BatchReport BatchExecutor::run(std::span<const Colouring* const> instances,
   // One work-list task per instance; the pre-claim checks of the old worker
   // loop become early returns, so an aborted/expired batch still marks every
   // unstarted instance below.
+  const std::uint64_t batch_span_id = span.id();
   static_cast<void>(run_worklist(count, worklist, [&](std::size_t i) {
     if (abort.stop_requested() || cancel.stop_requested()) return;
     if (options_.deadline_seconds > 0.0 && watch.seconds() > options_.deadline_seconds) {
       return;
     }
+    // Explicit parent: the task runs on a scheduler thread whose
+    // thread-local span stack is empty. The per-instance span anchors the
+    // solver's own phase spans under the batch deterministically (the
+    // canonical export sorts siblings, so worker interleaving washes out).
+    obs::Span inst_span(obs::trace(), "batch.instance", batch_span_id);
+    inst_span.attr("instance", static_cast<std::uint64_t>(i));
     try {
       report.results[i].emplace(solve(*instances[i], instance_plan(plan, i)));
     } catch (...) {

@@ -11,6 +11,7 @@
 #include "common/stopwatch.hpp"
 #include "core/coloured_ssb.hpp"
 #include "core/registry.hpp"
+#include "obs/trace.hpp"
 #include "heuristics/branch_bound.hpp"
 #include "tree/serialize.hpp"
 
@@ -476,6 +477,13 @@ SolveReport ResolveSession::solve_warm_dp(const SolvePlan& resolved, ResolveStat
     }
     ++fresh.colours_total;
 
+    // One span per colour, warm path included: cache hits are part of the
+    // solve's shape, so they show up in the trace too (with cached=1 and a
+    // zero-merge body) instead of disappearing from the profile.
+    obs::Span colour_span(obs::trace(), "dp.colour");
+    colour_span.attr("colour", static_cast<std::uint64_t>(c));
+    colour_span.attr("regions", static_cast<std::uint64_t>(regions.size()));
+
     // Canonical enumeration of the colour's content: each region's preorder
     // in regions_of order. The colour key is the regions' keys in sequence,
     // every region prefixed by its size so distinct region splits cannot
@@ -518,6 +526,8 @@ SolveReport ResolveSession::solve_warm_dp(const SolvePlan& resolved, ResolveStat
       for (ParetoPoint& point : frontier) {
         for (CruId& v : point.cut) v = concat[v.index()];
       }
+      colour_span.attr("cached", std::uint64_t{1});
+      colour_span.attr("frontier", static_cast<std::uint64_t>(frontier.size()));
       per_colour[c] = std::move(frontier);
       colour_hit->second.last_used = attempt_;
       for (const ContentKey& region_key : region_keys) {
@@ -598,6 +608,8 @@ SolveReport ResolveSession::solve_warm_dp(const SolvePlan& resolved, ResolveStat
     stored_key.words = colour_key.words;
     stored_key.hash = colour_key.hash;
     colour_cache_.emplace(std::move(stored_key), std::move(merged));
+    colour_span.attr("cached", std::uint64_t{0});
+    colour_span.attr("frontier", static_cast<std::uint64_t>(acc.size()));
     per_colour[c] = std::move(acc);
   }
 
@@ -766,6 +778,10 @@ ResolveSession ResolveSession::import_state(const SessionState& state) {
 
 const SolveReport& ResolveSession::resolve(const Perturbation& p) {
   const Stopwatch watch;  // documented to cover the perturbation too
+  // The warm re-solve's phase spans (region rebuilds, dp.sweep) nest here.
+  // Attributes are recorded after solve_current so the span carries the
+  // path/reuse outcome -- all deterministic (stats_ minus wall_seconds).
+  obs::Span span(obs::trace(), "session.resolve");
   // Validate-then-commit: an invalid perturbation throws here, leaving the
   // session on its previous instance.
   auto new_tree =
@@ -786,6 +802,10 @@ const SolveReport& ResolveSession::resolve(const Perturbation& p) {
     throw;
   }
   stats_.wall_seconds = watch.seconds();
+  span.attr("path", resolve_path_name(stats_.path));
+  span.attr("regions_total", static_cast<std::uint64_t>(stats_.regions_total));
+  span.attr("regions_reused", static_cast<std::uint64_t>(stats_.regions_reused));
+  if (!stats_.cold_reason.empty()) span.attr("cold_reason", stats_.cold_reason);
   return *report_;
 }
 

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "core/worklist.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "platform/simd.hpp"
 
 namespace treesat {
@@ -672,9 +674,23 @@ std::vector<ParetoPoint> region_frontier(const Colouring& colouring, CruId regio
     }
     return out;
   };
-  if (scratch == nullptr) return run();
-  std::vector<ParetoPoint> out = scratch->impl().metered(0, run);
-  scratch->impl().served += scratch->impl().pipeline.arena.bytes();
+  std::vector<ParetoPoint> out;
+  if (scratch == nullptr) {
+    out = run();
+  } else {
+    out = scratch->impl().metered(0, run);
+    scratch->impl().served += scratch->impl().pipeline.arena.bytes();
+  }
+  // The warm/session path folds regions through here rather than through
+  // pareto_dp_solve, so its merge work feeds the same counter families.
+  obs::count("treesat_dp_minkowski_merges_total", "Minkowski merges across all solves",
+             obs::MetricClass::kDeterministic, pipe.counters.merges);
+  obs::count("treesat_dp_merge_points_generated_total",
+             "Frontier points generated before dominance pruning",
+             obs::MetricClass::kDeterministic, pipe.counters.generated);
+  obs::count("treesat_dp_merge_points_kept_total",
+             "Frontier points surviving dominance pruning",
+             obs::MetricClass::kDeterministic, pipe.counters.kept);
   return out;
 }
 
@@ -724,11 +740,11 @@ std::vector<ParetoPoint> minkowski_frontiers(const std::vector<ParetoPoint>& a,
                                              ParetoScratch* scratch) {
   std::vector<double> local[4];
   std::vector<double>* stage = scratch ? scratch->impl().stage : local;
+  pareto_internal::MergeCounters counters;
   const auto run = [&] {
     stage_frontier(a, stage[0], stage[1], "a");
     stage_frontier(b, stage[2], stage[3], "b");
     std::vector<ParetoPoint> out;
-    pareto_internal::MergeCounters counters;
     pareto_internal::merge_product(
         kernel, stage[0].data(), stage[1].data(), a.size(), stage[2].data(), stage[3].data(),
         b.size(), max_frontier, counters,
@@ -742,8 +758,20 @@ std::vector<ParetoPoint> minkowski_frontiers(const std::vector<ParetoPoint>& a,
         });
     return out;
   };
-  if (scratch == nullptr) return run();
-  return scratch->impl().metered((a.size() + b.size()) * 2 * sizeof(double), run);
+  std::vector<ParetoPoint> out =
+      scratch == nullptr ? run()
+                         : scratch->impl().metered((a.size() + b.size()) * 2 * sizeof(double), run);
+  // Same counter families the arena path aggregates in pareto_dp_solve: the
+  // session path's fold work must not vanish from the merge totals.
+  obs::count("treesat_dp_minkowski_merges_total", "Minkowski merges across all solves",
+             obs::MetricClass::kDeterministic, counters.merges);
+  obs::count("treesat_dp_merge_points_generated_total",
+             "Frontier points generated before dominance pruning",
+             obs::MetricClass::kDeterministic, counters.generated);
+  obs::count("treesat_dp_merge_points_kept_total",
+             "Frontier points surviving dominance pruning",
+             obs::MetricClass::kDeterministic, counters.kept);
+  return out;
 }
 
 ParetoDpResult pareto_dp_solve_from_colour_frontiers(
@@ -772,8 +800,17 @@ ParetoDpResult pareto_dp_solve_from_colour_frontiers(
     }
     views[c] = FrontierView{loads[c].data(), hosts[c].data(), per_colour[c].size()};
   }
-  const SweepPick sw =
-      sweep_colour_frontiers(views, colouring.forced_host_time(), options.objective);
+  SweepPick sw;
+  {
+    // The warm path re-enters here from cached colour frontiers; the sweep
+    // span makes a warm re-solve's trace show where its (much smaller)
+    // work actually went.
+    obs::Span sweep_span(obs::trace(), "dp.sweep");
+    sw = sweep_colour_frontiers(views, colouring.forced_host_time(), options.objective);
+    sweep_span.attr("candidates", static_cast<std::uint64_t>(sw.candidates_swept));
+    sweep_span.attr("max_colour_frontier",
+                    static_cast<std::uint64_t>(sw.max_colour_frontier));
+  }
 
   ParetoDpStats stats;
   stats.max_colour_frontier = sw.max_colour_frontier;
@@ -803,6 +840,17 @@ ParetoDpResult pareto_dp_solve(const Colouring& colouring, const ParetoDpOptions
   // the region sizes vary by orders of magnitude, so the widest colour
   // claimed last would serialize the tail of the solve.
   const std::size_t colours = colouring.tree().satellite_count();
+
+  // Phase spans. Every attribute below is deterministic at any dp_threads
+  // and for either Minkowski kernel (the PR4/PR8 counter guarantees), so
+  // the timing-stripped trace of a solve is byte-identity-safe. The
+  // per-colour spans are opened on worker threads with the fold span as
+  // explicit parent -- the thread-local current span belongs to the
+  // calling thread and must not leak across the scheduler.
+  obs::Span solve_span(obs::trace(), "dp.solve");
+  solve_span.attr("colours", static_cast<std::uint64_t>(colours));
+  obs::count("treesat_dp_solves_total", "Arena-path Pareto-DP solves");
+
   std::vector<pareto_internal::ColourPipeline> pipes(colours);
   for (auto& pipe : pipes) pipe.kernel = options.kernel;
   std::vector<std::exception_ptr> errors(colours);
@@ -820,13 +868,28 @@ ParetoDpResult pareto_dp_solve(const Colouring& colouring, const ParetoDpOptions
     }
     worklist.cost = cost;
   }
-  static_cast<void>(run_worklist(colours, worklist, [&](std::size_t c) {
-    try {
-      pipes[c].build(colouring, SatelliteId{c}, options.max_frontier);
-    } catch (...) {
-      errors[c] = std::current_exception();
-    }
-  }));
+  {
+    obs::Span fold_span(obs::trace(), "dp.fold");
+    const std::uint64_t fold_id = fold_span.id();
+    static_cast<void>(run_worklist(colours, worklist, [&](std::size_t c) {
+      obs::Span colour_span(obs::trace(), "dp.colour", fold_id);
+      try {
+        pipes[c].build(colouring, SatelliteId{c}, options.max_frontier);
+        colour_span.attr("colour", static_cast<std::uint64_t>(c));
+        colour_span.attr("merges", pipes[c].counters.merges);
+        colour_span.attr("generated", pipes[c].counters.generated);
+        colour_span.attr("kept", pipes[c].counters.kept);
+        colour_span.attr("frontier", static_cast<std::uint64_t>(pipes[c].merged.size()));
+        colour_span.attr("prune_ratio",
+                         pipes[c].counters.generated == 0
+                             ? 1.0
+                             : static_cast<double>(pipes[c].counters.kept) /
+                                   static_cast<double>(pipes[c].counters.generated));
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+    }));
+  }
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
   }
@@ -844,16 +907,37 @@ ParetoDpResult pareto_dp_solve(const Colouring& colouring, const ParetoDpOptions
     stats.minkowski_merges += pipe.counters.merges;
     stats.merge_points_generated += pipe.counters.generated;
     stats.merge_points_kept += pipe.counters.kept;
+    obs::observe("treesat_dp_colour_frontier_points",
+                 "Merged frontier width per colour pipeline",
+                 obs::MetricClass::kDeterministic, static_cast<double>(pipe.merged.size()));
   }
-  const SweepPick sw =
-      sweep_colour_frontiers(views, colouring.forced_host_time(), options.objective);
+  obs::count("treesat_dp_minkowski_merges_total", "Minkowski merges across all solves",
+             obs::MetricClass::kDeterministic, stats.minkowski_merges);
+  obs::count("treesat_dp_merge_points_generated_total",
+             "Frontier points generated before dominance pruning",
+             obs::MetricClass::kDeterministic, stats.merge_points_generated);
+  obs::count("treesat_dp_merge_points_kept_total",
+             "Frontier points surviving dominance pruning",
+             obs::MetricClass::kDeterministic, stats.merge_points_kept);
+  SweepPick sw;
+  {
+    obs::Span sweep_span(obs::trace(), "dp.sweep");
+    sw = sweep_colour_frontiers(views, colouring.forced_host_time(), options.objective);
+    sweep_span.attr("candidates", static_cast<std::uint64_t>(sw.candidates_swept));
+    sweep_span.attr("max_colour_frontier",
+                    static_cast<std::uint64_t>(sw.max_colour_frontier));
+  }
   stats.max_colour_frontier = sw.max_colour_frontier;
   stats.candidates_swept = sw.candidates_swept;
 
   std::vector<CruId> cut;
-  for (std::size_t c = 0; c < colours; ++c) {
-    pipes[c].arena.reconstruct(pipes[c].merged.begin + static_cast<std::uint32_t>(sw.pick[c]),
-                               cut);
+  {
+    obs::Span rec_span(obs::trace(), "dp.reconstruct");
+    for (std::size_t c = 0; c < colours; ++c) {
+      pipes[c].arena.reconstruct(
+          pipes[c].merged.begin + static_cast<std::uint32_t>(sw.pick[c]), cut);
+    }
+    rec_span.attr("cut", static_cast<std::uint64_t>(cut.size()));
   }
   Assignment assignment(colouring, std::move(cut));
   DelayBreakdown delay = assignment.delay();

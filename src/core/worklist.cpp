@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace treesat {
 
@@ -62,15 +64,23 @@ struct ThreadQueue {
     return false;
   }
 
-  bool steal(ChunkRef& out) {
+  /// On success also reports how many chunks the victim still holds --
+  /// the queue-depth sample the wall-clock depth histogram records.
+  bool steal(ChunkRef& out, std::size_t* remaining) {
     const std::lock_guard<std::mutex> lock(mu);
+    bool taken = false;
     for (std::deque<ChunkRef>& bin : bins) {
-      if (bin.empty()) continue;
+      if (taken || bin.empty()) continue;
       out = bin.front();
       bin.pop_front();
-      return true;
+      taken = true;
     }
-    return false;
+    if (taken && remaining != nullptr) {
+      std::size_t depth = 0;
+      for (const std::deque<ChunkRef>& bin : bins) depth += bin.size();
+      *remaining = depth;
+    }
+    return taken;
   }
 };
 
@@ -83,6 +93,15 @@ WorklistStats run_worklist(std::size_t count, const WorklistOptions& options,
   TS_REQUIRE(options.cost.empty() || options.cost.size() == count,
              "run_worklist: cost estimates cover " << options.cost.size() << " items but "
                                                    << count << " were scheduled");
+
+  // Every thread count flows through here (threads<=1 runs inline below),
+  // so runs/items are deterministic. Steals, chunk counts and queue
+  // depths are scheduler outcomes -- wall-clock class only.
+  obs::Span span(obs::trace(), "worklist.run");
+  span.attr("items", static_cast<std::uint64_t>(count));
+  obs::count("treesat_worklist_runs_total", "Worklist executions");
+  obs::observe("treesat_worklist_items", "Items per worklist execution",
+               obs::MetricClass::kDeterministic, static_cast<double>(count));
 
   const std::size_t threads = resolve_threads(options.threads, count);
   stats.threads_used = threads;
@@ -138,6 +157,14 @@ WorklistStats run_worklist(std::size_t count, const WorklistOptions& options,
   stats.chunks = dealt;
 
   std::atomic<std::size_t> steals{0};
+  // Handles cached up front: workers record without touching the registry
+  // lock. All wall-clock class -- scheduler state, never deterministic.
+  obs::Histogram* depth_hist = nullptr;
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    depth_hist = &m->histogram("treesat_worklist_queue_depth",
+                               "Victim queue depth (chunks) sampled at each steal",
+                               obs::MetricClass::kWallClock);
+  }
   const auto worker = [&](std::size_t self) {
     // Per-worker deterministic seed: the victim probe order depends only
     // on the worker id and how many probes it has made.
@@ -150,14 +177,16 @@ WorklistStats run_worklist(std::size_t count, const WorklistOptions& options,
         // empty sweep means the list is drained (bar chunks already being
         // executed) and the worker can retire.
         bool stolen = false;
+        std::size_t depth = 0;
         const std::size_t start = static_cast<std::size_t>(splitmix64(rng_state) % threads);
         for (std::size_t k = 0; k < threads && !stolen; ++k) {
           const std::size_t victim = (start + k) % threads;
           if (victim == self) continue;
-          stolen = queues[victim]->steal(chunk);
+          stolen = queues[victim]->steal(chunk, &depth);
         }
         if (!stolen) return;
         steals.fetch_add(1, std::memory_order_relaxed);
+        if (depth_hist != nullptr) depth_hist->observe(static_cast<double>(depth));
       }
       for (std::uint32_t i = chunk.begin; i < chunk.end; ++i) {
         task(order[i]);
@@ -174,6 +203,10 @@ WorklistStats run_worklist(std::size_t count, const WorklistOptions& options,
     // ~jthread joins every worker before the stats read below.
   }
   stats.steals = steals.load(std::memory_order_relaxed);
+  obs::count("treesat_worklist_steals_total", "Chunks stolen across all worklist runs",
+             obs::MetricClass::kWallClock, stats.steals);
+  obs::count("treesat_worklist_chunks_total", "Chunks dealt across all worklist runs",
+             obs::MetricClass::kWallClock, stats.chunks);
   return stats;
 }
 

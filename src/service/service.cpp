@@ -16,6 +16,8 @@
 #include "core/solver.hpp"
 #include "heuristics/local_search.hpp"
 #include "io/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/protocol.hpp"
 #include "storage/checkpoint.hpp"
 #include "tree/serialize.hpp"
@@ -351,6 +353,41 @@ void add_degraded_fields(JsonLineWriter& w, SolveMethod method, const LocalSearc
 /// The shared tail of solve/perturb responses: the optimum and the
 /// warm/cold provenance. Deliberately no wall-clock field -- the response
 /// stream is byte-identity-checked across shard/thread counts.
+// --- observability helpers ----------------------------------------------
+//
+// Every counter below is a pure function of the request stream (request
+// paths, store outcomes, response bytes), so it lands in the deterministic
+// exposition subset ci.sh golden-gates. The only wall-clock family the
+// service owns is the request-latency histogram, recorded exactly where
+// LatencyTrack records.
+
+/// +1 on a deterministic counter when a registry is installed. The
+/// find-or-create is a mutex + map lookup -- noise next to a request's
+/// parse/solve work (requests are the unit of recording here; per-point
+/// hot loops cache handles instead, see pareto_dp.cpp).
+void bump(const char* name, const char* help) {
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->counter(name, help, obs::MetricClass::kDeterministic).add(1);
+  }
+}
+
+void observe_response_bytes(std::size_t bytes) {
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->histogram("treesat_response_bytes", "Response line sizes in bytes",
+                 obs::MetricClass::kDeterministic)
+        .observe(static_cast<double>(bytes));
+  }
+}
+
+void observe_request_seconds(double seconds) {
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    m->histogram("treesat_request_seconds",
+                 "Wall-clock solve/perturb request latency in seconds",
+                 obs::MetricClass::kWallClock, 1e-6)
+        .observe(seconds);
+  }
+}
+
 void add_solution_fields(JsonLineWriter& w, const SessionEntry& entry, const char* path,
                          const ResolveStats& stats) {
   const SolveReport& report = entry.session->current();
@@ -403,6 +440,20 @@ const ServiceTelemetry& SolverService::telemetry() {
   telemetry_.spill_drops = store_.spill_drops();
   telemetry_.spill_faults = store_.spill_faults();
   telemetry_.restore_faults = store_.restore_faults();
+  // Mirror the store gauges into the installed registry so an exposition
+  // (metrics op, --metrics-out) reads the state this document describes.
+  // All deterministic: store accounting is shard-invariant by contract.
+  if (obs::MetricsRegistry* m = obs::metrics()) {
+    const auto det = obs::MetricClass::kDeterministic;
+    m->gauge("treesat_store_bytes_used", "Resident session-store bytes", det)
+        .set(static_cast<double>(telemetry_.bytes_used));
+    m->gauge("treesat_store_entries", "Resident instances (warm or not)", det)
+        .set(static_cast<double>(telemetry_.entries));
+    m->gauge("treesat_store_sessions", "Resident entries holding a live ResolveSession", det)
+        .set(static_cast<double>(telemetry_.sessions));
+    m->gauge("treesat_store_spill_bytes", "Snapshot bytes currently in the spill tier", det)
+        .set(static_cast<double>(telemetry_.spill_bytes));
+  }
   return telemetry_;
 }
 
@@ -429,6 +480,7 @@ void SolverService::restore_from(const std::string& dir) {
 SolverService::Outcome SolverService::handle(const std::string& line) {
   const std::size_t id = ++next_id_;
   ++telemetry_.requests;
+  bump("treesat_requests_total", "Request lines handled");
   const Stopwatch watch;
   std::string op;
   std::string tenant;
@@ -436,6 +488,14 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
     const RequestObject req = RequestObject::parse(line);
     op = req.string_at("op");
     tenant = req.string_or("tenant", "");
+    // Root span: everything this request triggers (store lookup, spill
+    // reload, DP phases) nests underneath via the thread-local current
+    // span. Attributes are deterministic only -- id is the deterministic
+    // request number, never a clock.
+    const std::string root_name = "req." + op;
+    obs::Span root(obs::trace(), root_name);
+    root.attr("id", static_cast<std::uint64_t>(id));
+    if (!tenant.empty()) root.attr("tenant", tenant);
     TenantTelemetry* tt = nullptr;
     if (!tenant.empty()) {
       require_id("tenant", tenant);
@@ -473,6 +533,7 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
     if (solver_op && !degrade_now && limit > 0.0 && since_start_.seconds() >= limit) {
       if (options_.degrade == DegradeMode::kOff) {
         if (tt != nullptr) ++tt->rejected;
+        bump("treesat_rejected_total", "Solver requests refused by admission control");
         throw ResourceLimit("deadline: request " + std::to_string(id) +
                             " arrived after its admission budget expired; not started");
       }
@@ -488,6 +549,7 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
       if (predicted_overrun(since_start_.seconds(), limit, estimate)) {
         if (options_.degrade == DegradeMode::kOff) {
           ++tt->rejected;
+          bump("treesat_rejected_total", "Solver requests refused by admission control");
           throw ResourceLimit("deadline: request " + std::to_string(id) +
                               " predicted to overrun its admission budget (recent p90 " +
                               shortest_round_trip(estimate * 1e3) + " ms); not started");
@@ -545,7 +607,13 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
           req.has("plan") ? parse_plan(req.string_at("plan")) : default_plan_;
       const std::string canonical = session_plan_key(plan);
       bool reloaded = false;
-      SessionEntry* entry = store_.find(tenant, instance, &reloaded);
+      SessionEntry* entry = nullptr;
+      {
+        // Any spill.reload span the store opens nests under this one.
+        obs::Span lookup(obs::trace(), "store.lookup");
+        entry = store_.find(tenant, instance, &reloaded);
+        lookup.attr("reloaded", std::uint64_t{reloaded ? 1u : 0u});
+      }
       if (entry == nullptr) {
         throw InvalidArgument("request: unknown instance '" + tenant + '/' + instance +
                               "' (submit it first)");
@@ -570,6 +638,8 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
         const LocalSearchResult res = degraded_result(fallback_mode, colouring, objective,
                                                       std::move(warm), &warm_started);
         ++tt->degraded;
+        bump("treesat_degraded_total", "Solver requests served by the degrade fallback");
+        root.attr("path", "degraded");
         const SolveMethod method = degrade_method(fallback_mode);
         ++tt->method_counts[static_cast<std::size_t>(method)];
         store_.refresh_bytes(*entry);
@@ -585,7 +655,10 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
         w.field_uint("bytes", entry->bytes);
         w.field_uint("lru_evicted", lru_evicted);
         if (tt != nullptr) tt->latency.record(watch.seconds());
-        return {w.finish(), true};
+        observe_request_seconds(watch.seconds());
+        std::string out = w.finish();
+        observe_response_bytes(out.size());
+        return {std::move(out), true};
       }
 
       const char* path = "cached";
@@ -600,6 +673,7 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
         path = "initial";
         stats = entry->session->last_stats();
         ++tt->initial_solves;
+        bump("treesat_initial_solves_total", "First solves of an instance");
         ++tt->method_counts[static_cast<std::size_t>(entry->session->current().method)];
       } else if (entry->plan_spec != canonical) {
         // A new plan cannot reuse the old session's state (its caches and
@@ -612,6 +686,7 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
         stats = entry->session->last_stats();
         stats.cold_reason = "plan changed; session rebuilt";
         ++tt->cold_solves;
+        bump("treesat_cold_solves_total", "Re-solves that could reuse nothing warm");
         ++tt->method_counts[static_cast<std::size_t>(entry->session->current().method)];
       } else {
         // Same plan, unperturbed instance: the whole point of the warm
@@ -621,6 +696,7 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
         stats.regions_recomputed = 0;
         stats.cold_reason.clear();
         ++tt->warm_hits;
+        bump("treesat_warm_hits_total", "Solver requests served from warm session state");
       }
       store_.refresh_bytes(*entry);
       std::size_t lru_evicted = 0;
@@ -630,6 +706,7 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
         if (e.spilled) ++victim.spills;
         ++lru_evicted;
       }
+      root.attr("path", path);
       w.field_str("tenant", tenant).field_str("instance", instance);
       add_solution_fields(w, *entry, path, stats);
       w.field_uint("bytes", entry->bytes);
@@ -639,7 +716,12 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
       const std::string& instance = req.string_at("instance");
       ++tt->perturbs;
       bool reloaded = false;
-      SessionEntry* entry = store_.find(tenant, instance, &reloaded);
+      SessionEntry* entry = nullptr;
+      {
+        obs::Span lookup(obs::trace(), "store.lookup");
+        entry = store_.find(tenant, instance, &reloaded);
+        lookup.attr("reloaded", std::uint64_t{reloaded ? 1u : 0u});
+      }
       if (entry == nullptr) {
         throw InvalidArgument("request: unknown instance '" + tenant + '/' + instance +
                               "' (submit it first)");
@@ -670,6 +752,8 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
         const LocalSearchResult res = degraded_result(fallback_mode, colouring, objective,
                                                       std::move(warm), &warm_started);
         ++tt->degraded;
+        bump("treesat_degraded_total", "Solver requests served by the degrade fallback");
+        root.attr("path", "degraded");
         const SolveMethod method = degrade_method(fallback_mode);
         ++tt->method_counts[static_cast<std::size_t>(method)];
         w.field_bool("solved", true);
@@ -682,8 +766,12 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
         const ResolveStats& stats = entry->session->last_stats();
         const bool warm = stats.path == ResolvePath::kWarm;
         ++(warm ? tt->warm_hits : tt->cold_solves);
+        bump(warm ? "treesat_warm_hits_total" : "treesat_cold_solves_total",
+             warm ? "Solver requests served from warm session state"
+                  : "Re-solves that could reuse nothing warm");
         ++tt->method_counts[static_cast<std::size_t>(entry->session->current().method)];
         w.field_bool("solved", true);
+        root.attr("path", resolve_path_name(stats.path));
         add_solution_fields(w, *entry, resolve_path_name(stats.path), stats);
       } else {
         // Not solved yet: evolve the stored tree so the eventual first
@@ -751,6 +839,21 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
       w.field_str("fate", fate == EvictFate::kAbsent    ? "absent"
                           : fate == EvictFate::kDropped ? "dropped"
                                                         : "spilled");
+    } else if (op == "metrics") {
+      // Prometheus text exposition of the installed registry. The
+      // deterministic families by default -- the response stays inside the
+      // byte-identity contract at any shard/thread count -- and the
+      // wall-clock families (after the marker line) only with
+      // "timing":true, the same opt-in split as stats timing. Empty string
+      // when no registry is installed (the op stays valid so clients can
+      // probe without knowing how the server was launched).
+      const bool timing = options_.timing_in_stats || req.bool_or("timing", false);
+      std::string text;
+      if (obs::MetricsRegistry* m = obs::metrics()) {
+        static_cast<void>(telemetry());  // refresh the store gauges into the registry
+        text = m->exposition(timing);
+      }
+      w.field_str("metrics", text);
     } else if (op == "checkpoint") {
       const std::string& dir = req.string_at("dir");
       checkpoint_to(dir);
@@ -766,16 +869,21 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
       w.field_uint("spilled", store_.spill_entries());
       w.field_uint("next_id", next_id_);
     } else {
-      throw InvalidArgument("request: unknown op '" + op +
-                            "' (submit, solve, perturb, stats, evict, checkpoint, restore)");
+      throw InvalidArgument(
+          "request: unknown op '" + op +
+          "' (submit, solve, perturb, stats, metrics, evict, checkpoint, restore)");
     }
 
     if (tt != nullptr && (op == "solve" || op == "perturb")) {
       tt->latency.record(watch.seconds());
+      observe_request_seconds(watch.seconds());
     }
-    return {w.finish(), true};
+    std::string out = w.finish();
+    observe_response_bytes(out.size());
+    return {std::move(out), true};
   } catch (const std::exception& e) {
     ++telemetry_.errors;
+    bump("treesat_request_errors_total", "Requests that produced an error response");
     if (!tenant.empty() && tenant.find('/') == std::string::npos) {
       ++telemetry_.slot(tenant).errors;
     }
@@ -784,7 +892,9 @@ SolverService::Outcome SolverService::handle(const std::string& line) {
     w.field_str("op", op.empty() ? "?" : op);
     w.field_bool("ok", false);
     w.field_str("error", e.what());
-    return {w.finish(), false};
+    std::string out = w.finish();
+    observe_response_bytes(out.size());
+    return {std::move(out), false};
   }
 }
 

@@ -29,6 +29,12 @@
 //       the id compaction a satellite loss performs; ids are not).
 //   {"op":"stats"}            (optional "tenant", optional "timing":true)
 //       Telemetry document (io/json.cpp service_telemetry_to_json).
+//   {"op":"metrics"}          (optional "timing":true)
+//       Prometheus text exposition of the installed obs::MetricsRegistry
+//       (src/obs/metrics.hpp) as one JSON string field. Deterministic
+//       families only by default; "timing":true appends the wall-clock
+//       families after the marker line. Empty string when no registry is
+//       installed.
 //   {"op":"evict","tenant":"t0","instance":"w0"}   (optional "drop":true)
 //       Removes the entry from memory. With a spill tier configured the
 //       warm state is preserved on disk unless "drop":true; the response

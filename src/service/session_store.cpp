@@ -7,6 +7,8 @@
 
 #include "common/check.hpp"
 #include "core/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/snapshot.hpp"
 #include "tree/serialize.hpp"
 
@@ -126,6 +128,11 @@ SessionEntry* SessionStore::find(const std::string& tenant, const std::string& i
   // (a misplaced file must not impersonate another tenant's instance),
   // rebuild the entry and consume the spill copy.
   const std::string path = spill_path(tenant, instance);
+  // Spill reload IO span, nesting under the service's store.lookup span.
+  // Key, outcome and byte sizes are deterministic (tier placement and
+  // snapshot encodings are shard-invariant); no IO timings in attributes.
+  obs::Span span(obs::trace(), "spill.reload");
+  span.attr("key", key);
   SessionEntry entry;
   bool warm = false;
   if (spilled->second.bytes != 0) {  // a tombstone never had a file
@@ -149,6 +156,8 @@ SessionEntry* SessionStore::find(const std::string& tenant, const std::string& i
       // the file for post-mortem, write off the warm state, and fall back
       // to the tree text retained in the record.
       ++spill_faults_;
+      obs::count("treesat_spill_faults_total",
+                 "Spill writes/reloads that degraded to a cold re-solve");
       quarantine_spill_file(path);
     }
   }
@@ -170,11 +179,14 @@ SessionEntry* SessionStore::find(const std::string& tenant, const std::string& i
   bytes_used_ += entry.bytes;
   spill_bytes_ -= spilled->second.bytes;
   spill_records_.erase(spilled);
+  span.attr("warm", std::uint64_t{warm ? 1u : 0u});
   if (warm) {
     std::remove(path.c_str());
     // Only a snapshot that actually came back warm counts as a reload;
     // the fault paths above surface as cold/initial solves in the stats.
     ++spill_reloads_;
+    obs::count("treesat_spill_reloads_total",
+               "Sessions reloaded warm from the spill tier");
     if (reloaded != nullptr) *reloaded = true;
   }
   return &shard.entries.emplace(key, std::move(entry)).first->second;
@@ -247,6 +259,8 @@ void SessionStore::refresh_bytes(SessionEntry& entry) {
 void SessionStore::spill_entry(const SessionEntry& entry) {
   const SessionState state = session_entry_state(entry);
   const std::string path = spill_path(entry.tenant, entry.instance);
+  obs::Span span(obs::trace(), "spill.write");
+  span.attr("key", key_of(entry.tenant, entry.instance));
   if (faults_.fires(FaultPoint::kSpillDirVanish)) {
     // The spill directory disappears out from under the tier (operator
     // error, an over-eager tmp cleaner). Every previously spilled file is
@@ -255,6 +269,8 @@ void SessionStore::spill_entry(const SessionEntry& entry) {
     std::error_code ec;
     std::filesystem::remove_all(spill_dir_, ec);
     ++spill_faults_;
+    obs::count("treesat_spill_faults_total",
+               "Spill writes/reloads that degraded to a cold re-solve");
   }
   SpillRecord record;
   record.tenant = entry.tenant;
@@ -278,11 +294,19 @@ void SessionStore::spill_entry(const SessionEntry& entry) {
     // tree text above) but the instance stays servable. The record becomes
     // a fileless tombstone.
     ++spill_faults_;
+    obs::count("treesat_spill_faults_total",
+               "Spill writes/reloads that degraded to a cold re-solve");
     record.bytes = 0;
+  }
+  span.attr("bytes", static_cast<std::uint64_t>(record.bytes));
+  if (record.bytes != 0) {
+    obs::observe("treesat_spill_snapshot_bytes", "Spilled snapshot sizes in bytes",
+                 obs::MetricClass::kDeterministic, static_cast<double>(record.bytes));
   }
   spill_bytes_ += record.bytes;
   spill_records_[key_of(entry.tenant, entry.instance)] = std::move(record);
   ++spills_;
+  obs::count("treesat_spills_total", "Sessions written to the spill tier");
 }
 
 void SessionStore::drop_spilled(const std::string& key, bool budget_drop) {

@@ -76,6 +76,23 @@ struct LatencyTrack {
 
   /// One-off convenience: rank(sorted(), q).
   [[nodiscard]] double quantile(double q) const { return rank(sorted(), q); }
+
+  /// Replays another track's retained window into this one, oldest sample
+  /// first. A wrapped ring's storage order is NOT its insertion order --
+  /// the oldest retained sample sits at `other.next`, not index 0 -- so
+  /// the replay has to start there or the merged window interleaves the
+  /// other track's oldest and newest samples (and, when this track wraps
+  /// too, evicts the wrong ones, skewing the merged quantiles).
+  void merge(const LatencyTrack& other) {
+    const std::size_t n = other.seconds.size();
+    if (n > 0) {
+      const std::size_t start = n < kWindow ? 0 : other.next;
+      for (std::size_t k = 0; k < n; ++k) record(other.seconds[(start + k) % n]);
+    }
+    // record() counted the n replayed samples; top up to the other track's
+    // lifetime total so merged `recorded` stays a true sample count.
+    recorded += other.recorded - n;
+  }
 };
 
 /// One tenant's counters. Everything except `latency` is deterministic for
@@ -157,7 +174,7 @@ struct TenantTelemetry {
     for (std::size_t m = 0; m < method_counts.size(); ++m) {
       method_counts[m] += other.method_counts[m];
     }
-    for (const double s : other.latency.seconds) latency.record(s);
+    latency.merge(other.latency);
   }
 };
 

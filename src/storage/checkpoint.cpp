@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/snapshot.hpp"
 #include "storage/wire.hpp"
 
@@ -118,6 +120,12 @@ void require_dir(const std::string& dir) {
 
 void write_checkpoint(const std::string& dir, const SessionStore& store,
                       const ServiceTelemetry& telemetry, std::size_t next_id) {
+  // Entry/spill counts are deterministic; the directory path stays out of
+  // the attributes (it varies per run and would break structure identity).
+  obs::Span span(obs::trace(), "checkpoint.write");
+  span.attr("entries", static_cast<std::uint64_t>(store.entries()));
+  span.attr("spilled", static_cast<std::uint64_t>(store.spill_entries()));
+  obs::count("treesat_checkpoint_writes_total", "Checkpoints written");
   require_dir(dir);
   require_dir(dir + "/sessions");
 
@@ -200,6 +208,8 @@ void write_checkpoint(const std::string& dir, const SessionStore& store,
 RestoredService read_checkpoint(const std::string& dir, std::size_t shards,
                                 std::size_t mem_budget, const std::string& spill_dir,
                                 std::size_t spill_budget, FaultPlan* faults) {
+  obs::Span span(obs::trace(), "checkpoint.restore");
+  obs::count("treesat_checkpoint_restores_total", "Checkpoints restored");
   const std::string manifest = read_file_bytes(manifest_path(dir));
   const std::string_view payload = unframe_payload(kMagic, kVersion, manifest, "checkpoint");
   wire::LineReader reader(payload);
@@ -318,6 +328,15 @@ RestoredService read_checkpoint(const std::string& dir, std::size_t shards,
   // Fold this restore's skips into the store gauge on top of whatever the
   // manifest's persisted counter carried.
   out.store.count_restore_faults(out.restore_faults);
+  span.attr("entries", static_cast<std::uint64_t>(out.store.entries()));
+  span.attr("spilled", static_cast<std::uint64_t>(out.store.spill_entries()));
+  span.attr("skipped", static_cast<std::uint64_t>(out.restore_faults));
+  if (out.restore_faults != 0) {
+    obs::count("treesat_restore_faults_total",
+               "Checkpoint snapshots skipped during restore",
+               obs::MetricClass::kDeterministic,
+               static_cast<std::uint64_t>(out.restore_faults));
+  }
   return out;
 }
 

@@ -2,9 +2,12 @@
 // correspondent-satellite computation, and the scenario library.
 #include <gtest/gtest.h>
 
+#include <string_view>
+
 #include "common/rng.hpp"
 #include "core/colouring.hpp"
 #include "platform/profiled_tree.hpp"
+#include "platform/simd.hpp"
 #include "workload/generator.hpp"
 #include "workload/scenarios.hpp"
 
@@ -119,6 +122,18 @@ TEST(Scenarios, PaperExampleMatchesDocumentedShape) {
   EXPECT_EQ(tree.size(), 20u);  // 13 CRUs + 7 sensors
   EXPECT_EQ(tree.sensor_count(), 7u);
   EXPECT_EQ(tree.satellite_count(), 4u);
+}
+
+TEST(Simd, ActiveIsaMatchesBuildFlag) {
+  const std::string_view isa = simd::active_isa();
+#if defined(TREESAT_EXPECT_AVX2)
+  // -DTREESAT_AVX2=ON promised the AVX2 kernel; a build where the flag
+  // did not reach this TU (or immintrin fell back) must fail loudly, not
+  // silently run the SSE2 path while the bench baselines say "avx2".
+  EXPECT_EQ(isa, "avx2");
+#else
+  EXPECT_TRUE(isa == "avx2" || isa == "sse2" || isa == "portable") << isa;
+#endif
 }
 
 TEST(RandomProfiledTree, LowersAndColoursForAllPolicies) {

@@ -81,6 +81,57 @@ TEST(LatencyTrack, RingRetainsExactlyTheMostRecentWindow) {
   EXPECT_EQ(LatencyTrack::rank(sorted, 0.0), 904.0);
 }
 
+TEST(LatencyTrack, MergeReplaysAWrappedRingInInsertionOrder) {
+  // Regression: merge used to append the other ring's *storage* order. A
+  // wrapped ring stores its oldest retained sample at index `next`, not 0,
+  // so the old code spliced the other track's newest samples in front of
+  // its oldest -- and once the merged track wrapped too, it evicted recent
+  // samples while keeping stale ones.
+  LatencyTrack src;
+  const std::size_t total = LatencyTrack::kWindow + 10;
+  for (std::size_t i = 0; i < total; ++i) src.record(static_cast<double>(i));
+  ASSERT_EQ(src.next, 10u);  // wrapped: storage starts mid-window
+
+  LatencyTrack dst;
+  dst.merge(src);
+  // Replayed oldest-first, the merged ring IS the source window: samples
+  // 10..total-1 in insertion order (the old storage-order replay put
+  // 4096..4105 at the front instead).
+  ASSERT_EQ(dst.seconds.size(), LatencyTrack::kWindow);
+  for (std::size_t k = 0; k < dst.seconds.size(); ++k) {
+    ASSERT_EQ(dst.seconds[k], static_cast<double>(10 + k)) << "slot " << k;
+  }
+  EXPECT_EQ(dst.next, 0u);
+  // Lifetime count carries over exactly (not just the retained window).
+  EXPECT_EQ(dst.recorded, total);
+
+  // Eviction order after the merge keeps the insertion-order contract:
+  // one more sample must evict the *oldest* merged sample (10).
+  dst.record(static_cast<double>(total));
+  const std::vector<double> sorted = dst.sorted();
+  EXPECT_EQ(sorted.front(), 11.0);
+  EXPECT_EQ(sorted.back(), static_cast<double>(total));
+}
+
+TEST(LatencyTrack, MergePartialRingKeepsOrderAndCounts) {
+  LatencyTrack a;
+  a.record(1.0);
+  a.record(2.0);
+  LatencyTrack b;
+  b.record(3.0);
+  b.recorded += 5;  // pretend b already rotated 5 samples out
+  a.merge(b);
+  ASSERT_EQ(a.seconds.size(), 3u);
+  EXPECT_EQ(a.seconds[0], 1.0);
+  EXPECT_EQ(a.seconds[1], 2.0);
+  EXPECT_EQ(a.seconds[2], 3.0);
+  EXPECT_EQ(a.recorded, 2u + 1u + 5u);
+  LatencyTrack empty;
+  a.merge(empty);  // merging an empty track is a no-op
+  EXPECT_EQ(a.seconds.size(), 3u);
+  EXPECT_EQ(a.recorded, 8u);
+}
+
 TEST(LatencyTrack, ExactWindowFillWrapsWithoutLoss) {
   LatencyTrack track;
   for (std::size_t i = 0; i < LatencyTrack::kWindow; ++i) {

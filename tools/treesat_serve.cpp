@@ -21,6 +21,8 @@
 #include <iostream>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/service.hpp"
 #include "workload/traffic.hpp"
 
@@ -38,6 +40,10 @@ int usage(const char* argv0) {
       << "  --restore DIR      restore a checkpoint before serving\n"
       << "  --checkpoint-dir DIR  write a checkpoint after the stream ends\n"
       << "  --plan SPEC        default plan for solve requests without one\n"
+      << "  --trace-out PATH   record request/solver spans while serving and write\n"
+      << "                     a chrome://tracing JSON file when the stream ends\n"
+      << "  --metrics-out PATH write the Prometheus text exposition (deterministic\n"
+      << "                     families first, wall-clock after the marker) on exit\n"
       << "  --gen-trace TICKS  emit a deterministic traffic trace and exit\n"
       << "  --gen-stress N     emit a deterministic adversarial stress trace\n"
       << "                     (N arrival slots; workload/traffic.hpp stress_trace)\n"
@@ -62,6 +68,8 @@ int main(int argc, char** argv) {
   std::string restore_dir;
   std::string checkpoint_dir;
   std::string plan_flag;
+  std::string trace_out;
+  std::string metrics_out;
   std::string trace_file;
   bool gen_trace = false;
   bool gen_stress = false;
@@ -93,6 +101,10 @@ int main(int argc, char** argv) {
       checkpoint_dir = next();
     } else if (arg == "--plan") {
       plan_flag = next();
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (arg == "--gen-trace") {
       gen_trace = true;
       traffic.ticks = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
@@ -162,6 +174,21 @@ int main(int argc, char** argv) {
     }
     ServiceOptions options = parse_service_config(config_spec);
     if (!plan_flag.empty()) options.plan = plan_flag;
+
+    // Observability: the registry is installed whenever we serve, so the
+    // protocol-level {"op":"metrics"} request works out of the box; the
+    // span recorder only when --trace-out asked for it (timing on -- the
+    // trace file is a diagnostic artifact, never part of the response
+    // stream, so wall-clock there is fine).
+    treesat::obs::MetricsRegistry registry;
+    treesat::obs::install_metrics(&registry);
+    treesat::obs::TraceRecorder recorder;
+    if (!trace_out.empty()) {
+      recorder.set_timing(true);
+      recorder.set_enabled(true);
+      treesat::obs::install_trace(&recorder);
+    }
+
     SolverService service(std::move(options));
     // Zero-rewarm restart: load the previous process's checkpoint before
     // the first request, so warm traffic resumes without re-solving.
@@ -178,6 +205,27 @@ int main(int argc, char** argv) {
     std::istream& in = trace_file.empty() ? std::cin : file;
     const std::size_t errors = service.serve(in, std::cout);
     if (!checkpoint_dir.empty()) service.checkpoint_to(checkpoint_dir);
+    // Diagnostic artifacts are written even when the stream had error
+    // responses -- a failing run is exactly when the trace matters.
+    if (!metrics_out.empty()) {
+      static_cast<void>(service.telemetry());  // refresh the store gauges
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::cerr << argv[0] << ": cannot write " << metrics_out << "\n";
+        return 2;
+      }
+      out << registry.exposition(/*include_wallclock=*/true);
+    }
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::cerr << argv[0] << ": cannot write " << trace_out << "\n";
+        return 2;
+      }
+      out << recorder.chrome_trace_json() << '\n';
+      treesat::obs::install_trace(nullptr);
+    }
+    treesat::obs::install_metrics(nullptr);
     if (errors > 0 && service.options().executor.fail_fast) {
       std::cerr << argv[0] << ": aborted after the first error response (fail_fast)\n";
       return 1;
